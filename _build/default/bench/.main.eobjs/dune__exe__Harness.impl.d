@@ -1,0 +1,1 @@
+bench/harness.ml: Core Float Format Hashtbl Hotstuff Net Pbft Printf Sim Sim_time Stats

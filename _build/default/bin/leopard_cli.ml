@@ -1,0 +1,221 @@
+(* Command-line front end for the Leopard reproduction.
+
+     leopard run --n 64 --load 100000 --duration 20
+     leopard run --n 16 --stop-leader 5 --resend 1
+     leopard hotstuff --n 128 --batch 800
+     leopard pbft --n 32
+     leopard shard --rho 0.25 --target 1e-6
+     leopard sf --n 300
+
+   Every subcommand prints a plain-text report; `bench/main.exe` drives
+   the full per-figure reproduction. *)
+
+open Cmdliner
+
+let span_of_sec s = Sim.Sim_time.of_sec s
+
+(* ---------------- run (Leopard) ---------------- *)
+
+let pp_bandwidth_view title (v : Core.Runner.bandwidth_view) =
+  Format.printf "%s: sent %.2f MB, received %.2f MB@." title
+    (float_of_int v.Core.Runner.sent_bytes /. 1e6)
+    (float_of_int v.Core.Runner.received_bytes /. 1e6);
+  List.iter
+    (fun (cat, bytes) -> Format.printf "    sent %-12s %.2f MB@." cat (float_of_int bytes /. 1e6))
+    v.Core.Runner.sent_by_category;
+  List.iter
+    (fun (cat, bytes) -> Format.printf "    recv %-12s %.2f MB@." cat (float_of_int bytes /. 1e6))
+    v.Core.Runner.received_by_category
+
+let leopard_run n load duration warmup alpha bft_size payload silent stop_leader resend gst seed
+    bandwidth_mbps db_timeout prop_timeout verbose =
+  let cfg =
+    Core.Config.make ~n ?alpha ?bft_size ~payload
+      ~datablock_timeout:(span_of_sec db_timeout) ~proposal_timeout:(span_of_sec prop_timeout) ()
+  in
+  let link =
+    match bandwidth_mbps with
+    | Some mb ->
+      Net.Network.{ default_link with out_bps = mbps mb; in_bps = mbps mb }
+    | None -> Net.Network.default_link
+  in
+  let byzantine = if silent then Core.Runner.silent_f cfg else [] in
+  let spec =
+    Core.Runner.spec ~cfg ~link ~seed ~load ~duration:(span_of_sec duration)
+      ~warmup:(span_of_sec warmup) ~byzantine
+      ?stop_leader_at:(Option.map span_of_sec stop_leader)
+      ?client_resend_timeout:(Option.map span_of_sec resend)
+      ?gst:(Option.map span_of_sec gst) ()
+  in
+  Format.printf "running Leopard: %a, load %.0f req/s, %.0fs (+%d silent Byzantine)@."
+    Core.Config.pp cfg load duration (List.length byzantine);
+  let r = Core.Runner.run spec in
+  Format.printf "throughput:       %.0f req/s@." r.Core.Runner.throughput;
+  Format.printf "goodput:          %.1f Mbps@." (r.Core.Runner.goodput_bps /. 1e6);
+  Format.printf "offered/confirmed %d/%d@." r.Core.Runner.offered r.Core.Runner.confirmed;
+  Format.printf "latency:          %a@." Stats.Histogram.pp_summary r.Core.Runner.latency;
+  Format.printf "leader traffic:   %.1f Mbps@." (r.Core.Runner.leader_bps /. 1e6);
+  Format.printf "executed blocks:  %d@." r.Core.Runner.executed_blocks;
+  Format.printf "final view:       %d (view changes: %d)@." r.Core.Runner.final_view
+    r.Core.Runner.view_changes;
+  (match r.Core.Runner.vc_trigger_to_entry with
+   | Some s -> Format.printf "view change took: %.2f s, %.2f MB@." s
+                 (float_of_int r.Core.Runner.vc_bytes /. 1e6)
+   | None -> ());
+  Format.printf "safety:           %b@." r.Core.Runner.safety_ok;
+  Format.printf "all confirmed:    %b@." r.Core.Runner.all_confirmed;
+  if verbose then begin
+    pp_bandwidth_view "leader" r.Core.Runner.leader;
+    pp_bandwidth_view "non-leader" r.Core.Runner.non_leader;
+    List.iter
+      (fun (stage, secs) -> Format.printf "stage %-22s %.1f request-seconds@." stage secs)
+      r.Core.Runner.stage_seconds
+  end;
+  if r.Core.Runner.safety_ok then `Ok () else `Error (false, "safety violated")
+
+(* ---------------- hotstuff ---------------- *)
+
+let hotstuff_run n load duration warmup batch payload seed bandwidth_mbps =
+  let cfg = Hotstuff.Hs_config.make ~n ~batch_size:batch ~payload () in
+  let link =
+    match bandwidth_mbps with
+    | Some mb -> Net.Network.{ default_link with out_bps = mbps mb; in_bps = mbps mb }
+    | None -> Net.Network.default_link
+  in
+  let spec =
+    Hotstuff.Hs_runner.spec ~cfg ~link ~seed ~load ~duration:(span_of_sec duration)
+      ~warmup:(span_of_sec warmup) ()
+  in
+  Format.printf "running HotStuff: n=%d batch=%d, load %.0f req/s, %.0fs@." n batch load duration;
+  let r = Hotstuff.Hs_runner.run spec in
+  Format.printf "throughput:       %.0f req/s@." r.Hotstuff.Hs_runner.throughput;
+  Format.printf "offered/confirmed %d/%d@." r.Hotstuff.Hs_runner.offered
+    r.Hotstuff.Hs_runner.confirmed;
+  Format.printf "latency:          %a@." Stats.Histogram.pp_summary r.Hotstuff.Hs_runner.latency;
+  Format.printf "leader traffic:   %.2f Gbps@." (r.Hotstuff.Hs_runner.leader_bps /. 1e9);
+  Format.printf "committed blocks: %d@." r.Hotstuff.Hs_runner.committed_heights;
+  Format.printf "safety:           %b@." r.Hotstuff.Hs_runner.safety_ok;
+  if r.Hotstuff.Hs_runner.safety_ok then `Ok () else `Error (false, "safety violated")
+
+(* ---------------- pbft ---------------- *)
+
+let pbft_run n load duration warmup batch payload seed =
+  let cfg = Pbft.make_cfg ~n ~batch_size:batch ~payload () in
+  let spec =
+    Pbft.spec ~cfg ~seed ~load ~duration:(span_of_sec duration) ~warmup:(span_of_sec warmup) ()
+  in
+  Format.printf "running PBFT: n=%d batch=%d, load %.0f req/s, %.0fs@." n batch load duration;
+  let r = Pbft.run spec in
+  Format.printf "throughput:       %.0f req/s@." r.Pbft.throughput;
+  Format.printf "offered/confirmed %d/%d@." r.Pbft.offered r.Pbft.confirmed;
+  Format.printf "latency:          %a@." Stats.Histogram.pp_summary r.Pbft.latency;
+  Format.printf "leader traffic:   %.2f Gbps@." (r.Pbft.leader_bps /. 1e9);
+  Format.printf "safety:           %b@." r.Pbft.safety_ok;
+  if r.Pbft.safety_ok then `Ok () else `Error (false, "safety violated")
+
+(* ---------------- shard ---------------- *)
+
+let shard_run rho target =
+  let n = Analysis.Shard_prob.min_shard_size ~rho ~target in
+  Format.printf "network Byzantine fraction rho = %.3f@." rho;
+  Format.printf "committee failure target        = %.1e@." target;
+  Format.printf "minimum committee size          = %d replicas@." n;
+  Format.printf "failure probability at that n   = %.3e@."
+    (Analysis.Shard_prob.failure_probability ~rho ~n);
+  `Ok ()
+
+(* ---------------- sf ---------------- *)
+
+let sf_run n payload =
+  let alpha, bft = Core.Config.paper_batch_sizes ~n in
+  let alpha_bytes = float_of_int (alpha * payload) in
+  let beta = float_of_int Crypto.Hash.size_bytes in
+  Format.printf "n = %d (Table 2: alpha = %d requests, BFTsize = %d)@." n alpha bft;
+  Format.printf "Leopard scaling factor:   %.3f@."
+    (Core.Scaling_factor.leopard_sf ~alpha_bytes ~beta ~n);
+  Format.printf "HotStuff scaling factor:  %.0f@." (Core.Scaling_factor.hotstuff_sf ~n);
+  Format.printf "Leopard cost-effectiveness:  %.3f@."
+    (Core.Scaling_factor.leopard_cost_effectiveness ~alpha_bytes ~beta);
+  Format.printf "HotStuff cost-effectiveness: %.5f@."
+    (Core.Scaling_factor.hotstuff_cost_effectiveness ~n);
+  `Ok ()
+
+(* ---------------- terms ---------------- *)
+
+let n_arg = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Number of replicas (3f+1).")
+let load_arg = Arg.(value & opt float 50_000. & info [ "load" ] ~doc:"Offered load, requests/s.")
+let duration_arg = Arg.(value & opt float 15. & info [ "duration" ] ~doc:"Simulated seconds.")
+let warmup_arg = Arg.(value & opt float 4. & info [ "warmup" ] ~doc:"Warmup seconds excluded from rates.")
+let payload_arg = Arg.(value & opt int 128 & info [ "payload" ] ~doc:"Request payload bytes.")
+let seed_arg = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Simulation seed.")
+let bw_arg =
+  Arg.(value & opt (some float) None & info [ "bandwidth" ] ~doc:"Per-replica bandwidth, Mbps.")
+
+let run_cmd =
+  let alpha = Arg.(value & opt (some int) None & info [ "alpha" ] ~doc:"Datablock size, requests.") in
+  let bft_size = Arg.(value & opt (some int) None & info [ "bft-size" ] ~doc:"Datablocks per BFTblock.") in
+  let silent =
+    Arg.(value & flag & info [ "silent-byzantine" ] ~doc:"Run with f silent Byzantine replicas.")
+  in
+  let stop_leader =
+    Arg.(value & opt (some float) None & info [ "stop-leader" ] ~doc:"Fail-stop the leader at this second.")
+  in
+  let resend =
+    Arg.(value & opt (some float) None & info [ "resend" ] ~doc:"Client re-send timeout, seconds.")
+  in
+  let gst = Arg.(value & opt (some float) None & info [ "gst" ] ~doc:"GST: adversarial delays before it.") in
+  let db_timeout =
+    Arg.(value & opt float 0.5
+         & info [ "datablock-timeout" ]
+             ~doc:"Pack a partial datablock after this many seconds (0 = pure Algorithm 1).")
+  in
+  let prop_timeout =
+    Arg.(value & opt float 0.5
+         & info [ "proposal-timeout" ]
+             ~doc:"Leader short-timer: propose a partial BFTblock after this many seconds (0 = off).")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print bandwidth breakdowns.") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a Leopard cluster on the simulator")
+    Term.(
+      ret
+        (const leopard_run $ n_arg $ load_arg $ duration_arg $ warmup_arg $ alpha $ bft_size
+        $ payload_arg $ silent $ stop_leader $ resend $ gst $ seed_arg $ bw_arg $ db_timeout
+        $ prop_timeout $ verbose))
+
+let hotstuff_cmd =
+  let batch = Arg.(value & opt int 800 & info [ "batch" ] ~doc:"Requests per block.") in
+  Cmd.v
+    (Cmd.info "hotstuff" ~doc:"Run the chained-HotStuff baseline")
+    Term.(
+      ret
+        (const hotstuff_run $ n_arg $ load_arg $ duration_arg $ warmup_arg $ batch $ payload_arg
+        $ seed_arg $ bw_arg))
+
+let pbft_cmd =
+  let batch = Arg.(value & opt int 400 & info [ "batch" ] ~doc:"Requests per block.") in
+  Cmd.v
+    (Cmd.info "pbft" ~doc:"Run the PBFT-style all-to-all baseline")
+    Term.(
+      ret
+        (const pbft_run $ n_arg $ load_arg $ duration_arg $ warmup_arg $ batch $ payload_arg
+        $ seed_arg))
+
+let shard_cmd =
+  let rho = Arg.(value & opt float 0.25 & info [ "rho" ] ~doc:"Byzantine fraction in the network.") in
+  let target = Arg.(value & opt float 1e-6 & info [ "target" ] ~doc:"Committee failure target.") in
+  Cmd.v
+    (Cmd.info "shard" ~doc:"Size a shard committee (Table 1 math)")
+    Term.(ret (const shard_run $ rho $ target))
+
+let sf_cmd =
+  Cmd.v
+    (Cmd.info "sf" ~doc:"Print scaling factors and cost-effectiveness (§5.2)")
+    Term.(ret (const sf_run $ n_arg $ payload_arg))
+
+let () =
+  let info =
+    Cmd.info "leopard" ~version:"1.0.0"
+      ~doc:"Leopard BFT (ICDCS 2022) reproduction on a deterministic network simulator"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; hotstuff_cmd; pbft_cmd; shard_cmd; sf_cmd ]))

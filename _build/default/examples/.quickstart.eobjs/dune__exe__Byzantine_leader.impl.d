@@ -1,0 +1,1 @@
+examples/byzantine_leader.ml: Core Format Hashtbl List Net Sim

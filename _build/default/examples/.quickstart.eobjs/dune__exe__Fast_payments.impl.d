@@ -1,0 +1,1 @@
+examples/fast_payments.ml: Array Core Crypto Format List Net Sim Stats Workload

@@ -1,0 +1,1 @@
+examples/fast_payments.mli:

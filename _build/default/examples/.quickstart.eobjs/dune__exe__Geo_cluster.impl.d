@@ -1,0 +1,1 @@
+examples/geo_cluster.ml: Core Format Net Sim Sim_time Stats

@@ -1,0 +1,1 @@
+examples/shard_sizing.ml: Analysis Core Format List Sim Stats

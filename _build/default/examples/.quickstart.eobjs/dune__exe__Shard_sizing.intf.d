@@ -1,0 +1,1 @@
+examples/shard_sizing.mli:

@@ -1,0 +1,1 @@
+lib/analysis/binomial.mli:

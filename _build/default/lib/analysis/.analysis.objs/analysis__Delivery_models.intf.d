@@ -1,0 +1,1 @@
+lib/analysis/delivery_models.mli:

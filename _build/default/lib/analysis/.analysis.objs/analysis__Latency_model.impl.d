@@ -1,0 +1,1 @@
+lib/analysis/latency_model.ml: Format

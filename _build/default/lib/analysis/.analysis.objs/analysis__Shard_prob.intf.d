@@ -1,0 +1,1 @@
+lib/analysis/shard_prob.mli:

@@ -1,0 +1,52 @@
+let table = ref [| 0.0 |] (* log_factorial.(i) = ln(i!) *)
+
+let ensure n =
+  let len = Array.length !table in
+  if n >= len then begin
+    let nlen = max (n + 1) (2 * len) in
+    let t = Array.make nlen 0.0 in
+    Array.blit !table 0 t 0 len;
+    for i = len to nlen - 1 do
+      t.(i) <- t.(i - 1) +. log (float_of_int i)
+    done;
+    table := t
+  end
+
+let log_factorial n =
+  assert (n >= 0);
+  ensure n;
+  !table.(n)
+
+let log_choose n k =
+  if k < 0 || k > n then neg_infinity
+  else log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+let log_pmf ~n ~p k =
+  if p <= 0. then (if k = 0 then 0. else neg_infinity)
+  else if p >= 1. then (if k = n then 0. else neg_infinity)
+  else log_choose n k +. (float_of_int k *. log p) +. (float_of_int (n - k) *. log (1. -. p))
+
+let pmf ~n ~p k = exp (log_pmf ~n ~p k)
+
+let cdf ~n ~p k =
+  if k < 0 then 0.
+  else if k >= n then 1.
+  else begin
+    let acc = ref 0. in
+    for i = 0 to k do
+      acc := !acc +. pmf ~n ~p i
+    done;
+    Float.min 1.0 !acc
+  end
+
+let tail_above ~n ~p k =
+  if k >= n then 0.
+  else if k < 0 then 1.
+  else begin
+    (* Sum the upper side directly: it is the small one in Table 1. *)
+    let acc = ref 0. in
+    for i = k + 1 to n do
+      acc := !acc +. pmf ~n ~p i
+    done;
+    Float.min 1.0 !acc
+  end

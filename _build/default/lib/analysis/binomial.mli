@@ -1,0 +1,20 @@
+(** Binomial tail probabilities in log space.
+
+    Exact log-factorials (cumulative sums) keep the tiny tails of
+    Table 1 (down to 10^-14) accurate where naive products underflow. *)
+
+val log_factorial : int -> float
+(** ln(n!). Requires [n >= 0]. *)
+
+val log_choose : int -> int -> float
+(** ln(C(n, k)); [neg_infinity] when [k < 0 || k > n]. *)
+
+val pmf : n:int -> p:float -> int -> float
+(** P[X = k] for X ~ Binomial(n, p). *)
+
+val cdf : n:int -> p:float -> int -> float
+(** P[X <= k]. *)
+
+val tail_above : n:int -> p:float -> int -> float
+(** P[X > k] = 1 − CDF(k), computed by summing the smaller side for
+    accuracy. *)

@@ -1,0 +1,55 @@
+type t = {
+  leader_egress_per_bit : float;
+  replica_egress_per_bit : float;
+  delivery_hops : float;
+  coverage : float;
+  cpu_overhead_per_bit : float;
+}
+
+let direct_leader ~n =
+  { leader_egress_per_bit = float_of_int (n - 1);
+    replica_egress_per_bit = 0.;
+    delivery_hops = 1.;
+    coverage = 1.;
+    cpu_overhead_per_bit = 0. }
+
+let leopard_decoupled ~n ~alpha_bytes ~beta =
+  { leader_egress_per_bit = beta *. float_of_int (n - 1) /. alpha_bytes;
+    replica_egress_per_bit = 1.;
+    (* each replica ships its Λ/(n−1) share to n−1 peers: Λ per second *)
+    delivery_hops = 1.;
+    coverage = 1.;
+    cpu_overhead_per_bit = 0. }
+
+let erasure_coded ~n ~code_rate_inv ~byz_fraction =
+  ignore n;
+  ignore byz_fraction;
+  { leader_egress_per_bit = code_rate_inv;
+    replica_egress_per_bit = code_rate_inv;
+    delivery_hops = 2.;
+    (* disperse, then reconstruct/forward *)
+    coverage = 1.;
+    (* tolerates up to 1/3 Byzantine by code redundancy *)
+    cpu_overhead_per_bit = 2. *. code_rate_inv (* encode at source, decode at each receiver *) }
+
+let broadcast_tree ~n ~fanout ~byz_fraction =
+  assert (fanout >= 2);
+  (* Expected fraction of nodes reachable through all-honest ancestor
+     chains in a complete fanout-ary tree with an honest root (the
+     sender): a node at depth d has d - 1 inner ancestors below the
+     root, each honest with probability 1 - ρ. *)
+  let rec count_levels remaining d acc_nodes acc_reach =
+    if remaining <= 0 then (acc_nodes, acc_reach)
+    else
+      let level_size = min remaining (int_of_float (float_of_int fanout ** float_of_int d)) in
+      let reach = float_of_int level_size *. ((1. -. byz_fraction) ** float_of_int (max 0 (d - 1))) in
+      count_levels (remaining - level_size) (d + 1)
+        (acc_nodes + level_size) (acc_reach +. reach)
+  in
+  let nodes, reached = count_levels (n - 1) 1 0 0. in
+  let depth = ceil (log (float_of_int n) /. log (float_of_int fanout)) in
+  { leader_egress_per_bit = float_of_int fanout;
+    replica_egress_per_bit = float_of_int fanout;
+    delivery_hops = depth;
+    coverage = (if nodes = 0 then 1. else reached /. float_of_int nodes);
+    cpu_overhead_per_bit = 0. }

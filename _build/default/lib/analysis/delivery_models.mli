@@ -1,0 +1,39 @@
+(** Cost models of data-delivery alternatives (§2's comparison).
+
+    The paper argues for decoupled datablock dissemination over two other
+    load-balancing techniques: erasure-coded broadcast and broadcast
+    trees. These closed-form models back the ablation benches: per-bit
+    egress at the bottleneck replica, delivery depth in hops, and
+    fault-robustness of coverage. *)
+
+type t = {
+  leader_egress_per_bit : float;
+      (** bits sent by the most-loaded node per pending bit delivered *)
+  replica_egress_per_bit : float;   (** same for an average other replica *)
+  delivery_hops : float;            (** propagation depth until all replicas hold the bit *)
+  coverage : float;
+      (** expected fraction of honest replicas that receive the data when
+          Byzantine nodes ([byz_fraction] of the population) drop instead
+          of forwarding *)
+  cpu_overhead_per_bit : float;
+      (** extra coding work (normalized; 0 = none, erasure coding pays
+          encode+decode proportional to the code expansion) *)
+}
+
+val direct_leader : n:int -> t
+(** The leader sends every bit to every replica (HotStuff-style):
+    [n − 1] per bit at the leader. *)
+
+val leopard_decoupled : n:int -> alpha_bytes:float -> beta:float -> t
+(** Non-leaders each carry Λ/(n−1); the leader ships hashes only. *)
+
+val erasure_coded : n:int -> code_rate_inv:float -> byz_fraction:float -> t
+(** Reliable broadcast via (n, n/c)-erasure coding: every replica
+    (including the source) sends ~c bits per bit; tolerant to 1/3 faults;
+    pays encode/decode CPU. [code_rate_inv] is c > 1 (Reed–Solomon: 2). *)
+
+val broadcast_tree : n:int -> fanout:int -> byz_fraction:float -> t
+(** A fanout-ary tree: per-node egress is [fanout] per bit, delivery
+    takes ⌈log_fanout n⌉ hops, and a Byzantine inner node severs its
+    whole subtree — coverage is the expected fraction of nodes whose
+    ancestors are all honest. *)

@@ -1,0 +1,24 @@
+type t = {
+  datablock_fill : float;
+  bftblock_fill : float;
+  network : float;
+  total : float;
+}
+
+let leopard ~n ~load ~alpha ~bft_size ~delta =
+  assert (n > 1 && load > 0. && alpha > 0 && bft_size > 0 && delta >= 0.);
+  (* Per-replica arrival: load / (n - 1); a datablock fills in
+     alpha / that. The request arrives uniformly within the fill window,
+     so it waits half of it on average; likewise the datablock waits half
+     the BFTblock accumulation window (all n - 1 producers feed it, so
+     the window is bft_size * alpha / load). *)
+  let per_replica = load /. float_of_int (n - 1) in
+  let datablock_fill = 0.5 *. (float_of_int alpha /. per_replica) in
+  let bftblock_fill = 0.5 *. (float_of_int (bft_size * alpha) /. load) in
+  let network = 7. *. delta in
+  { datablock_fill; bftblock_fill; network;
+    total = datablock_fill +. bftblock_fill +. network }
+
+let pp fmt t =
+  Format.fprintf fmt "db-fill %.3fs + bft-fill %.3fs + 7delta %.3fs = %.3fs" t.datablock_fill
+    t.bftblock_fill t.network t.total

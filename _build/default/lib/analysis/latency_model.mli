@@ -1,0 +1,27 @@
+(** Closed-form confirmation-latency model for Leopard.
+
+    Explains Fig 9 (right): under the optimistic case a request's
+    confirmation latency decomposes into batching delay — waiting for
+    its datablock to fill with α requests at the per-replica arrival
+    rate, then for the leader to accumulate BFTsize datablocks — plus
+    the paper's 7δ of network hops (§5.2). With Table 2's α growing in
+    [n], batching dominates and latency rises with scale while
+    throughput stays flat. *)
+
+type t = {
+  datablock_fill : float;   (** expected wait for the datablock to fill, s *)
+  bftblock_fill : float;    (** expected wait for the proposal to fill, s *)
+  network : float;          (** the 7δ responsive path, s *)
+  total : float;
+}
+
+val leopard :
+  n:int -> load:float -> alpha:int -> bft_size:int -> delta:float -> t
+(** [leopard ~n ~load ~alpha ~bft_size ~delta] models a uniform arrival
+    of [load] requests/s spread over [n - 1] datablock producers with
+    one-way network delay [delta] seconds. A request waits on average
+    half its datablock's fill time (α·(n−1)/load), then the datablock
+    waits on average half the proposal accumulation time
+    (BFTsize·α/load), then 7δ. Requires positive arguments. *)
+
+val pp : Format.formatter -> t -> unit

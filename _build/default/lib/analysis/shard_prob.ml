@@ -1,0 +1,12 @@
+let failure_probability ~rho ~n = Binomial.tail_above ~n ~p:rho ((n - 1) / 3)
+
+let table1_columns = [ 16; 32; 64; 128; 256; 400; 600 ]
+
+let table1 () =
+  List.map
+    (fun rho -> (rho, List.map (fun n -> (n, failure_probability ~rho ~n)) table1_columns))
+    [ 0.25; 0.20 ]
+
+let min_shard_size ~rho ~target =
+  let rec go n = if failure_probability ~rho ~n <= target then n else go (n + 1) in
+  go 4

@@ -1,0 +1,18 @@
+(** Shard-sampling failure probability (Table 1, §2).
+
+    When a shard of [n] replicas is sampled uniformly from a network with
+    a fraction ρ of Byzantine nodes, the shard's BFT instance is unsafe
+    when more than ⌊(n−1)/3⌋ of its members are Byzantine. This module
+    computes that probability — the paper's argument for why shards need
+    multiple hundreds of members, i.e. why a scalable base BFT protocol
+    is a prerequisite for sharding. *)
+
+val failure_probability : rho:float -> n:int -> float
+(** P[X > ⌊(n−1)/3⌋] with X ~ Binomial(n, ρ). *)
+
+val table1 : unit -> (float * (int * float) list) list
+(** The paper's Table 1: rows ρ ∈ {1/4, 1/5}, columns
+    n ∈ {16, 32, 64, 128, 256, 400, 600}. *)
+
+val min_shard_size : rho:float -> target:float -> int
+(** Smallest [n] whose failure probability is below [target]. *)

@@ -1,0 +1,1 @@
+lib/core/core.ml: Bftblock Byzantine Codec Config Datablock Datablock_pool Ledger Mempool Msg Quorum Replica Runner Scaling_factor

@@ -1,0 +1,1 @@
+lib/core/bftblock.ml: Crypto Format List Printf

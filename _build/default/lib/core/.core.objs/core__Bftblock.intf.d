@@ -1,0 +1,1 @@
+lib/core/bftblock.mli: Crypto Format

@@ -1,0 +1,1 @@
+lib/core/byzantine.ml: Format Sim

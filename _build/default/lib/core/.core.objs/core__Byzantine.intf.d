@@ -1,0 +1,1 @@
+lib/core/byzantine.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/core/codec.ml: Bftblock Buffer Char Crypto Datablock Int64 List Msg Option String Workload

@@ -1,0 +1,1 @@
+lib/core/codec.mli: Bftblock Datablock Msg Workload

@@ -1,0 +1,1 @@
+lib/core/config.ml: Crypto Format Option Sim Sim_time

@@ -1,0 +1,1 @@
+lib/core/datablock.ml: Array Crypto Format List Net Printf Sim Workload

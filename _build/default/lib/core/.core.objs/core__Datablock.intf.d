@@ -1,0 +1,1 @@
+lib/core/datablock.mli: Crypto Format Net Sim Workload

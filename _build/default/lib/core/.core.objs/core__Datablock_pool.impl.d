@@ -1,0 +1,1 @@
+lib/core/datablock_pool.ml: Crypto Datablock Hashtbl List Net Option Queue

@@ -1,0 +1,1 @@
+lib/core/datablock_pool.mli: Crypto Datablock Net

@@ -1,0 +1,1 @@
+lib/core/ledger.ml: Bftblock Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/mempool.ml: List Queue Request Sim Workload

@@ -1,0 +1,1 @@
+lib/core/mempool.mli: Sim Workload

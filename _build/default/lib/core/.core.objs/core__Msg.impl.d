@@ -1,0 +1,1 @@
+lib/core/msg.ml: Bftblock Crypto Datablock Format List Net Printf String

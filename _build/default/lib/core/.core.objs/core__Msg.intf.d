@@ -1,0 +1,1 @@
+lib/core/msg.mli: Bftblock Crypto Datablock Format Net

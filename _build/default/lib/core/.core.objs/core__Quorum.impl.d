@@ -1,0 +1,1 @@
+lib/core/quorum.ml: Crypto List

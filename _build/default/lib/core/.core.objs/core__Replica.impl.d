@@ -1,0 +1,1 @@
+lib/core/replica.ml: Array Bftblock Byzantine Config Crypto Datablock Datablock_pool Engine Hashtbl Int64 Ledger List Mempool Msg Net Printf Quorum Sim Sim_time Trace Workload

@@ -1,0 +1,1 @@
+lib/core/replica.mli: Bftblock Byzantine Config Crypto Datablock Datablock_pool Ledger Msg Net Sim Workload

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Bftblock Byzantine Config Crypto Datablock Datablock_pool Engine Float Fun Hashtbl Int64 Ledger List Msg Net Replica Rng Sim Sim_time Stats Trace Workload

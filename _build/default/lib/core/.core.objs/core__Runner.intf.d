@@ -1,0 +1,1 @@
+lib/core/runner.mli: Byzantine Config Msg Net Replica Sim Stats Workload

@@ -1,0 +1,1 @@
+lib/core/scaling_factor.mli:

@@ -1,0 +1,31 @@
+type t = {
+  view : int;
+  sn : int;
+  links : Crypto.Hash.t list;
+  dummy : bool;
+  hash_memo : Crypto.Hash.t;
+}
+
+let compute_hash ~sn ~links ~dummy =
+  Crypto.Hash.of_strings
+    (Printf.sprintf "bftblock:%d:%b" sn dummy :: List.map Crypto.Hash.raw links)
+
+let create ~view ~sn ~links =
+  { view; sn; links; dummy = false; hash_memo = compute_hash ~sn ~links ~dummy:false }
+
+let dummy ~view ~sn =
+  { view; sn; links = []; dummy = true; hash_memo = compute_hash ~sn ~links:[] ~dummy:true }
+
+let hash t = t.hash_memo
+let with_view t view = { t with view }
+
+let wire_size t = 24 + (Crypto.Hash.size_bytes * List.length t.links)
+
+let equal_content a b =
+  a.sn = b.sn && a.dummy = b.dummy
+  && List.length a.links = List.length b.links
+  && List.for_all2 Crypto.Hash.equal a.links b.links
+
+let pp fmt t =
+  if t.dummy then Format.fprintf fmt "bftblock(v%d sn%d dummy)" t.view t.sn
+  else Format.fprintf fmt "bftblock(v%d sn%d %d links)" t.view t.sn (List.length t.links)

@@ -1,0 +1,35 @@
+(** BFTblocks (§4.2): what agreement instances decide on.
+
+    A BFTblock ⟨BFTblock, (v, sn), ct⟩ carries only the hashes of the
+    datablocks it confirms — the decoupling that keeps the leader's
+    per-request egress at β/α of the payload instead of the payload
+    itself. Dummy blocks fill serial-number gaps after a view change. *)
+
+type t = private {
+  view : int;             (** view in which the block was created *)
+  sn : int;               (** serial number, assigned by the leader *)
+  links : Crypto.Hash.t list; (** ct: hashes of the linked datablocks *)
+  dummy : bool;           (** gap filler with empty content (§4.3) *)
+  hash_memo : Crypto.Hash.t;  (** memoized {!hash} (view-independent) *)
+}
+
+val with_view : t -> int -> t
+(** The same block re-proposed in a later view (redo after a view
+    change); content hash is unchanged. *)
+
+val create : view:int -> sn:int -> links:Crypto.Hash.t list -> t
+val dummy : view:int -> sn:int -> t
+
+val hash : t -> Crypto.Hash.t
+(** [H(m)]: what the first voting round signs. The view is excluded so a
+    block re-proposed after a view change (same [sn], same content) keeps
+    its identity across views, as required by Lemma 5.2. *)
+
+val wire_size : t -> int
+(** Bytes on the wire: fixed fields plus 32 per link. *)
+
+val equal_content : t -> t -> bool
+(** Same serial number and links (ignores view), the equality of
+    Lemma 5.2. *)
+
+val pp : Format.formatter -> t -> unit

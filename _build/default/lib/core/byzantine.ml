@@ -1,0 +1,17 @@
+type t =
+  | Honest
+  | Silent
+  | Equivocate_datablocks
+  | Censor
+  | Crash_at of Sim.Sim_time.t
+
+let is_byzantine = function
+  | Honest -> false
+  | Silent | Equivocate_datablocks | Censor | Crash_at _ -> true
+
+let pp fmt = function
+  | Honest -> Format.pp_print_string fmt "honest"
+  | Silent -> Format.pp_print_string fmt "silent"
+  | Equivocate_datablocks -> Format.pp_print_string fmt "equivocator"
+  | Censor -> Format.pp_print_string fmt "censor"
+  | Crash_at at -> Format.fprintf fmt "crash@%a" Sim.Sim_time.pp at

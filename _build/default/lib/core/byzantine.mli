@@ -1,0 +1,25 @@
+(** Byzantine replica strategies.
+
+    The evaluation runs with the Byzantine replica number touching the
+    1/3 resilience bound (§6.2); these strategies control what faulty
+    replicas do. All are implemented inside {!Replica} — a Byzantine
+    replica runs the same state machine with adversarial deviations. *)
+
+type t =
+  | Honest
+  | Silent
+      (** sends nothing at all — the strongest *omission* fault for vote
+          quorums: with [f] silent replicas exactly [2f + 1] voters remain *)
+  | Equivocate_datablocks
+      (** emits pairs of different datablocks under the same counter,
+          split across the replica set, and both to the leader — the
+          attack the counter check of Algorithm 1 line 18 defends against *)
+  | Censor
+      (** accepts client requests but never packs them into datablocks —
+          the censorship attack countered by client re-sends (§4.1) *)
+  | Crash_at of Sim.Sim_time.t
+      (** honest until the given instant, then fail-stop (used to stop
+          leaders for the view-change experiments, §6.2.4) *)
+
+val is_byzantine : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** Binary wire/persistence codec for Leopard's protocol values.
+
+    A compact, deterministic, length-delimited binary format for every
+    protocol message, so transcripts can be persisted and replayed, and
+    state can be shipped across process boundaries. Signatures, shares
+    and aggregates round-trip byte-faithfully: {!Datablock.verify} and
+    the threshold checks give the same verdict on a decoded value as on
+    the original (decoding cannot mint valid credentials).
+
+    All [decode_*] functions are total: they return [None] on truncated
+    or malformed input instead of raising.
+
+    Note on sizes: the simulator's {!Msg.wire_size} models transit sizes
+    (64-byte ECDSA, 48-byte BLS points, payload bytes); this codec
+    serializes the *control representation* (request payloads are
+    synthetic in the simulator), so encoded lengths are smaller. *)
+
+val encode_batch : Workload.Request.t -> string
+val decode_batch : string -> Workload.Request.t option
+
+val encode_datablock : Datablock.t -> string
+val decode_datablock : string -> Datablock.t option
+
+val encode_bftblock : Bftblock.t -> string
+val decode_bftblock : string -> Bftblock.t option
+
+val encode_msg : Msg.t -> string
+val decode_msg : string -> Msg.t option
+
+(** {2 Structural equality for round-trip checks}
+
+    Runtime-only state (a batch's confirmation ref identity) is ignored;
+    everything on the wire must match. *)
+
+val batch_equal : Workload.Request.t -> Workload.Request.t -> bool
+val datablock_equal : Datablock.t -> Datablock.t -> bool
+val msg_equal : Msg.t -> Msg.t -> bool

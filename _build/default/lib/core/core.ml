@@ -1,0 +1,52 @@
+(** Leopard: high throughput-preserving BFT for large-scale systems.
+
+    The paper's contribution (ICDCS 2022), on the simulation substrates
+    of [Sim], [Net], [Crypto] and [Workload]. The protocol decouples
+    data delivery from agreement: non-leader replicas disseminate
+    {!Datablock}s, the leader proposes hash-only {!Bftblock}s, and up to
+    [k] two-round agreement instances run in parallel behind watermarks,
+    with checkpoints and a PBFT-style view change.
+
+    Start with {!Runner} (whole-cluster experiments) or {!Replica} (the
+    state machine itself); {!Config} carries every protocol parameter. *)
+
+module Config = Config
+(** Protocol parameters: α, BFTsize, [k], timers, cost model, ablation
+    knobs (§4, Table 2). *)
+
+module Datablock = Datablock
+(** Request packages from non-leader replicas (Algorithm 1, §4.2). *)
+
+module Bftblock = Bftblock
+(** Hash-only consensus proposals (§4.2). *)
+
+module Mempool = Mempool
+(** Pending request batches at one replica. *)
+
+module Datablock_pool = Datablock_pool
+(** Verified datablocks, equivocation evidence, pending-link tracking. *)
+
+module Quorum = Quorum
+(** Threshold-share collection for one voting round. *)
+
+module Ledger = Ledger
+(** The log of confirmed BFTblocks with sequential execution. *)
+
+module Msg = Msg
+(** Wire messages, channel classes (§6.1) and signing payloads. *)
+
+module Codec = Codec
+(** Binary wire/persistence codec for the protocol values. *)
+
+module Byzantine = Byzantine
+(** Adversarial replica strategies. *)
+
+module Replica = Replica
+(** The Leopard replica state machine (§4), including checkpoints
+    (Algorithm 3) and the view-change protocol. *)
+
+module Runner = Runner
+(** Cluster orchestration and measurement. *)
+
+module Scaling_factor = Scaling_factor
+(** The paper's scaling-factor metric, analytic and measured (§5.2). *)

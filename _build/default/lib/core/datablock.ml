@@ -1,0 +1,71 @@
+type header = {
+  creator : Net.Node_id.t;
+  counter : int;
+  digest : Crypto.Hash.t;
+}
+
+type t = {
+  header : header;
+  batches : Workload.Request.t list;
+  req_count : int;
+  payload_bytes : int;
+  signature : Crypto.Signature.t;
+  created_at : Sim.Sim_time.t;
+  (* memoized at construction: recomputing the Merkle digest and wire
+     size at each of the n-1 receivers dominates simulation wallclock at
+     scale, and the simulated CPU cost is charged separately anyway *)
+  true_digest : Crypto.Hash.t;
+  wire_bytes : int;
+  hash_memo : Crypto.Hash.t;
+}
+
+let header_overhead_bytes = 48 (* creator + counter + digest *)
+
+let digest_of_batches batches = Crypto.Merkle.root (List.map Workload.Request.hash batches)
+
+let header_encoding h =
+  Printf.sprintf "dbhdr:%d:%d:%s" h.creator h.counter (Crypto.Hash.raw h.digest)
+
+let of_wire ~creator ~counter ~digest ~created_at ~signature batches =
+  assert (batches <> []);
+  let header = { creator; counter; digest } in
+  { header;
+    batches;
+    req_count = List.fold_left (fun acc b -> acc + b.Workload.Request.count) 0 batches;
+    payload_bytes = List.fold_left (fun acc b -> acc + Workload.Request.payload_bytes b) 0 batches;
+    signature;
+    created_at;
+    true_digest = digest_of_batches batches;
+    wire_bytes =
+      header_overhead_bytes + Crypto.Signature.size_bytes
+      + List.fold_left (fun acc b -> acc + Workload.Request.wire_bytes b) 0 batches;
+    hash_memo = Crypto.Hash.of_string (header_encoding header) }
+
+let make_with_digest ~sk ~creator ~counter ~now ~digest batches =
+  let header = { creator; counter; digest } in
+  of_wire ~creator ~counter ~digest ~created_at:now
+    ~signature:(Crypto.Signature.sign sk (header_encoding header))
+    batches
+
+let create ~sk ~creator ~counter ~now batches =
+  assert (batches <> []);
+  make_with_digest ~sk ~creator ~counter ~now ~digest:(digest_of_batches batches) batches
+
+let forge_with_bad_digest ~sk ~creator ~counter ~now batches =
+  assert (batches <> []);
+  make_with_digest ~sk ~creator ~counter ~now
+    ~digest:(Crypto.Hash.of_string "bogus digest") batches
+
+let verify ~pks t =
+  let h = t.header in
+  h.creator >= 0
+  && h.creator < Array.length pks
+  && Crypto.Hash.equal h.digest t.true_digest
+  && Crypto.Signature.verify pks.(h.creator) t.signature (header_encoding h)
+
+let hash t = t.hash_memo
+let wire_size t = t.wire_bytes
+
+let pp fmt t =
+  Format.fprintf fmt "datablock(%a#%d, %d reqs, %a)" Net.Node_id.pp t.header.creator
+    t.header.counter t.req_count Crypto.Hash.pp t.header.digest

@@ -1,0 +1,30 @@
+(** The memory pool (Fig. 4): pending request batches at one replica.
+
+    Non-leader replicas continually drain their mempool into datablocks
+    (Algorithm 1). Packed batches are removed to avoid repetition (line
+    12); batches confirmed elsewhere (possible when the client fan-out
+    [s > 1]) are skipped lazily. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Workload.Request.t -> unit
+
+val pending_requests : t -> int
+(** Requests currently poolable (confirmed batches may still be counted
+    until a take skips them). *)
+
+val is_empty : t -> bool
+
+val take : t -> target:int -> Workload.Request.t list
+(** [take t ~target] removes and returns whole batches totalling at least
+    [target] requests when available, fewer (possibly none) otherwise —
+    FIFO order, skipping already-confirmed batches. The result may
+    overshoot [target] by at most the last batch's size. *)
+
+val has_at_least : t -> int -> bool
+(** Whether a [take ~target] would reach its target. *)
+
+val oldest_age : t -> now:Sim.Sim_time.t -> Sim.Sim_time.span option
+(** Age of the oldest pending batch; drives the partial-pack timeout. *)

@@ -1,0 +1,163 @@
+type checkpoint_cert = {
+  cp_sn : int;
+  cp_state : Crypto.Hash.t;
+  cp_proof : Crypto.Threshold.aggregate;
+}
+
+type view_change = {
+  vc_new_view : int;
+  vc_sender : Net.Node_id.t;
+  vc_checkpoint : checkpoint_cert option;
+  vc_entries : (int * Bftblock.t * Crypto.Threshold.aggregate) list;
+  vc_signature : Crypto.Signature.t;
+}
+
+type new_view = {
+  nv_view : int;
+  nv_sender : Net.Node_id.t;
+  nv_vcs : view_change list;
+  nv_signature : Crypto.Signature.t;
+}
+
+type t =
+  | Datablock_msg of Datablock.t
+  | Propose of {
+      block : Bftblock.t;
+      leader_share : Crypto.Threshold.share;
+      justification : (int * Crypto.Threshold.aggregate) option;
+    }
+  | Prepare_vote of {
+      view : int;
+      sn : int;
+      block_hash : Crypto.Hash.t;
+      share : Crypto.Threshold.share;
+    }
+  | Notarization of {
+      view : int;
+      sn : int;
+      block_hash : Crypto.Hash.t;
+      proof : Crypto.Threshold.aggregate;
+    }
+  | Commit_vote of {
+      view : int;
+      sn : int;
+      notar_digest : Crypto.Hash.t;
+      share : Crypto.Threshold.share;
+    }
+  | Confirmation of {
+      view : int;
+      sn : int;
+      notar_digest : Crypto.Hash.t;
+      proof : Crypto.Threshold.aggregate;
+    }
+  | Checkpoint_vote of { cp_sn : int; cp_state : Crypto.Hash.t; share : Crypto.Threshold.share }
+  | Checkpoint_cert_msg of checkpoint_cert
+  | Timeout of { view : int; sender : Net.Node_id.t; signature : Crypto.Signature.t }
+  | View_change_msg of view_change
+  | New_view_msg of new_view
+  | Fetch of { hash : Crypto.Hash.t }
+  | Fetch_reply of Datablock.t
+
+(* -- Signing payloads ---------------------------------------------------- *)
+
+let prepare_payload ~view ~block_hash =
+  Printf.sprintf "leopard.prep:%d:%s" view (Crypto.Hash.raw block_hash)
+
+let notar_digest proof = Crypto.Hash.of_string (Crypto.Threshold.encode proof)
+
+let commit_payload ~view ~notar_digest =
+  Printf.sprintf "leopard.commit:%d:%s" view (Crypto.Hash.raw notar_digest)
+
+let checkpoint_payload ~cp_sn ~cp_state =
+  Printf.sprintf "leopard.cp:%d:%s" cp_sn (Crypto.Hash.raw cp_state)
+
+let timeout_payload ~view = Printf.sprintf "leopard.timeout:%d" view
+
+let checkpoint_cert_encoding = function
+  | None -> "none"
+  | Some c -> Printf.sprintf "%d:%s" c.cp_sn (Crypto.Hash.raw c.cp_state)
+
+let view_change_payload vc =
+  let entries =
+    List.map
+      (fun (v, b, proof) ->
+        Printf.sprintf "%d:%s:%s" v
+          (Crypto.Hash.raw (Bftblock.hash b))
+          (Crypto.Threshold.encode proof))
+      vc.vc_entries
+  in
+  String.concat "|"
+    (Printf.sprintf "leopard.vc:%d:%d" vc.vc_new_view vc.vc_sender
+     :: checkpoint_cert_encoding vc.vc_checkpoint
+     :: entries)
+
+let new_view_payload nv =
+  String.concat "|"
+    (Printf.sprintf "leopard.nv:%d:%d" nv.nv_view nv.nv_sender
+     :: List.map view_change_payload nv.nv_vcs)
+
+(* -- Network metadata ---------------------------------------------------- *)
+
+let header_bytes = 24 (* type tag, view, serial *)
+let share_bytes = Crypto.Threshold.share_size_bytes
+let agg_bytes = Crypto.Threshold.aggregate_size_bytes
+let hash_bytes = Crypto.Hash.size_bytes
+let sig_bytes = Crypto.Signature.size_bytes
+let cert_bytes = 8 + hash_bytes + agg_bytes
+
+let view_change_size vc =
+  header_bytes + sig_bytes
+  + (match vc.vc_checkpoint with Some _ -> cert_bytes | None -> 1)
+  + List.fold_left
+      (fun acc (_, b, _) -> acc + 8 + Bftblock.wire_size b + agg_bytes)
+      0 vc.vc_entries
+
+let wire_size = function
+  | Datablock_msg db | Fetch_reply db -> Datablock.wire_size db
+  | Propose { block; justification; _ } ->
+    header_bytes + Bftblock.wire_size block + share_bytes
+    + (match justification with Some _ -> 8 + agg_bytes | None -> 1)
+  | Prepare_vote _ | Commit_vote _ -> header_bytes + hash_bytes + share_bytes
+  | Notarization _ | Confirmation _ -> header_bytes + hash_bytes + agg_bytes
+  | Checkpoint_vote _ -> header_bytes + hash_bytes + share_bytes
+  | Checkpoint_cert_msg _ -> header_bytes + cert_bytes
+  | Timeout _ -> header_bytes + sig_bytes
+  | View_change_msg vc -> view_change_size vc
+  | New_view_msg nv ->
+    header_bytes + sig_bytes + List.fold_left (fun acc vc -> acc + view_change_size vc) 0 nv.nv_vcs
+  | Fetch _ -> header_bytes + hash_bytes
+
+let category = function
+  | Datablock_msg _ | Fetch_reply _ -> "datablock"
+  | Propose _ -> "proposal"
+  | Prepare_vote _ | Commit_vote _ | Checkpoint_vote _ -> "vote"
+  | Notarization _ | Confirmation _ | Checkpoint_cert_msg _ -> "proof"
+  | Timeout _ | View_change_msg _ | New_view_msg _ -> "viewchange"
+  | Fetch _ -> "fetch"
+
+let priority = function
+  | Datablock_msg _ | Fetch_reply _ -> Net.Nic.Low
+  | Propose _ | Prepare_vote _ | Notarization _ | Commit_vote _ | Confirmation _
+  | Checkpoint_vote _ | Checkpoint_cert_msg _ | Timeout _ | View_change_msg _
+  | New_view_msg _ | Fetch _ ->
+    Net.Nic.High
+
+let meta = Net.Network.{ size = wire_size; category; priority }
+
+let pp fmt = function
+  | Datablock_msg db -> Format.fprintf fmt "datablock %a" Datablock.pp db
+  | Propose { block; _ } -> Format.fprintf fmt "propose %a" Bftblock.pp block
+  | Prepare_vote { view; sn; _ } -> Format.fprintf fmt "prepare-vote v%d sn%d" view sn
+  | Notarization { view; sn; _ } -> Format.fprintf fmt "notarization v%d sn%d" view sn
+  | Commit_vote { view; sn; _ } -> Format.fprintf fmt "commit-vote v%d sn%d" view sn
+  | Confirmation { view; sn; _ } -> Format.fprintf fmt "confirmation v%d sn%d" view sn
+  | Checkpoint_vote { cp_sn; _ } -> Format.fprintf fmt "checkpoint-vote sn%d" cp_sn
+  | Checkpoint_cert_msg { cp_sn; _ } -> Format.fprintf fmt "checkpoint-cert sn%d" cp_sn
+  | Timeout { view; sender; _ } ->
+    Format.fprintf fmt "timeout v%d from %a" view Net.Node_id.pp sender
+  | View_change_msg vc ->
+    Format.fprintf fmt "view-change to v%d from %a (%d entries)" vc.vc_new_view Net.Node_id.pp
+      vc.vc_sender (List.length vc.vc_entries)
+  | New_view_msg nv -> Format.fprintf fmt "new-view v%d (%d vcs)" nv.nv_view (List.length nv.nv_vcs)
+  | Fetch { hash } -> Format.fprintf fmt "fetch %a" Crypto.Hash.pp hash
+  | Fetch_reply db -> Format.fprintf fmt "fetch-reply %a" Datablock.pp db

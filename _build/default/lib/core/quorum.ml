@@ -1,0 +1,36 @@
+type t = {
+  need : int;
+  mutable shares : Crypto.Threshold.share list;
+  mutable indices : int list;
+  mutable released : bool;
+}
+
+type outcome =
+  | Pending of int
+  | Ready of Crypto.Threshold.share list
+  | Already_done
+
+let create ~need =
+  assert (need >= 1);
+  { need; shares = []; indices = []; released = false }
+
+let count t = List.length t.indices
+let is_done t = t.released
+
+let add t share =
+  if t.released then Already_done
+  else begin
+    let idx = Crypto.Threshold.share_index share in
+    if List.mem idx t.indices then Pending (count t)
+    else begin
+      t.shares <- share :: t.shares;
+      t.indices <- idx :: t.indices;
+      if count t >= t.need then begin
+        t.released <- true;
+        let out = t.shares in
+        t.shares <- [];
+        Ready out
+      end
+      else Pending (count t)
+    end
+  end

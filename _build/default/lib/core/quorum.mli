@@ -1,0 +1,22 @@
+(** Threshold-share collection for one voting round.
+
+    The collector (the leader, §4.1) accumulates shares from distinct
+    members until the quorum [2f + 1] is reached, at which point the
+    shares are released exactly once for aggregation. *)
+
+type t
+
+val create : need:int -> t
+(** Requires [need >= 1]. *)
+
+type outcome =
+  | Pending of int          (** distinct shares so far, still below need *)
+  | Ready of Crypto.Threshold.share list
+      (** the quorum was just completed; returned exactly once *)
+  | Already_done            (** quorum was completed earlier *)
+
+val add : t -> Crypto.Threshold.share -> outcome
+(** Adds a share; duplicates (by member index) are ignored. *)
+
+val count : t -> int
+val is_done : t -> bool

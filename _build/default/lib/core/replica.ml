@@ -1,0 +1,1176 @@
+open Sim
+module Ts = Crypto.Threshold
+module Sig = Crypto.Signature
+module Hash = Crypto.Hash
+
+type hooks = {
+  on_execute : id:Net.Node_id.t -> sn:int -> Bftblock.t -> Datablock.t list -> unit;
+  on_view_change : id:Net.Node_id.t -> view:int -> unit;
+  on_view_change_trigger : id:Net.Node_id.t -> abandoned:int -> unit;
+  on_propose : id:Net.Node_id.t -> sn:int -> at:Sim_time.t -> unit;
+}
+
+let no_hooks =
+  { on_execute = (fun ~id:_ ~sn:_ _ _ -> ());
+    on_view_change = (fun ~id:_ ~view:_ -> ());
+    on_view_change_trigger = (fun ~id:_ ~abandoned:_ -> ());
+    on_propose = (fun ~id:_ ~sn:_ ~at:_ -> ()) }
+
+(* Per-serial agreement instance (Algorithm 2 executes many in parallel). *)
+type instance = {
+  sn : int;
+  mutable iview : int;                     (* view of the current attempt *)
+  mutable block : Bftblock.t option;
+  mutable voted_prepare : bool;
+  mutable voted_commit : bool;
+  mutable notarization : Ts.aggregate option;
+  mutable notarized_view : int;            (* view in which notarized *)
+  mutable confirmation : Ts.aggregate option;
+  (* leader-side collection *)
+  mutable prepare_quorum : Quorum.t option;
+  mutable commit_quorum : Quorum.t option;
+  (* out-of-order proof stash: with per-message network jitter a
+     notarization can arrive before its proposal, and a confirmation
+     before its notarization; they are replayed when the prerequisite
+     lands *)
+  mutable stashed_confirmation : (int * Hash.t * Ts.aggregate) option;
+}
+
+type t = {
+  engine : Engine.t;
+  network : Msg.t Net.Network.t;
+  cfg : Config.t;
+  id : Net.Node_id.t;
+  sk : Sig.private_key;
+  pks : Sig.public_key array;
+  tsetup : Ts.setup;
+  tkey : Ts.member_key;
+  strategy : Byzantine.t;
+  hooks : hooks;
+  trace : Trace.t;
+  cpu : Net.Cpu.t;
+  mempool : Mempool.t;
+  pool : Datablock_pool.t;
+  instances : (int, instance) Hashtbl.t;
+  ledger : Ledger.t;
+  mutable view : int;
+  mutable lw : int;                        (* low watermark *)
+  mutable next_sn : int;                   (* leader: next serial to assign *)
+  mutable db_counter : int;                (* datablock counter d *)
+  mutable state_hash : Hash.t;
+  mutable latest_checkpoint : Msg.checkpoint_cert option;
+  checkpoint_quorums : (int, Hash.t * Quorum.t) Hashtbl.t;
+  mutable executed_payload : int;
+  (* linked-by-executed-block datablocks, pruned at checkpoints *)
+  executed_links : int Hash.Table.t;       (* datablock hash -> executing sn *)
+  (* proposals waiting for datablock availability *)
+  waiting_propose : (int, Msg.t) Hashtbl.t;
+  mutable fetch_inflight : Hash.Set.t;
+  (* view change *)
+  mutable in_view_change : bool;
+  timeout_votes : (int, (Net.Node_id.t, unit) Hashtbl.t) Hashtbl.t;  (* view -> voter set *)
+  mutable sent_timeout_for : int;          (* highest view we voted to abandon *)
+  mutable vc_sent_for : int;               (* highest target view we sent a VC message for *)
+  mutable view_entered_at : Sim_time.t;    (* when the current view started *)
+  mutable last_execution_at : Sim_time.t;  (* progress marker for timeout grace *)
+  vc_msgs : (int, (Net.Node_id.t, Msg.view_change) Hashtbl.t) Hashtbl.t;
+  mutable new_view_sent_for : int;
+  (* watched (re-sent) requests driving the view-change trigger *)
+  watched : (int, Workload.Request.t * Sim_time.t) Hashtbl.t;
+      (* re-sent requests under observation, by batch id, with the
+         instant observation started *)
+  verified_notarizations : unit Hash.Table.t;
+      (* notarization proofs already verified — view-change and new-view
+         messages repeat the same proofs 2f+1 times, and re-verifying an
+         aggregate costs 10 ms of simulated BLS each time *)
+  mutable crashed : bool;
+  mutable last_partial_pack : Sim_time.t;
+  mutable last_partial_propose : Sim_time.t;
+  punished : (Net.Node_id.t, unit) Hashtbl.t;  (* kicked-out equivocators *)
+}
+
+let id t = t.id
+let view t = t.view
+let low_watermark t = t.lw
+let ledger t = t.ledger
+let state_hash t = t.state_hash
+let mempool_pending t = Mempool.pending_requests t.mempool
+let pool t = t.pool
+let datablocks_created t = t.db_counter - 1
+let in_view_change t = t.in_view_change
+let cpu t = t.cpu
+let executed_payload_bytes t = t.executed_payload
+
+let punished t = Hashtbl.fold (fun id () acc -> id :: acc) t.punished []
+
+let instance_debug t sn =
+  match Hashtbl.find_opt t.instances sn with
+  | None -> "no instance"
+  | Some i ->
+    Printf.sprintf
+      "iview=%d block=%b voted_prep=%b voted_commit=%b notarized=%b confirmed=%b stash=%b \
+       waiting=%b"
+      i.iview (i.block <> None) i.voted_prepare i.voted_commit (i.notarization <> None)
+      (i.confirmation <> None)
+      (i.stashed_confirmation <> None)
+      (Hashtbl.mem t.waiting_propose sn)
+
+let leader_of t v = Config.leader_of_view t.cfg v
+let is_leader_of t v = Net.Node_id.equal (leader_of t v) t.id
+let is_leader t = is_leader_of t t.view
+let quorum_size t = Config.quorum t.cfg
+
+let now t = Engine.now t.engine
+let tracef t tag fmt = Trace.recordf t.trace ~at:(now t) ~tag fmt
+
+let active t =
+  (* Silent replicas and crashed replicas take no actions at all. *)
+  (not t.crashed)
+  && (match t.strategy with Byzantine.Silent -> false | _ -> true)
+
+let send t ~dst msg = Net.Network.send t.network ~src:t.id ~dst msg
+let multicast t msg = Net.Network.multicast t.network ~src:t.id msg
+
+(* Charge [cost] on the replica's CPU, then run [f]. *)
+let with_cpu t cost f = Net.Cpu.submit t.cpu ~cost f
+
+let instance_of t sn =
+  match Hashtbl.find_opt t.instances sn with
+  | Some i -> i
+  | None ->
+    let i =
+      { sn;
+        iview = t.view;
+        block = None;
+        voted_prepare = false;
+        voted_commit = false;
+        notarization = None;
+        notarized_view = 0;
+        confirmation = None;
+        prepare_quorum = None;
+        commit_quorum = None;
+        stashed_confirmation = None }
+    in
+    Hashtbl.add t.instances sn i;
+    i
+
+(* Entering a later view resets an instance's per-view voting state; the
+   notarization (if any) survives as view-change evidence, and a
+   confirmation is final. *)
+let refresh_instance_view t inst =
+  if inst.iview < t.view then begin
+    inst.iview <- t.view;
+    inst.voted_prepare <- false;
+    inst.voted_commit <- false;
+    inst.prepare_quorum <- None;
+    inst.commit_quorum <- None
+  end
+
+(* ----------------------------------------------------------------- *)
+(* Datablock preparation (Algorithm 1)                                *)
+(* ----------------------------------------------------------------- *)
+
+let sign_and_send_datablock t batches =
+  let counter = t.db_counter in
+  t.db_counter <- counter + 1;
+  let db = Datablock.create ~sk:t.sk ~creator:t.id ~counter ~now:(now t) batches in
+  let cost =
+    Sim_time.( + ) t.cfg.cost.sign
+      (Crypto.Cost_model.hash_cost t.cfg.cost ~bytes_len:db.Datablock.payload_bytes)
+  in
+  with_cpu t cost (fun () ->
+      if active t then begin
+        ignore (Datablock_pool.add t.pool db);
+        multicast t (Msg.Datablock_msg db);
+        tracef t "datablock.sent" "%a" Datablock.pp db
+      end)
+
+(* The equivocation attack: two different datablocks under one counter.
+   Halves of the replica set receive different variants; the leader gets
+   both, so the duplicate-counter check catches it there. *)
+let equivocate_datablocks t batches_a batches_b =
+  let counter = t.db_counter in
+  t.db_counter <- counter + 1;
+  let da = Datablock.create ~sk:t.sk ~creator:t.id ~counter ~now:(now t) batches_a in
+  let db = Datablock.create ~sk:t.sk ~creator:t.id ~counter ~now:(now t) batches_b in
+  let n = Net.Network.n t.network in
+  let leader = leader_of t t.view in
+  for dst = 0 to n - 1 do
+    if not (Net.Node_id.equal dst t.id) then
+      if Net.Node_id.equal dst leader then begin
+        send t ~dst (Msg.Datablock_msg da);
+        send t ~dst (Msg.Datablock_msg db)
+      end
+      else if dst < n / 2 then send t ~dst (Msg.Datablock_msg da)
+      else send t ~dst (Msg.Datablock_msg db)
+  done;
+  tracef t "datablock.equivocated" "counter=%d" counter
+
+let maybe_pack t =
+  if active t && ((not (is_leader t)) || t.cfg.leader_generates_datablocks) then
+    match t.strategy with
+    | Byzantine.Censor -> () (* holds requests back; clients must re-send *)
+    | Byzantine.Equivocate_datablocks ->
+      if Mempool.has_at_least t.mempool (max 2 t.cfg.alpha) then begin
+        let batches = Mempool.take t.mempool ~target:(max 2 t.cfg.alpha) in
+        match batches with
+        | [ _ ] | [] -> () (* need two variants; wait for more *)
+        | first :: rest -> equivocate_datablocks t [ first ] rest
+      end
+    | Byzantine.Honest | Byzantine.Silent | Byzantine.Crash_at _ ->
+      let full = Mempool.has_at_least t.mempool t.cfg.alpha in
+      let stale =
+        Int64.compare t.cfg.datablock_timeout 0L > 0
+        && (match Mempool.oldest_age t.mempool ~now:(now t) with
+            | Some age -> Sim_time.compare age t.cfg.datablock_timeout >= 0
+            | None -> false)
+      in
+      if full then
+        let batches = Mempool.take t.mempool ~target:t.cfg.alpha in
+        (if batches <> [] then sign_and_send_datablock t batches)
+      else if stale && Sim_time.compare (now t) t.last_partial_pack > 0 then begin
+        t.last_partial_pack <- Sim_time.( + ) (now t) t.cfg.datablock_timeout;
+        let batches = Mempool.take t.mempool ~target:max_int in
+        if batches <> [] then sign_and_send_datablock t batches
+      end
+
+(* ----------------------------------------------------------------- *)
+(* Normal case, leader side (Algorithm 2: pre-prepare / notarize /
+   confirm stages)                                                    *)
+(* ----------------------------------------------------------------- *)
+
+let propose_block t block justification =
+  let bh = Bftblock.hash block in
+  let payload = Msg.prepare_payload ~view:t.view ~block_hash:bh in
+  let cost =
+    Sim_time.( + ) t.cfg.cost.tsig_share
+      (Crypto.Cost_model.hash_cost t.cfg.cost ~bytes_len:(Bftblock.wire_size block))
+  in
+  with_cpu t cost (fun () ->
+      if active t && not t.in_view_change && block.Bftblock.view = t.view then begin
+        let leader_share = Ts.sign_share t.tkey payload in
+        let inst = instance_of t block.Bftblock.sn in
+        refresh_instance_view t inst;
+        inst.block <- Some block;
+        inst.voted_prepare <- true;
+        let q = Quorum.create ~need:(quorum_size t) in
+        ignore (Quorum.add q leader_share);
+        inst.prepare_quorum <- Some q;
+        multicast t (Msg.Propose { block; leader_share; justification });
+        t.hooks.on_propose ~id:t.id ~sn:block.Bftblock.sn ~at:(now t);
+        tracef t "propose" "%a" Bftblock.pp block
+      end)
+
+let rec maybe_propose t =
+  if active t && is_leader t && not t.in_view_change then begin
+    let pending = Datablock_pool.pending t.pool in
+    let window_open = t.next_sn <= t.lw + t.cfg.k in
+    if window_open && pending >= t.cfg.bft_size then begin
+      let dbs = Datablock_pool.take_pending t.pool ~max:t.cfg.bft_size in
+      let links = List.map Datablock.hash dbs in
+      let block = Bftblock.create ~view:t.view ~sn:t.next_sn ~links in
+      t.next_sn <- t.next_sn + 1;
+      propose_block t block None;
+      maybe_propose t
+    end
+    else if
+      window_open && pending > 0
+      && Int64.compare t.cfg.proposal_timeout 0L > 0
+      && Sim_time.compare (now t) t.last_partial_propose > 0
+    then begin
+      (* Short-timer (§6.2.1): propose with what we have. *)
+      t.last_partial_propose <- Sim_time.( + ) (now t) t.cfg.proposal_timeout;
+      let dbs = Datablock_pool.take_pending t.pool ~max:t.cfg.bft_size in
+      let links = List.map Datablock.hash dbs in
+      let block = Bftblock.create ~view:t.view ~sn:t.next_sn ~links in
+      t.next_sn <- t.next_sn + 1;
+      propose_block t block None
+    end
+  end
+
+(* ----------------------------------------------------------------- *)
+(* Execution, acknowledgments and checkpoints (Algorithm 3)           *)
+(* ----------------------------------------------------------------- *)
+
+let ack_wire_bytes = 48
+
+let send_checkpoint_vote t sn =
+  let payload = Msg.checkpoint_payload ~cp_sn:sn ~cp_state:t.state_hash in
+  let state = t.state_hash in
+  with_cpu t t.cfg.cost.tsig_share (fun () ->
+      if active t then begin
+        let share = Ts.sign_share t.tkey payload in
+        send t ~dst:(leader_of t t.view) (Msg.Checkpoint_vote { cp_sn = sn; cp_state = state; share })
+      end)
+
+let rec fetch_missing t hashes =
+  let leader = leader_of t t.view in
+  List.iter
+    (fun h ->
+      if not (Hash.Set.mem h t.fetch_inflight) then begin
+        t.fetch_inflight <- Hash.Set.add h t.fetch_inflight;
+        send t ~dst:leader (Msg.Fetch { hash = h })
+      end)
+    hashes
+
+and try_execute t =
+  match Ledger.next_executable t.ledger with
+  | None -> ()
+  | Some block ->
+    let missing = Datablock_pool.missing_links t.pool block.Bftblock.links in
+    if missing <> [] then
+      (* Confirmed without local data (we were not among the 2f + 1
+         voters): recover the datablocks, then resume. *)
+      fetch_missing t missing
+    else begin
+      let sn = block.Bftblock.sn in
+      let dbs = List.filter_map (Datablock_pool.find t.pool) block.Bftblock.links in
+      let batch_count = ref 0 in
+      List.iter
+        (fun (db : Datablock.t) ->
+          Hash.Table.replace t.executed_links (Datablock.hash db) sn;
+          t.executed_payload <- t.executed_payload + db.Datablock.payload_bytes;
+          List.iter
+            (fun b ->
+              Workload.Request.mark_confirmed b;
+              incr batch_count)
+            db.Datablock.batches)
+        dbs;
+      t.state_hash <- Hash.combine [ t.state_hash; Bftblock.hash block ];
+      Ledger.mark_executed t.ledger sn;
+      t.last_execution_at <- now t;
+      (* One acknowledgment per batch back to its client (response to
+         client, Fig. 5) — external egress, Table 4's "Miscellaneous". *)
+      if !batch_count > 0 then
+        Net.Network.charge_egress t.network ~src:t.id ~size:(ack_wire_bytes * !batch_count)
+          ~category:"ack";
+      t.hooks.on_execute ~id:t.id ~sn block dbs;
+      tracef t "execute" "sn%d (%d datablocks)" sn (List.length dbs);
+      if sn mod t.cfg.checkpoint_interval = 0 then send_checkpoint_vote t sn;
+      try_execute t
+    end
+
+let apply_checkpoint_cert t (cert : Msg.checkpoint_cert) =
+  let newer =
+    match t.latest_checkpoint with
+    | Some old -> cert.cp_sn > old.cp_sn
+    | None -> true
+  in
+  if newer then begin
+    t.latest_checkpoint <- Some cert;
+    if cert.cp_sn > t.lw then begin
+      t.lw <- cert.cp_sn;
+      (* State transfer: a replica that fell behind adopts the
+         checkpointed execution state. *)
+      if Ledger.executed_up_to t.ledger < cert.cp_sn then begin
+        Ledger.fast_forward t.ledger cert.cp_sn;
+        t.state_hash <- cert.cp_state
+      end;
+      (* Garbage collection below the watermark. *)
+      Ledger.prune_below t.ledger t.lw;
+      let lw = t.lw in
+      Datablock_pool.prune t.pool ~keep:(fun db ->
+          match Hash.Table.find_opt t.executed_links (Datablock.hash db) with
+          | Some sn -> sn > lw
+          | None -> true);
+      Hashtbl.iter
+        (fun sn _ -> if sn <= lw then Hashtbl.remove t.waiting_propose sn)
+        (Hashtbl.copy t.waiting_propose);
+      let stale = Hashtbl.fold (fun sn _ acc -> if sn <= lw then sn :: acc else acc) t.instances [] in
+      List.iter (Hashtbl.remove t.instances) stale;
+      tracef t "checkpoint.applied" "lw=%d" t.lw;
+      maybe_propose t;
+      try_execute t
+    end
+  end
+
+(* ----------------------------------------------------------------- *)
+(* Normal case, voter side (Algorithm 2: prepare / commit stages)     *)
+(* ----------------------------------------------------------------- *)
+
+let confirm_block t inst (block : Bftblock.t) proof =
+  if inst.confirmation = None then begin
+    inst.confirmation <- Some proof;
+    Ledger.confirm t.ledger block;
+    tracef t "confirmed" "%a" Bftblock.pp block;
+    try_execute t
+  end
+
+(* The leader completed a commit quorum: build the confirmation proof. *)
+let leader_finish_commit t inst notar_digest shares =
+  let payload = Msg.commit_payload ~view:inst.iview ~notar_digest in
+  let cost = Crypto.Cost_model.combine_cost t.cfg.cost ~shares:(List.length shares) in
+  with_cpu t cost (fun () ->
+      if active t && not t.in_view_change then
+        match Ts.combine t.tsetup payload shares with
+        | None -> tracef t "combine.failed" "commit sn%d" inst.sn
+        | Some proof ->
+          multicast t (Msg.Confirmation { view = inst.iview; sn = inst.sn; notar_digest; proof });
+          (match inst.block with
+           | Some block -> confirm_block t inst block proof
+           | None -> ()))
+
+(* A replica learned the notarization proof for an instance: record it
+   and cast the second-round vote (commit stage, lines 27-31). Casting
+   the second vote needs only σ¹, not the block body (Algorithm 2 signs
+   H(σ¹)); execution later requires the body and is gated separately. *)
+let rec accept_notarization t inst proof =
+  if inst.notarization = None || inst.notarized_view < inst.iview then begin
+    inst.notarization <- Some proof;
+    inst.notarized_view <- inst.iview
+  end;
+  replay_stashed_confirmation t inst;
+  cast_commit_vote t inst proof
+
+and replay_stashed_confirmation t inst =
+  match inst.stashed_confirmation with
+  | Some (view, notar_digest, proof) ->
+    inst.stashed_confirmation <- None;
+    process_confirmation t inst ~view ~notar_digest ~proof
+  | None -> ()
+
+and process_confirmation t inst ~view ~notar_digest ~proof =
+  match (inst.block, inst.notarization) with
+  | Some block, Some notar
+    when Hash.equal (Msg.notar_digest notar) notar_digest
+         && Ts.verify t.tsetup proof (Msg.commit_payload ~view ~notar_digest) ->
+    confirm_block t inst block proof
+  | _ ->
+    (* Block or σ¹ not here yet (jitter can reorder a sender's messages);
+       keep the proof and replay when the prerequisite arrives. *)
+    inst.stashed_confirmation <- Some (view, notar_digest, proof)
+
+and cast_commit_vote t inst proof =
+  if not inst.voted_commit then begin
+    inst.voted_commit <- true;
+    let nd = Msg.notar_digest proof in
+    let payload = Msg.commit_payload ~view:inst.iview ~notar_digest:nd in
+    let share = Ts.sign_share t.tkey payload in
+    let vote = Msg.Commit_vote { view = inst.iview; sn = inst.sn; notar_digest = nd; share } in
+    if is_leader t then begin
+      (* The leader is its own collector. *)
+      match inst.commit_quorum with
+      | Some q -> (
+          match Quorum.add q share with
+          | Quorum.Ready shares -> leader_finish_commit t inst nd shares
+          | Quorum.Pending _ | Quorum.Already_done -> ())
+      | None ->
+        let q = Quorum.create ~need:(quorum_size t) in
+        inst.commit_quorum <- Some q;
+        (match Quorum.add q share with
+         | Quorum.Ready shares -> leader_finish_commit t inst nd shares
+         | Quorum.Pending _ | Quorum.Already_done -> ())
+    end
+    else send t ~dst:(leader_of t inst.iview) vote
+  end
+
+(* The leader completed a prepare quorum: build the notarization proof
+   (notarize stage, lines 21-24). *)
+let leader_finish_prepare t inst block_hash shares =
+  let payload = Msg.prepare_payload ~view:inst.iview ~block_hash in
+  let cost = Crypto.Cost_model.combine_cost t.cfg.cost ~shares:(List.length shares) in
+  with_cpu t cost (fun () ->
+      if active t && not t.in_view_change then
+        match Ts.combine t.tsetup payload shares with
+        | None -> tracef t "combine.failed" "prepare sn%d" inst.sn
+        | Some proof ->
+          multicast t (Msg.Notarization { view = inst.iview; sn = inst.sn; block_hash; proof });
+          with_cpu t t.cfg.cost.tsig_share (fun () ->
+              if active t then accept_notarization t inst proof))
+
+(* Validation and first-round vote (prepare stage, lines 10-19). *)
+let try_vote_prepare t (msg : Msg.t) =
+  match msg with
+  | Msg.Propose { block; leader_share; justification } ->
+    let sn = block.Bftblock.sn in
+    let bh = Bftblock.hash block in
+    let view_ok = block.Bftblock.view = t.view && not t.in_view_change in
+    let watermark_ok = t.lw < sn && sn <= t.lw + t.cfg.k in
+    if block.Bftblock.view > t.view || (block.Bftblock.view = t.view && t.in_view_change) then
+      (* A proposal from a view we have not entered yet (it can overtake
+         the new-view message on the wire): defer until we catch up. *)
+      Hashtbl.replace t.waiting_propose sn msg
+    else if view_ok && sn > t.lw + t.cfg.k then
+      (* Above our window: our low watermark lags the leader's (its
+         checkpoint certificate may still be in flight). Defer and retry
+         when a checkpoint advances lw. *)
+      Hashtbl.replace t.waiting_propose sn msg;
+    if view_ok && watermark_ok then begin
+      let inst = instance_of t sn in
+      refresh_instance_view t inst;
+      let not_equivocating =
+        (* Never vote for two different blocks at one serial in a view;
+           also refuse to overwrite a confirmed block with different
+           content (Byzantine new leader). *)
+        match inst.block with
+        | Some b -> Bftblock.equal_content b block || not inst.voted_prepare
+        | None -> true
+      in
+      let confirmed_conflict =
+        match (inst.confirmation, inst.block) with
+        | Some _, Some b -> not (Bftblock.equal_content b block)
+        | _ -> false
+      in
+      let share_ok =
+        Ts.verify_share t.tsetup leader_share (Msg.prepare_payload ~view:t.view ~block_hash:bh)
+      in
+      let justification_ok =
+        match justification with
+        | None -> true
+        | Some (old_view, proof) ->
+          old_view < t.view
+          && Ts.verify t.tsetup proof (Msg.prepare_payload ~view:old_view ~block_hash:bh)
+      in
+      if not (not inst.voted_prepare && not_equivocating && (not confirmed_conflict) && share_ok
+              && justification_ok)
+      then
+        tracef t "vote.reject" "sn%d voted=%b equiv=%b confl=%b share=%b just=%b" sn
+          inst.voted_prepare (not not_equivocating) confirmed_conflict share_ok justification_ok
+      else begin
+        let missing = Datablock_pool.missing_links t.pool block.Bftblock.links in
+        let availability_ok = missing = [] || justification <> None in
+        if availability_ok then begin
+          List.iter (Datablock_pool.mark_linked t.pool) block.Bftblock.links;
+          inst.block <- Some block;
+          inst.voted_prepare <- true;
+          Hashtbl.remove t.waiting_propose sn;
+          let share = Ts.sign_share t.tkey (Msg.prepare_payload ~view:t.view ~block_hash:bh) in
+          send t ~dst:(leader_of t t.view)
+            (Msg.Prepare_vote { view = t.view; sn; block_hash = bh; share });
+          tracef t "vote.prepare" "sn%d" sn;
+          (* A confirmation that overtook the proposal can complete now. *)
+          replay_stashed_confirmation t inst;
+          try_execute t
+        end
+        else begin
+          (* Defer until the linked datablocks arrive; fetch from the
+             leader after a grace period (it must have them, §4.3). The
+             grace must cover the multicast serialization spread so
+             data already in flight is not re-requested. *)
+          Hashtbl.replace t.waiting_propose sn msg;
+          ignore
+            (Engine.schedule t.engine ~delay:t.cfg.fetch_grace (fun () ->
+                 if active t && Hashtbl.mem t.waiting_propose sn then
+                   fetch_missing t (Datablock_pool.missing_links t.pool block.Bftblock.links)))
+        end
+      end
+    end
+  | _ -> assert false
+
+let retry_waiting_proposals t =
+  if Hashtbl.length t.waiting_propose > 0 then begin
+    let pending = Hashtbl.fold (fun _ m acc -> m :: acc) t.waiting_propose [] in
+    List.iter
+      (fun m ->
+        match m with
+        | Msg.Propose { block; justification; _ } ->
+          let sn = block.Bftblock.sn in
+          let in_window = t.lw < sn && sn <= t.lw + t.cfg.k in
+          let view_ready = block.Bftblock.view <= t.view && not t.in_view_change in
+          let data_ready =
+            justification <> None
+            || Datablock_pool.missing_links t.pool block.Bftblock.links = []
+          in
+          if in_window && view_ready && data_ready then begin
+            (* Re-run validation now that the prerequisite is met; the
+               entry is cleared on a successful vote or re-deferred. *)
+            Hashtbl.remove t.waiting_propose sn;
+            let cost = t.cfg.cost.tsig_share in
+            with_cpu t cost (fun () -> if active t then try_vote_prepare t m)
+          end
+          else if sn <= t.lw then Hashtbl.remove t.waiting_propose sn
+        | _ -> ())
+      pending
+  end
+
+(* Checkpoint application can open the watermark window for deferred
+   proposals. *)
+let apply_checkpoint t cert =
+  let before = t.lw in
+  apply_checkpoint_cert t cert;
+  if t.lw > before then retry_waiting_proposals t
+
+(* ----------------------------------------------------------------- *)
+(* View change                                                        *)
+(* ----------------------------------------------------------------- *)
+
+let timeout_voters t v =
+  match Hashtbl.find_opt t.timeout_votes v with
+  | Some set -> set
+  | None ->
+    let set = Hashtbl.create 8 in
+    Hashtbl.add t.timeout_votes v set;
+    set
+
+let build_view_change t ~target =
+  let entries =
+    Hashtbl.fold
+      (fun sn inst acc ->
+        if sn > t.lw then
+          match (inst.notarization, inst.block) with
+          | Some proof, Some block -> (inst.notarized_view, block, proof) :: acc
+          | _ -> acc
+        else acc)
+      t.instances []
+  in
+  let unsigned =
+    Msg.{ vc_new_view = target;
+          vc_sender = t.id;
+          vc_checkpoint = t.latest_checkpoint;
+          vc_entries = entries;
+          vc_signature = Sig.sign t.sk "" }
+  in
+  { unsigned with Msg.vc_signature = Sig.sign t.sk (Msg.view_change_payload unsigned) }
+
+let rec trigger_view_change t ~abandoned =
+  (* [vc_sent_for] tracks the highest target view we sent a view-change
+     message for; a later timeout may escalate past an unresponsive next
+     leader even while still in view-change mode (the round-robin can
+     land on a crashed replica again). *)
+  if active t && abandoned >= t.view && t.vc_sent_for <= abandoned then begin
+    let target = abandoned + 1 in
+    t.in_view_change <- true;
+    t.vc_sent_for <- target;
+    t.hooks.on_view_change_trigger ~id:t.id ~abandoned;
+    tracef t "viewchange.trigger" "abandoning v%d" abandoned;
+    (* Amplify: make sure our own timeout vote is out so every honest
+       replica reaches the f + 1 threshold. *)
+    vote_timeout t ~abandoned;
+    let vc = build_view_change t ~target in
+    let cost =
+      Sim_time.( + ) t.cfg.cost.sign
+        (Int64.mul t.cfg.cost.tsig_share (Int64.of_int (List.length vc.Msg.vc_entries)))
+    in
+    with_cpu t cost (fun () ->
+        if active t then begin
+          send t ~dst:(leader_of t target) (Msg.View_change_msg vc);
+          (* If the next leader is also faulty, give up on the next view
+             after another timeout — doubled per consecutive attempt
+             (PBFT's exponential backoff), so slow new-view validation
+             can always outrun the escalation. *)
+          let attempt = max 1 (target - t.view) in
+          let backoff = Int64.mul t.cfg.view_timeout (Int64.of_int (1 lsl min 6 attempt)) in
+          ignore
+            (Engine.schedule t.engine ~delay:backoff (fun () ->
+                 if active t && t.in_view_change && t.view < target then
+                   vote_timeout t ~abandoned:target))
+        end)
+  end
+
+and vote_timeout t ~abandoned =
+  if active t && abandoned >= t.view && t.sent_timeout_for < abandoned then begin
+    t.sent_timeout_for <- abandoned;
+    let payload = Msg.timeout_payload ~view:abandoned in
+    with_cpu t t.cfg.cost.sign (fun () ->
+        if active t then begin
+          let signature = Sig.sign t.sk payload in
+          multicast t (Msg.Timeout { view = abandoned; sender = t.id; signature });
+          note_timeout t ~abandoned ~sender:t.id
+        end)
+  end
+
+and note_timeout t ~abandoned ~sender =
+  let set = timeout_voters t abandoned in
+  Hashtbl.replace set sender ();
+  (* f + 1 timeouts prove at least one honest replica gave up: join in
+     (trigger condition (2), §4.3), which makes the remaining honest
+     replicas reach 2f + 1 view-change messages. *)
+  if Hashtbl.length set >= t.cfg.f + 1 && abandoned >= t.view && t.vc_sent_for <= abandoned then
+    trigger_view_change t ~abandoned
+
+(* A watched (re-sent) request that stays unconfirmed beyond the view
+   timeout is the paper's trigger condition (1). One per-replica
+   watchdog timer scans the watch set — a timer per watched request
+   would explode under a re-send burst, when every datablock carries
+   hundreds of tagged batches to every replica. *)
+let watch_request t batch =
+  if active t && not (Workload.Request.is_confirmed batch) then
+    let id = batch.Workload.Request.id in
+    if not (Hashtbl.mem t.watched id) then Hashtbl.replace t.watched id (batch, now t)
+
+let watchdog_check t =
+  if active t && Hashtbl.length t.watched > 0 then begin
+    let stale = ref [] in
+    let expired = ref false in
+    (* Give up only when a watched request has waited a full timeout AND
+       the view is old enough AND has made no execution progress for a
+       full timeout (PBFT restarts its timer on progress). *)
+    let grace_end =
+      Sim_time.(Sim_time.max t.view_entered_at t.last_execution_at + t.cfg.view_timeout)
+    in
+    Hashtbl.iter
+      (fun id (batch, since) ->
+        if Workload.Request.is_confirmed batch then stale := id :: !stale
+        else if
+          Sim_time.compare (now t) Sim_time.(since + t.cfg.view_timeout) >= 0
+          && Sim_time.compare (now t) grace_end >= 0
+        then expired := true)
+      t.watched;
+    List.iter (Hashtbl.remove t.watched) !stale;
+    if !expired then vote_timeout t ~abandoned:t.view
+  end
+
+let new_view_redo_plan vcs lw =
+  (* For each serial above the adopted watermark, redo the notarized
+     block from the highest view; fill gaps with dummies (§4.3). *)
+  let best = Hashtbl.create 32 in
+  List.iter
+    (fun (vc : Msg.view_change) ->
+      List.iter
+        (fun (v, (block : Bftblock.t), proof) ->
+          let sn = block.Bftblock.sn in
+          if sn > lw then
+            match Hashtbl.find_opt best sn with
+            | Some (v0, _, _) when v0 >= v -> ()
+            | _ -> Hashtbl.replace best sn (v, block, proof))
+        vc.Msg.vc_entries)
+    vcs;
+  let max_sn = Hashtbl.fold (fun sn _ acc -> max sn acc) best lw in
+  let plan = ref [] in
+  for sn = max_sn downto lw + 1 do
+    match Hashtbl.find_opt best sn with
+    | Some entry -> plan := `Redo entry :: !plan
+    | None -> plan := `Dummy sn :: !plan
+  done;
+  (!plan, max_sn)
+
+let highest_checkpoint vcs =
+  List.fold_left
+    (fun acc (vc : Msg.view_change) ->
+      match (acc, vc.Msg.vc_checkpoint) with
+      | None, c -> c
+      | Some a, Some c when c.Msg.cp_sn > a.Msg.cp_sn -> Some c
+      | Some a, _ -> Some a)
+    None vcs
+
+let enter_view t ~nv_view ~vcs =
+  t.view <- nv_view;
+  t.in_view_change <- false;
+  t.view_entered_at <- now t;
+  t.sent_timeout_for <- max t.sent_timeout_for (nv_view - 1);
+  t.vc_sent_for <- max t.vc_sent_for nv_view;
+  (match highest_checkpoint vcs with
+   | Some cert -> apply_checkpoint t cert
+   | None -> ());
+  let plan, max_sn = new_view_redo_plan vcs t.lw in
+  t.hooks.on_view_change ~id:t.id ~view:nv_view;
+  tracef t "view.entered" "v%d (redo %d serials)" nv_view (List.length plan);
+  (* Proposals from this view that overtook the new-view message. *)
+  retry_waiting_proposals t;
+  if is_leader t then begin
+    (* The new leader stops producing datablocks; flush its mempool so
+       pending requests it was responsible for are not stranded. *)
+    if not (Mempool.is_empty t.mempool) then begin
+      let batches = Mempool.take t.mempool ~target:max_int in
+      if batches <> [] then sign_and_send_datablock t batches
+    end;
+    t.next_sn <- max t.next_sn (max_sn + 1);
+    (* Unlink datablocks linked by abandoned (never-notarized) proposals
+       so their requests are re-proposed rather than lost. *)
+    let keep =
+      List.fold_left
+        (fun acc entry ->
+          match entry with
+          | `Redo (_, (block : Bftblock.t), _) ->
+            List.fold_left (fun acc h -> Hash.Set.add h acc) acc block.Bftblock.links
+          | `Dummy _ -> acc)
+        Hash.Set.empty plan
+    in
+    let keep =
+      List.fold_left
+        (fun acc (_, (block : Bftblock.t)) ->
+          List.fold_left (fun acc h -> Hash.Set.add h acc) acc block.Bftblock.links)
+        keep
+        (Ledger.executed_range t.ledger ~from_:t.lw)
+    in
+    Datablock_pool.relink_pending t.pool ~keep_linked:keep
+      ~also_executed:(fun h -> Hash.Table.mem t.executed_links h);
+    List.iter
+      (fun entry ->
+        match entry with
+        | `Redo (old_view, (block : Bftblock.t), proof) ->
+          propose_block t (Bftblock.with_view block nv_view) (Some (old_view, proof))
+        | `Dummy sn -> propose_block t (Bftblock.dummy ~view:nv_view ~sn) None)
+      plan;
+    maybe_propose t
+  end
+
+let notarization_cache_key ~view ~block_hash =
+  Hash.of_string (Printf.sprintf "notar:%d:%s" view (Hash.raw block_hash))
+
+(* Entries whose notarization proof has not been verified before; the
+   verification *cost* is charged only for these. *)
+let fresh_entries t entries =
+  List.filter
+    (fun (v, block, _) ->
+      not
+        (Hash.Table.mem t.verified_notarizations
+           (notarization_cache_key ~view:v ~block_hash:(Bftblock.hash block))))
+    entries
+
+let verify_view_change t (vc : Msg.view_change) =
+  vc.Msg.vc_sender >= 0
+  && vc.Msg.vc_sender < Array.length t.pks
+  && Sig.verify t.pks.(vc.Msg.vc_sender) vc.Msg.vc_signature (Msg.view_change_payload vc)
+  && List.for_all
+       (fun (v, block, proof) ->
+         let key = notarization_cache_key ~view:v ~block_hash:(Bftblock.hash block) in
+         Hash.Table.mem t.verified_notarizations key
+         ||
+         let ok =
+           Ts.verify t.tsetup proof
+             (Msg.prepare_payload ~view:v ~block_hash:(Bftblock.hash block))
+         in
+         if ok then Hash.Table.replace t.verified_notarizations key ();
+         ok)
+       vc.Msg.vc_entries
+
+let on_view_change_msg t (vc : Msg.view_change) =
+  let target = vc.Msg.vc_new_view in
+  if target > t.view && is_leader_of t target && t.new_view_sent_for < target then begin
+    let fresh = List.length (fresh_entries t vc.Msg.vc_entries) in
+    let cost =
+      Sim_time.( + ) t.cfg.cost.verify
+        (Int64.mul t.cfg.cost.tvrf_aggregate (Int64.of_int fresh))
+    in
+    with_cpu t cost (fun () ->
+        if active t && t.new_view_sent_for < target && verify_view_change t vc then begin
+          let tbl =
+            match Hashtbl.find_opt t.vc_msgs target with
+            | Some tbl -> tbl
+            | None ->
+              let tbl = Hashtbl.create 16 in
+              Hashtbl.add t.vc_msgs target tbl;
+              tbl
+          in
+          Hashtbl.replace tbl vc.Msg.vc_sender vc;
+          if Hashtbl.length tbl >= quorum_size t then begin
+            t.new_view_sent_for <- target;
+            let vcs = Hashtbl.fold (fun _ v acc -> v :: acc) tbl [] in
+            let unsigned =
+              Msg.{ nv_view = target; nv_sender = t.id; nv_vcs = vcs; nv_signature = Sig.sign t.sk "" }
+            in
+            let nv =
+              { unsigned with Msg.nv_signature = Sig.sign t.sk (Msg.new_view_payload unsigned) }
+            in
+            with_cpu t t.cfg.cost.sign (fun () ->
+                if active t then begin
+                  multicast t (Msg.New_view_msg nv);
+                  enter_view t ~nv_view:target ~vcs
+                end)
+          end
+        end)
+  end
+
+let on_new_view_msg t (nv : Msg.new_view) =
+  if nv.Msg.nv_view > t.view && Net.Node_id.equal nv.Msg.nv_sender (leader_of t nv.Msg.nv_view)
+  then begin
+    (* The same notarization proof appears in up to 2f + 1 of the carried
+       view-change messages; it is verified (and charged) once. *)
+    let fresh =
+      List.length
+        (fresh_entries t (List.concat_map (fun vc -> vc.Msg.vc_entries) nv.Msg.nv_vcs)
+        |> List.sort_uniq (fun (v1, b1, _) (v2, b2, _) ->
+               compare (v1, Bftblock.hash b1) (v2, Bftblock.hash b2)))
+    in
+    let cost =
+      Sim_time.( + )
+        (Int64.mul t.cfg.cost.verify (Int64.of_int (1 + List.length nv.Msg.nv_vcs)))
+        (Int64.mul t.cfg.cost.tvrf_aggregate (Int64.of_int fresh))
+    in
+    with_cpu t cost (fun () ->
+        if active t && nv.Msg.nv_view > t.view then begin
+          let sig_ok =
+            Sig.verify t.pks.(nv.Msg.nv_sender) nv.Msg.nv_signature (Msg.new_view_payload nv)
+          in
+          let distinct_senders =
+            List.sort_uniq Net.Node_id.compare (List.map (fun vc -> vc.Msg.vc_sender) nv.Msg.nv_vcs)
+          in
+          if sig_ok
+             && List.length distinct_senders >= quorum_size t
+             && List.for_all (fun vc -> vc.Msg.vc_new_view = nv.Msg.nv_view) nv.Msg.nv_vcs
+             && List.for_all (verify_view_change t) nv.Msg.nv_vcs
+          then enter_view t ~nv_view:nv.Msg.nv_view ~vcs:nv.Msg.nv_vcs
+        end)
+  end
+
+(* ----------------------------------------------------------------- *)
+(* Message dispatch                                                   *)
+(* ----------------------------------------------------------------- *)
+
+let on_datablock t (db : Datablock.t) ~is_fetch_reply =
+  let cost =
+    Sim_time.( + ) t.cfg.cost.verify
+      (Crypto.Cost_model.hash_cost t.cfg.cost ~bytes_len:db.Datablock.payload_bytes)
+  in
+  with_cpu t cost (fun () ->
+      if
+        active t
+        && (not (Hashtbl.mem t.punished db.Datablock.header.creator))
+        && Datablock.verify ~pks:t.pks db
+      then begin
+        if is_fetch_reply then
+          t.fetch_inflight <- Hash.Set.remove (Datablock.hash db) t.fetch_inflight;
+        (match Datablock_pool.add t.pool db with
+         | Datablock_pool.Accepted ->
+           (* Watch re-sent requests propagated in datablocks (§4.3). *)
+           List.iter
+             (fun b -> if b.Workload.Request.resend then watch_request t b)
+             db.Datablock.batches;
+           retry_waiting_proposals t;
+           try_execute t;
+           maybe_propose t
+         | Datablock_pool.Duplicate -> ()
+         | Datablock_pool.Equivocation first ->
+           tracef t "equivocation" "from %a (first %a)" Net.Node_id.pp db.Datablock.header.creator
+             Datablock.pp first;
+           if t.cfg.punish_equivocators then begin
+             (* §4.3 remark: the two conflicting signed headers are
+                public evidence; kick the creator out. *)
+             Hashtbl.replace t.punished db.Datablock.header.creator ();
+             tracef t "punished" "%a" Net.Node_id.pp db.Datablock.header.creator
+           end;
+           (* The stored variant can unblock a proposal that links it. *)
+           retry_waiting_proposals t;
+           try_execute t)
+      end)
+
+let on_prepare_vote t ~view ~sn ~block_hash ~share =
+  if view = t.view && is_leader t && not t.in_view_change then begin
+    let verify_cost = if t.cfg.verify_shares_eagerly then t.cfg.cost.tvrf_share else 0L in
+    with_cpu t verify_cost (fun () ->
+        if active t && not t.in_view_change && view = t.view then begin
+          let inst = instance_of t sn in
+          (* Only valid shares enter the quorum (the CPU cost of the
+             check is charged lazily at aggregation unless
+             [verify_shares_eagerly]); a Byzantine voter cannot poison
+             the aggregate. *)
+          if
+            inst.iview = view
+            && Ts.verify_share t.tsetup share (Msg.prepare_payload ~view ~block_hash)
+          then begin
+            let q =
+              match inst.prepare_quorum with
+              | Some q -> q
+              | None ->
+                let q = Quorum.create ~need:(quorum_size t) in
+                inst.prepare_quorum <- Some q;
+                q
+            in
+            match Quorum.add q share with
+            | Quorum.Ready shares -> leader_finish_prepare t inst block_hash shares
+            | Quorum.Pending _ | Quorum.Already_done -> ()
+          end
+        end)
+  end
+
+let on_commit_vote t ~view ~sn ~notar_digest ~share =
+  if view = t.view && is_leader t && not t.in_view_change then begin
+    let verify_cost = if t.cfg.verify_shares_eagerly then t.cfg.cost.tvrf_share else 0L in
+    with_cpu t verify_cost (fun () ->
+        if active t && not t.in_view_change && view = t.view then begin
+          let inst = instance_of t sn in
+          if
+            inst.iview = view
+            && Ts.verify_share t.tsetup share (Msg.commit_payload ~view ~notar_digest)
+          then begin
+            let q =
+              match inst.commit_quorum with
+              | Some q -> q
+              | None ->
+                let q = Quorum.create ~need:(quorum_size t) in
+                inst.commit_quorum <- Some q;
+                q
+            in
+            match Quorum.add q share with
+            | Quorum.Ready shares -> leader_finish_commit t inst notar_digest shares
+            | Quorum.Pending _ | Quorum.Already_done -> ()
+          end
+        end)
+  end
+
+let on_notarization t ~view ~sn ~block_hash ~proof =
+  if view = t.view && not t.in_view_change then
+    with_cpu t
+      (Sim_time.( + ) t.cfg.cost.tvrf_aggregate t.cfg.cost.tsig_share)
+      (fun () ->
+        if active t && view = t.view && not t.in_view_change then begin
+          let inst = instance_of t sn in
+          (* the commit vote must be signed under the current view even
+             if this instance saw no proposal in it yet *)
+          refresh_instance_view t inst;
+          let block_matches =
+            match inst.block with
+            | Some block -> Hash.equal (Bftblock.hash block) block_hash
+            | None -> true (* the block body may still be in flight *)
+          in
+          if block_matches && Ts.verify t.tsetup proof (Msg.prepare_payload ~view ~block_hash)
+          then accept_notarization t inst proof
+        end)
+
+let on_confirmation t ~view ~sn ~notar_digest ~proof =
+  with_cpu t t.cfg.cost.tvrf_aggregate (fun () ->
+      if active t then process_confirmation t (instance_of t sn) ~view ~notar_digest ~proof)
+
+let on_checkpoint_vote t ~cp_sn ~cp_state ~share =
+  if
+    is_leader t && not t.in_view_change
+    && Ts.verify_share t.tsetup share (Msg.checkpoint_payload ~cp_sn ~cp_state)
+  then begin
+    let _, q =
+      match Hashtbl.find_opt t.checkpoint_quorums cp_sn with
+      | Some entry -> entry
+      | None ->
+        let entry = (cp_state, Quorum.create ~need:(quorum_size t)) in
+        Hashtbl.add t.checkpoint_quorums cp_sn entry;
+        entry
+    in
+    match Quorum.add q share with
+    | Quorum.Ready shares ->
+      let payload = Msg.checkpoint_payload ~cp_sn ~cp_state in
+      let cost = Crypto.Cost_model.combine_cost t.cfg.cost ~shares:(List.length shares) in
+      with_cpu t cost (fun () ->
+          if active t then
+            match Ts.combine t.tsetup payload shares with
+            | None -> ()
+            | Some proof ->
+              let cert = Msg.{ cp_sn; cp_state; cp_proof = proof } in
+              multicast t (Msg.Checkpoint_cert_msg cert);
+              apply_checkpoint t cert)
+    | Quorum.Pending _ | Quorum.Already_done -> ()
+  end
+
+let on_checkpoint_cert t (cert : Msg.checkpoint_cert) =
+  with_cpu t t.cfg.cost.tvrf_aggregate (fun () ->
+      if active t
+         && Ts.verify t.tsetup cert.Msg.cp_proof
+              (Msg.checkpoint_payload ~cp_sn:cert.Msg.cp_sn ~cp_state:cert.Msg.cp_state)
+      then apply_checkpoint t cert)
+
+let on_timeout_msg t ~view ~sender ~signature =
+  with_cpu t t.cfg.cost.verify (fun () ->
+      if active t
+         && sender >= 0
+         && sender < Array.length t.pks
+         && Sig.verify t.pks.(sender) signature (Msg.timeout_payload ~view)
+      then note_timeout t ~abandoned:view ~sender)
+
+let on_fetch t ~src hash =
+  match Datablock_pool.find t.pool hash with
+  | Some db -> send t ~dst:src (Msg.Fetch_reply db)
+  | None -> ()
+
+let handle t ~src (msg : Msg.t) =
+  if active t then
+    match msg with
+    | Msg.Datablock_msg db -> on_datablock t db ~is_fetch_reply:false
+    | Msg.Fetch_reply db -> on_datablock t db ~is_fetch_reply:true
+    | Msg.Propose { block; _ } ->
+      tracef t "propose.received" "sn%d" block.Bftblock.sn;
+      let cost = Sim_time.( + ) t.cfg.cost.tvrf_share t.cfg.cost.tsig_share in
+      with_cpu t cost (fun () -> if active t then try_vote_prepare t msg)
+    | Msg.Prepare_vote { view; sn; block_hash; share } ->
+      on_prepare_vote t ~view ~sn ~block_hash ~share
+    | Msg.Notarization { view; sn; block_hash; proof } ->
+      on_notarization t ~view ~sn ~block_hash ~proof
+    | Msg.Commit_vote { view; sn; notar_digest; share } ->
+      on_commit_vote t ~view ~sn ~notar_digest ~share
+    | Msg.Confirmation { view; sn; notar_digest; proof } ->
+      on_confirmation t ~view ~sn ~notar_digest ~proof
+    | Msg.Checkpoint_vote { cp_sn; cp_state; share } -> on_checkpoint_vote t ~cp_sn ~cp_state ~share
+    | Msg.Checkpoint_cert_msg cert -> on_checkpoint_cert t cert
+    | Msg.Timeout { view; sender; signature } -> on_timeout_msg t ~view ~sender ~signature
+    | Msg.View_change_msg vc -> on_view_change_msg t vc
+    | Msg.New_view_msg nv -> on_new_view_msg t nv
+    | Msg.Fetch { hash } -> on_fetch t ~src hash
+
+(* ----------------------------------------------------------------- *)
+(* Construction                                                       *)
+(* ----------------------------------------------------------------- *)
+
+let submit t batch =
+  if active t then begin
+    Mempool.add t.mempool batch;
+    if batch.Workload.Request.resend then watch_request t batch;
+    maybe_pack t
+  end
+
+let rec pack_tick t =
+  if active t then begin
+    maybe_pack t;
+    watchdog_check t;
+    (* The leader's short-timer (partial proposals) also needs a periodic
+       trigger: datablock arrivals alone stop driving it once the tail of
+       the load is in the pool. *)
+    maybe_propose t;
+    let base =
+      if Int64.compare t.cfg.datablock_timeout 0L > 0 then t.cfg.datablock_timeout
+      else Sim_time.ms 500
+    in
+    let base =
+      if Int64.compare t.cfg.proposal_timeout 0L > 0 then Sim_time.min base t.cfg.proposal_timeout
+      else base
+    in
+    ignore (Engine.schedule t.engine ~delay:base (fun () -> pack_tick t))
+  end
+
+let start t =
+  (match t.strategy with
+   | Byzantine.Crash_at at ->
+     ignore
+       (Engine.schedule_at t.engine ~at (fun () ->
+            t.crashed <- true;
+            Net.Network.set_down t.network t.id true;
+            Trace.recordf t.trace ~at:(now t) ~tag:"crash" "%a" Net.Node_id.pp t.id))
+   | Byzantine.Honest | Byzantine.Silent | Byzantine.Equivocate_datablocks | Byzantine.Censor ->
+     ());
+  if active t then pack_tick t
+
+let create ~engine ~network ~cfg ~id ~sk ~pks ~tsetup ~tkey ?(strategy = Byzantine.Honest)
+    ?(hooks = no_hooks) ?trace () =
+  let trace = match trace with Some tr -> tr | None -> Trace.create ~enabled:false () in
+  let t =
+    { engine;
+      network;
+      cfg;
+      id;
+      sk;
+      pks;
+      tsetup;
+      tkey;
+      strategy;
+      hooks;
+      trace;
+      cpu = Net.Cpu.create engine ~cores:cfg.Config.cores;
+      mempool = Mempool.create ();
+      pool = Datablock_pool.create ();
+      instances = Hashtbl.create 64;
+      ledger = Ledger.create ();
+      view = 1;
+      lw = 0;
+      next_sn = 1;
+      db_counter = 1;
+      state_hash = Hash.of_string "genesis";
+      latest_checkpoint = None;
+      checkpoint_quorums = Hashtbl.create 16;
+      executed_payload = 0;
+      executed_links = Hash.Table.create 256;
+      waiting_propose = Hashtbl.create 16;
+      fetch_inflight = Hash.Set.empty;
+      in_view_change = false;
+      timeout_votes = Hashtbl.create 8;
+      sent_timeout_for = 0;
+      vc_sent_for = 0;
+      view_entered_at = Sim_time.zero;
+      last_execution_at = Sim_time.zero;
+      vc_msgs = Hashtbl.create 8;
+      new_view_sent_for = 0;
+      watched = Hashtbl.create 64;
+      verified_notarizations = Hash.Table.create 64;
+      crashed = false;
+      last_partial_pack = Sim_time.zero;
+      last_partial_propose = Sim_time.zero;
+      punished = Hashtbl.create 4 }
+  in
+  Net.Network.set_handler network id (fun ~src msg -> handle t ~src msg);
+  t

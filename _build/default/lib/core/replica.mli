@@ -1,0 +1,79 @@
+(** The Leopard replica state machine (§4).
+
+    One value of {!t} per replica, driven entirely by network deliveries,
+    client submissions and timers on the simulation engine. It implements
+    datablock preparation (Algorithm 1), the parallel normal-case
+    agreement (Algorithm 2), checkpoints (Algorithm 3) and the
+    view-change protocol, with CPU costs charged to the replica's
+    {!Net.Cpu} according to the configured cost model.
+
+    Byzantine strategies ({!Byzantine.t}) run the same machine with
+    adversarial deviations. *)
+
+type t
+
+type hooks = {
+  on_execute : id:Net.Node_id.t -> sn:int -> Bftblock.t -> Datablock.t list -> unit;
+      (** fires when THIS replica executes a BFTblock (serially, in
+          serial-number order); the runner derives throughput, latency
+          and client acknowledgments from it *)
+  on_view_change : id:Net.Node_id.t -> view:int -> unit;
+      (** fires when the replica enters a new view *)
+  on_view_change_trigger : id:Net.Node_id.t -> abandoned:int -> unit;
+      (** fires when the replica gives up on a view and sends its
+          view-change message (the instant §6.2.4 measures from) *)
+  on_propose : id:Net.Node_id.t -> sn:int -> at:Sim.Sim_time.t -> unit;
+      (** fires when the replica (as leader) multicasts a proposal; the
+          runner uses it for the agreement-stage latency breakdown *)
+}
+
+val no_hooks : hooks
+
+val create :
+  engine:Sim.Engine.t ->
+  network:Msg.t Net.Network.t ->
+  cfg:Config.t ->
+  id:Net.Node_id.t ->
+  sk:Crypto.Signature.private_key ->
+  pks:Crypto.Signature.public_key array ->
+  tsetup:Crypto.Threshold.setup ->
+  tkey:Crypto.Threshold.member_key ->
+  ?strategy:Byzantine.t ->
+  ?hooks:hooks ->
+  ?trace:Sim.Trace.t ->
+  unit ->
+  t
+(** Builds the replica and registers its network handler. Views start
+    at 1; the initial leader is [Config.leader_of_view cfg 1]. *)
+
+val start : t -> unit
+(** Starts the periodic datablock-packing timer (honest non-leaders). *)
+
+val submit : t -> Workload.Request.t -> unit
+(** A client request batch has arrived (post ingress). Re-send-tagged
+    batches are watched: if unconfirmed after the view timeout, the
+    replica votes to change the view (§4.3, view-change trigger). *)
+
+(** {2 Introspection (tests, metrics, debugging)} *)
+
+val id : t -> Net.Node_id.t
+val view : t -> int
+val is_leader : t -> bool
+val low_watermark : t -> int
+val ledger : t -> Ledger.t
+val state_hash : t -> Crypto.Hash.t
+val mempool_pending : t -> int
+val pool : t -> Datablock_pool.t
+val datablocks_created : t -> int
+val in_view_change : t -> bool
+val cpu : t -> Net.Cpu.t
+val executed_payload_bytes : t -> int
+(** Total request payload bytes this replica has executed. *)
+
+val punished : t -> Net.Node_id.t list
+(** Replicas this one has kicked out for equivocation (with
+    [punish_equivocators] on). *)
+
+val instance_debug : t -> int -> string
+(** One-line description of the agreement instance at a serial number
+    (for tests and debugging). *)

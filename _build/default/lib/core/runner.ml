@@ -1,0 +1,426 @@
+open Sim
+
+type spec = {
+  cfg : Config.t;
+  link : Net.Network.link;
+  seed : int64;
+  load : float;
+  duration : Sim_time.span;
+  warmup : Sim_time.span;
+  load_until : Sim_time.span option;
+  byzantine : (Net.Node_id.t * Byzantine.t) list;
+  stop_leader_at : Sim_time.span option;
+  client_resend_timeout : Sim_time.span option;
+  gst : Sim_time.span option;
+  trace : bool;
+}
+
+let spec ~cfg ?(link = Net.Network.default_link) ?(seed = 42L) ?(load = 1e5)
+    ?(duration = Sim_time.s 20) ?(warmup = Sim_time.s 5) ?load_until ?(byzantine = [])
+    ?stop_leader_at ?client_resend_timeout ?gst ?(trace = false) () =
+  { cfg;
+    link;
+    seed;
+    load;
+    duration;
+    warmup;
+    load_until;
+    byzantine;
+    stop_leader_at;
+    client_resend_timeout;
+    gst;
+    trace }
+
+let silent_f cfg =
+  let leader = Config.leader_of_view cfg 1 in
+  let rec pick i acc =
+    if List.length acc >= cfg.Config.f then List.rev acc
+    else
+      let id = i mod cfg.Config.n in
+      if Net.Node_id.equal id leader then pick (i + 1) acc
+      else pick (i + 1) ((id, Byzantine.Silent) :: acc)
+  in
+  (* Start after the leader so the picked set is stable and non-leader. *)
+  pick (leader + 1) []
+
+type bandwidth_view = {
+  sent_bytes : int;
+  received_bytes : int;
+  sent_by_category : (string * int) list;
+  received_by_category : (string * int) list;
+}
+
+type report = {
+  n : int;
+  offered : int;
+  confirmed : int;
+  throughput : float;
+  goodput_bps : float;
+  latency : Stats.Histogram.t;
+  stage_seconds : (string * float) list;
+  leader : bandwidth_view;
+  non_leader : bandwidth_view;
+  leader_bps : float;
+  window_sec : float;
+  executed_blocks : int;
+  view_changes : int;
+  final_view : int;
+  vc_trigger_to_entry : float option;
+  vc_bytes : int;
+  equivocations_detected : int;
+  all_confirmed : bool;
+  safety_ok : bool;
+}
+
+type t = {
+  sp : spec;
+  engine : Engine.t;
+  network : Msg.t Net.Network.t;
+  replicas : Replica.t array;
+  gen : Workload.Generator.t;
+  trace : Trace.t;
+  strategies : Byzantine.t array;
+  (* f+1 execution tracking *)
+  exec_counts : (int, int ref) Hashtbl.t;
+  counted_batches : (int, unit) Hashtbl.t;
+  propose_times : (int, Sim_time.t) Hashtbl.t;
+  confirm_meter : Stats.Meter.t;
+  goodput_meter : Stats.Meter.t; (* payload bytes confirmed *)
+  latency : Stats.Histogram.t;
+  stages : Stats.Breakdown.t;
+  mutable confirmed_requests : int;
+  mutable executed_blocks : int;
+  mutable first_vc_trigger : Sim_time.t option;
+  mutable last_view_entry : Sim_time.t option;
+  mutable view_changes : int;
+  mutable resend_clock : (int, Sim_time.t * int) Hashtbl.t;  (* last resend, attempt count *)
+}
+
+let engine t = t.engine
+let network t = t.network
+let replicas t = t.replicas
+let generator t = t.gen
+let trace t = t.trace
+
+let honest_ids t =
+  Array.to_list t.replicas
+  |> List.filteri (fun i _ -> not (Byzantine.is_byzantine t.strategies.(i)))
+  |> List.map Replica.id
+
+let f_plus_1 t = Config.max_faulty t.sp.cfg + 1
+
+(* The (f+1)-th execution of a serial is the client-visible confirmation
+   instant (a valid client response needs f+1 identical acks, §4.1). *)
+let on_f1_execution t ~sn (block : Bftblock.t) dbs =
+  let now = Engine.now t.engine in
+  t.executed_blocks <- t.executed_blocks + 1;
+  let agree_start = Hashtbl.find_opt t.propose_times sn in
+  List.iter
+    (fun (db : Datablock.t) ->
+      List.iter
+        (fun (b : Workload.Request.t) ->
+          if not (Hashtbl.mem t.counted_batches b.Workload.Request.id) then begin
+            Hashtbl.add t.counted_batches b.Workload.Request.id ();
+            let count = b.Workload.Request.count in
+            t.confirmed_requests <- t.confirmed_requests + count;
+            Stats.Meter.add t.confirm_meter ~at:now count;
+            Stats.Meter.add t.goodput_meter ~at:now (Workload.Request.payload_bytes b);
+            Stats.Histogram.add t.latency Sim_time.(now - b.Workload.Request.born);
+            let w = float_of_int count in
+            let gen_span = Sim_time.to_sec Sim_time.(db.Datablock.created_at - b.Workload.Request.born) in
+            Stats.Breakdown.add t.stages "Datablock Generation" (w *. Float.max 0. gen_span);
+            (match agree_start with
+             | Some p ->
+               Stats.Breakdown.add t.stages "Datablock Delivery"
+                 (w *. Float.max 0. (Sim_time.to_sec Sim_time.(p - db.Datablock.created_at)));
+               Stats.Breakdown.add t.stages "Agreement"
+                 (w *. Float.max 0. (Sim_time.to_sec Sim_time.(now - p)))
+             | None -> ());
+            Stats.Breakdown.add t.stages "Response to Client"
+              (w *. Sim_time.to_sec t.sp.link.Net.Network.prop_delay)
+          end)
+        db.Datablock.batches)
+    dbs;
+  ignore block
+
+let make_hooks t_ref =
+  { Replica.on_execute =
+      (fun ~id:_ ~sn block dbs ->
+        match !t_ref with
+        | None -> ()
+        | Some t ->
+          let c =
+            match Hashtbl.find_opt t.exec_counts sn with
+            | Some c -> c
+            | None ->
+              let c = ref 0 in
+              Hashtbl.add t.exec_counts sn c;
+              c
+          in
+          incr c;
+          if !c = f_plus_1 t then on_f1_execution t ~sn block dbs);
+    on_view_change =
+      (fun ~id:_ ~view ->
+        match !t_ref with
+        | None -> ()
+        | Some t ->
+          t.view_changes <- max t.view_changes (view - 1);
+          t.last_view_entry <- Some (Engine.now t.engine));
+    on_view_change_trigger =
+      (fun ~id:_ ~abandoned:_ ->
+        match !t_ref with
+        | None -> ()
+        | Some t ->
+          if t.first_vc_trigger = None then t.first_vc_trigger <- Some (Engine.now t.engine));
+    on_propose =
+      (fun ~id:_ ~sn ~at ->
+        match !t_ref with
+        | None -> ()
+        | Some t -> if not (Hashtbl.mem t.propose_times sn) then Hashtbl.add t.propose_times sn at)
+  }
+
+let schedule_resends t timeout =
+  let period = Int64.div timeout 2L in
+  let rec scan () =
+    let now = Engine.now t.engine in
+    List.iter
+      (fun (b : Workload.Request.t) ->
+        if not (Workload.Request.is_confirmed b) then begin
+          (* Exponential backoff (capped): a recovering cluster is not
+             re-flooded with its whole backlog every period. *)
+          let due, attempts =
+            match Hashtbl.find_opt t.resend_clock b.Workload.Request.id with
+            | Some (last, count) ->
+              let wait = Int64.mul timeout (Int64.of_int (min 8 (1 lsl count))) in
+              (Sim_time.compare Sim_time.(now - last) wait >= 0, count)
+            | None -> (Sim_time.compare Sim_time.(now - b.Workload.Request.born) timeout >= 0, 0)
+          in
+          if due then begin
+            Hashtbl.replace t.resend_clock b.Workload.Request.id (now, attempts + 1);
+            let copy = Workload.Request.resend_of b in
+            (* Re-send to several deterministically chosen replicas; §4.1:
+               s = 9 already gives > 99.99% probability of hitting an
+               honest one (f + 1 would guarantee it but floods large
+               clusters). *)
+            let fanout = min 9 (min (Config.max_faulty t.sp.cfg + 1) (t.sp.cfg.Config.n - 1)) in
+            let leader = Config.leader_of_view t.sp.cfg 1 in
+            let targets =
+              Workload.Assign.replicas_for ~n:t.sp.cfg.Config.n ~s:fanout ~leader
+                ~key:b.Workload.Request.id
+            in
+            List.iter
+              (fun dst ->
+                Net.Network.inject t.network ~dst ~size:(Workload.Request.wire_bytes copy)
+                  ~category:"client-req" (fun () -> Replica.submit t.replicas.(dst) copy))
+              targets
+          end
+        end)
+      (Workload.Generator.batches t.gen);
+    if Sim_time.compare now t.sp.duration < 0 then
+      ignore (Engine.schedule t.engine ~delay:period (fun () -> scan ()))
+  in
+  ignore (Engine.schedule t.engine ~delay:timeout (fun () -> scan ()))
+
+let create sp =
+  let cfg = sp.cfg in
+  let engine = Engine.create ~seed:sp.seed () in
+  let meta =
+    if cfg.Config.priority_channels then Msg.meta
+    else Net.Network.{ Msg.meta with priority = (fun _ -> Net.Nic.Low) }
+  in
+  let network = Net.Network.create engine ~n:cfg.Config.n ~meta ~link:sp.link in
+  (match sp.gst with
+   | Some gst ->
+     let rng = Rng.split (Engine.rng engine) in
+     Net.Network.set_extra_delay network
+       (Net.Partial_sync.until_gst ~rng ~gst ~max_delay:cfg.Config.view_timeout)
+   | None -> ());
+  let key_rng = Rng.split (Engine.rng engine) in
+  let keys = Array.init cfg.Config.n (fun _ -> Crypto.Signature.keygen key_rng) in
+  let pks = Array.map fst keys in
+  let tsetup, tkeys =
+    Crypto.Threshold.keygen key_rng ~threshold:(2 * cfg.Config.f) ~parties:cfg.Config.n
+  in
+  let strategies = Array.make cfg.Config.n Byzantine.Honest in
+  List.iter (fun (id, s) -> strategies.(id) <- s) sp.byzantine;
+  let trace = Trace.create ~enabled:sp.trace ~capacity:1_000_000 () in
+  let t_ref = ref None in
+  let hooks = make_hooks t_ref in
+  let replicas =
+    Array.init cfg.Config.n (fun id ->
+        Replica.create ~engine ~network ~cfg ~id ~sk:(snd keys.(id)) ~pks ~tsetup
+          ~tkey:tkeys.(id) ~strategy:strategies.(id) ~hooks ~trace ())
+  in
+  Array.iter Replica.start replicas;
+  let leader = Config.leader_of_view cfg 1 in
+  (* Clients avoid the leader (it generates no datablocks) unless the
+     leader-generates ablation is on. *)
+  let is_target id =
+    (not (Net.Node_id.equal id leader)) || cfg.Config.leader_generates_datablocks
+  in
+  (* Clients do not know who is Byzantine; with re-sends enabled they
+     spray over every target and rely on the timeout path, otherwise
+     target honest replicas so offered = confirmable. *)
+  let targets =
+    List.filter
+      (fun id ->
+        is_target id
+        && (sp.client_resend_timeout <> None || not (Byzantine.is_byzantine strategies.(id))))
+      (List.init cfg.Config.n Fun.id)
+  in
+  let gen =
+    (* Coarser client batching at large scale keeps the event volume of
+       the open-loop generator proportional to the offered load rather
+       than to n. *)
+    let tick = if cfg.Config.n >= 128 then Sim_time.ms 100 else Sim_time.ms 20 in
+    let inject ~dst ~size cb = Net.Network.inject network ~dst ~size ~category:"client-req" cb in
+    (* Client fan-out s > 1 (§4.1): each batch also goes to s - 1 extra
+       mu-chosen replicas; the shared confirmation ref dedups counting. *)
+    let fanned : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let submit ~target b =
+      Replica.submit replicas.(target) b;
+      if cfg.Config.s > 1 && (not b.Workload.Request.resend) && not (Hashtbl.mem fanned b.Workload.Request.id)
+      then begin
+        Hashtbl.add fanned b.Workload.Request.id ();
+        Workload.Assign.replicas_for ~n:cfg.Config.n ~s:cfg.Config.s ~leader
+          ~key:b.Workload.Request.id
+        |> List.iter (fun dst ->
+               if not (Net.Node_id.equal dst target) then
+                 inject ~dst ~size:(Workload.Request.wire_bytes b) (fun () ->
+                     Replica.submit replicas.(dst) b))
+      end
+    in
+    Workload.Generator.start engine ~rate:sp.load ~payload:cfg.Config.payload ~targets ~tick
+      ~inject ~submit
+      ?until:(match sp.load_until with Some u -> Some u | None -> Some sp.duration)
+      ()
+  in
+  let t =
+    { sp;
+      engine;
+      network;
+      replicas;
+      gen;
+      trace;
+      strategies;
+      exec_counts = Hashtbl.create 1024;
+      counted_batches = Hashtbl.create 65536;
+      propose_times = Hashtbl.create 1024;
+      confirm_meter = Stats.Meter.create ();
+      goodput_meter = Stats.Meter.create ();
+      latency = Stats.Histogram.create ();
+      stages = Stats.Breakdown.create ();
+      confirmed_requests = 0;
+      executed_blocks = 0;
+      first_vc_trigger = None;
+      last_view_entry = None;
+      view_changes = 0;
+      resend_clock = Hashtbl.create 64 }
+  in
+  t_ref := Some t;
+  (* Bandwidth accounting restarts when the warmup window closes. *)
+  ignore (Engine.schedule_at engine ~at:sp.warmup (fun () -> Net.Network.reset_stats network));
+  (match sp.stop_leader_at with
+   | Some at ->
+     ignore
+       (Engine.schedule_at engine ~at (fun () ->
+            Net.Network.set_down network leader true;
+            Trace.recordf trace ~at ~tag:"leader.stopped" "%a" Net.Node_id.pp leader))
+   | None -> ());
+  (match sp.client_resend_timeout with
+   | Some timeout -> schedule_resends t timeout
+   | None -> ());
+  t
+
+let run_until t at = Engine.run ~until:at t.engine
+
+let check_safety t =
+  let honest = honest_ids t in
+  let ledgers = List.map (fun id -> Replica.ledger t.replicas.(id)) honest in
+  match ledgers with
+  | [] -> true
+  | first :: rest ->
+    let agree l1 l2 =
+      let upto = min (Ledger.executed_up_to l1) (Ledger.executed_up_to l2) in
+      let rec go sn =
+        if sn > upto then true
+        else
+          match (Ledger.get l1 sn, Ledger.get l2 sn) with
+          | Some a, Some b -> Bftblock.equal_content a b && go (sn + 1)
+          | _ -> go (sn + 1) (* pruned below a checkpoint: vacuously fine *)
+      in
+      go 1
+    in
+    List.for_all (agree first) rest
+
+let bandwidth_view t id =
+  let acct = Net.Network.stats t.network id in
+  { sent_bytes = Net.Bandwidth.total acct Net.Bandwidth.Sent;
+    received_bytes = Net.Bandwidth.total acct Net.Bandwidth.Received;
+    sent_by_category = Net.Bandwidth.by_category acct Net.Bandwidth.Sent;
+    received_by_category = Net.Bandwidth.by_category acct Net.Bandwidth.Received }
+
+let report t =
+  let cfg = t.sp.cfg in
+  let now = Engine.now t.engine in
+  let from_ = t.sp.warmup and until = now in
+  let window_sec = Sim_time.to_sec Sim_time.(until - from_) in
+  let leader = Config.leader_of_view cfg 1 in
+  let non_leader =
+    List.find
+      (fun id -> not (Net.Node_id.equal id leader))
+      (honest_ids t)
+  in
+  let leader_view = bandwidth_view t leader in
+  let throughput = Stats.Meter.rate t.confirm_meter ~from_ ~until in
+  let goodput_bps = 8. *. Stats.Meter.rate t.goodput_meter ~from_ ~until in
+  let vc_bytes =
+    Array.to_list t.replicas
+    |> List.map (fun r ->
+           Net.Bandwidth.category_total
+             (Net.Network.stats t.network (Replica.id r))
+             Net.Bandwidth.Sent "viewchange")
+    |> List.fold_left ( + ) 0
+  in
+  let vc_trigger_to_entry =
+    match (t.first_vc_trigger, t.last_view_entry) with
+    | Some a, Some b when Sim_time.compare b a > 0 -> Some (Sim_time.to_sec Sim_time.(b - a))
+    | _ -> None
+  in
+  let final_view =
+    List.fold_left (fun acc id -> max acc (Replica.view t.replicas.(id))) 1 (honest_ids t)
+  in
+  let equivocations =
+    List.fold_left
+      (fun acc id -> acc + List.length (Datablock_pool.equivocations (Replica.pool t.replicas.(id))))
+      0 (honest_ids t)
+  in
+  let all_confirmed =
+    List.for_all Workload.Request.is_confirmed (Workload.Generator.batches t.gen)
+  in
+  { n = cfg.Config.n;
+    offered = Workload.Generator.offered t.gen;
+    confirmed = t.confirmed_requests;
+    throughput;
+    goodput_bps;
+    latency = t.latency;
+    stage_seconds = Stats.Breakdown.components t.stages;
+    leader = leader_view;
+    non_leader = bandwidth_view t non_leader;
+    leader_bps =
+      (if window_sec <= 0. then 0.
+       else 8. *. float_of_int (leader_view.sent_bytes + leader_view.received_bytes) /. window_sec);
+    window_sec;
+    executed_blocks = t.executed_blocks;
+    view_changes = t.view_changes;
+    final_view;
+    vc_trigger_to_entry;
+    vc_bytes;
+    equivocations_detected = equivocations;
+    all_confirmed;
+    safety_ok = check_safety t }
+
+let run sp =
+  let t = create sp in
+  run_until t sp.duration;
+  report t

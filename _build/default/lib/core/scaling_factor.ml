@@ -1,0 +1,26 @@
+let hotstuff_sf ~n = float_of_int (n - 1)
+
+let leopard_leader_workload ~lambda ~alpha_bytes ~beta ~n =
+  (lambda /. alpha_bytes *. beta *. float_of_int (n - 1)) +. lambda
+
+let leopard_nonleader_workload ~lambda ~alpha_bytes ~beta ~n =
+  let per_share = lambda /. float_of_int (n - 1) in
+  (per_share *. float_of_int (n - 1))
+  +. (per_share *. float_of_int (n - 2))
+  +. (lambda /. alpha_bytes *. beta)
+
+let leopard_sf ~alpha_bytes ~beta ~n =
+  Float.max
+    ((beta *. float_of_int (n - 1) /. alpha_bytes) +. 1.)
+    (2. +. (beta /. alpha_bytes))
+
+let recommended_alpha_bytes ~lambda_coeff ~n = lambda_coeff *. float_of_int (n - 1)
+
+let leopard_cost_effectiveness ~alpha_bytes ~beta = 1. /. (2. +. (beta /. alpha_bytes))
+
+let hotstuff_cost_effectiveness ~n = 1. /. float_of_int (n - 1)
+
+let measured_sf ~lambda_bytes_per_sec ~replica_bytes_per_sec =
+  match replica_bytes_per_sec with
+  | [] -> nan
+  | xs -> List.fold_left Float.max neg_infinity xs /. lambda_bytes_per_sec

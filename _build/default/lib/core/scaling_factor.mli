@@ -1,0 +1,34 @@
+(** The paper's scaling-factor metric (§1, §5.2), analytic and measured.
+
+    SF is the heaviest per-replica workload on processing pending
+    requests, per bit of requests processed by the protocol per second.
+    A protocol whose SF grows with [n] starves at scale; Leopard's is
+    constant when α is chosen proportional to [n - 1]. *)
+
+val hotstuff_sf : n:int -> float
+(** [n - 1]: the leader disseminates every pending bit to every other
+    replica (Eq. 1). *)
+
+val leopard_leader_workload : lambda:float -> alpha_bytes:float -> beta:float -> n:int -> float
+(** Γ₁ of Eq. 2: bytes/s at the leader — BFTblock hashes out, datablocks
+    in. [lambda] is the protocol's processing rate in bytes/s. *)
+
+val leopard_nonleader_workload : lambda:float -> alpha_bytes:float -> beta:float -> n:int -> float
+(** Γ₂ of Eq. 3: bytes/s at a non-leader replica. *)
+
+val leopard_sf : alpha_bytes:float -> beta:float -> n:int -> float
+(** max(β(n−1)/α + 1, 2 + β/α) (§5.2). *)
+
+val recommended_alpha_bytes : lambda_coeff:float -> n:int -> float
+(** α = λ(n − 1), the choice that makes {!leopard_sf} constant in [n]. *)
+
+val leopard_cost_effectiveness : alpha_bytes:float -> beta:float -> float
+(** Λ^Δ/W^Δ = 1 / (2 + β/α) ≈ 1/2 (§5.2, last equation). *)
+
+val hotstuff_cost_effectiveness : n:int -> float
+(** 1/(n − 1) (Eq. 1.1): the increase in throughput per unit of added
+    per-replica bandwidth approaches 0 at scale. *)
+
+val measured_sf : lambda_bytes_per_sec:float -> replica_bytes_per_sec:float list -> float
+(** Empirical SF: heaviest measured per-replica traffic (sent + received
+    bytes/s) over the measured request-processing rate. *)

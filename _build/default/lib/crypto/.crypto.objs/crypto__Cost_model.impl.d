@@ -1,0 +1,1 @@
+lib/crypto/cost_model.ml: Int64 Sim Sim_time

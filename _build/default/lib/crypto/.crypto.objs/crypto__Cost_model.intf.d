@@ -1,0 +1,1 @@
+lib/crypto/cost_model.mli: Sim

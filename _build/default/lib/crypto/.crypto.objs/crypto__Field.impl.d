@@ -1,0 +1,1 @@
+lib/crypto/field.ml: Char Format Int Sim Stdlib String

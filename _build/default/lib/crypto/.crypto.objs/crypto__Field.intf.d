@@ -1,0 +1,1 @@
+lib/crypto/field.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/crypto/hash.ml: Format Hashtbl Map Set Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/reed_solomon.ml: Array Bytes Char Gf256 Int List String

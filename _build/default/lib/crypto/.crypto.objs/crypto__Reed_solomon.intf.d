@@ -1,0 +1,1 @@
+lib/crypto/reed_solomon.mli:

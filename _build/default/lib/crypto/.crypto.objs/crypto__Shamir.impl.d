@@ -1,0 +1,1 @@
+lib/crypto/shamir.ml: Array Field Int List

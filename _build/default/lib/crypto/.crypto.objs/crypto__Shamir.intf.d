@@ -1,0 +1,1 @@
+lib/crypto/shamir.mli: Field Sim

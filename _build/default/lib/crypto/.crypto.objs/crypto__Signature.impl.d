@@ -1,0 +1,1 @@
+lib/crypto/signature.ml: Char Format Hashtbl Int64 List Sha256 Sim String

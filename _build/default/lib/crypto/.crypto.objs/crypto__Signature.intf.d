@@ -1,0 +1,1 @@
+lib/crypto/signature.mli: Format Sim

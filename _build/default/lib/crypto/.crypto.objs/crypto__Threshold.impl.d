@@ -1,0 +1,1 @@
+lib/crypto/threshold.ml: Array Field Int List Printf Sha256 Shamir String

@@ -1,0 +1,36 @@
+(** CPU cost model for cryptographic operations.
+
+    The simulated CPU charges these durations when replicas sign, verify
+    and aggregate. Defaults follow the paper's measurements (§6.2.1): a
+    BLS threshold-signature verification costs ~10 ms, an ECDSA/secp256k1
+    verification ~50 µs — a 200x gap the paper identifies as a latency
+    contributor. Profiles let benches reproduce that gap and let tests run
+    with free crypto. *)
+
+type t = {
+  sign : Sim.Sim_time.span;            (** plain signature generation *)
+  verify : Sim.Sim_time.span;          (** plain signature verification *)
+  hash_per_kb : Sim.Sim_time.span;     (** hashing cost per KiB of data *)
+  tsig_share : Sim.Sim_time.span;      (** threshold share generation *)
+  tvrf_share : Sim.Sim_time.span;      (** threshold share verification *)
+  tcombine_per_share : Sim.Sim_time.span;  (** aggregation, per input share *)
+  tvrf_aggregate : Sim.Sim_time.span;  (** aggregated signature verification *)
+}
+
+val paper : t
+(** BLS threshold ops + ECDSA plain ops at the paper's measured costs
+    (Leopard's instantiation). *)
+
+val ecdsa_only : t
+(** All ops at ECDSA-like costs (HotStuff's instantiation in [66], where
+    quorum certificates carry secp256k1 signature vectors). *)
+
+val free : t
+(** Zero-cost crypto, for unit tests and pure-protocol property tests. *)
+
+val hash_cost : t -> bytes_len:int -> Sim.Sim_time.span
+(** Hashing cost for a payload of [bytes_len] bytes. *)
+
+val combine_cost : t -> shares:int -> Sim.Sim_time.span
+(** Cost of aggregating [shares] threshold shares (verification of each
+    share plus interpolation). *)

@@ -1,0 +1,45 @@
+type t = int
+
+let p = 0x7FFFFFFF (* 2^31 - 1, prime *)
+let zero = 0
+let one = 1
+
+let of_int x =
+  let r = x mod p in
+  if r < 0 then r + p else r
+
+let to_int t = t
+
+let of_string_digest s =
+  let v = ref 0 in
+  for i = 0 to Stdlib.min 7 (String.length s - 1) do
+    v := ((!v lsl 8) lor Char.code s.[i]) mod p
+  done;
+  !v
+
+let add a b =
+  let s = a + b in
+  if s >= p then s - p else s
+
+let sub a b = if a >= b then a - b else a - b + p
+let mul a b = a * b mod p
+let neg a = if a = 0 then 0 else p - a
+
+let rec pow x e =
+  if e = 0 then 1
+  else
+    let h = pow x (e / 2) in
+    let h2 = mul h h in
+    if e land 1 = 1 then mul h2 x else h2
+
+let inv a =
+  assert (a <> 0);
+  (* Fermat: a^(p-2) mod p. *)
+  pow a (p - 2)
+
+let div a b = mul a (inv b)
+let equal = Int.equal
+
+let random rng = Sim.Rng.int rng p
+
+let pp fmt t = Format.pp_print_int fmt t

@@ -1,0 +1,43 @@
+(** Arithmetic in the prime field GF(2^31 - 1).
+
+    The Mersenne prime 2^31 - 1 keeps every product inside OCaml's native
+    63-bit integers, so Shamir secret sharing (the structure underlying the
+    simulated threshold signature scheme) needs no bignum dependency. The
+    field is small by cryptographic standards — acceptable because the
+    scheme's security is simulated, only its quorum semantics are real. *)
+
+type t = private int
+(** A field element in [\[0, p)]. *)
+
+val p : int
+(** The modulus, 2^31 - 1. *)
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** Reduction mod [p] (handles negative inputs). *)
+
+val to_int : t -> int
+
+val of_string_digest : string -> t
+(** Maps a digest (or any string) into the field via its first 8 bytes;
+    used to bind threshold shares to messages. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val neg : t -> t
+
+val inv : t -> t
+(** Multiplicative inverse. Requires a non-zero argument. *)
+
+val div : t -> t -> t
+(** [div a b] is [a * inv b]. Requires [b] non-zero. *)
+
+val pow : t -> int -> t
+(** [pow x e] for [e >= 0]. *)
+
+val equal : t -> t -> bool
+val random : Sim.Rng.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+type t = string
+
+let size_bytes = 32
+let of_string s = Sha256.digest_string s
+let of_strings parts = Sha256.digest_strings parts
+let combine digests = Sha256.digest_strings digests
+let raw t = t
+
+let of_raw s =
+  assert (String.length s = size_bytes);
+  s
+
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let to_hex = Sha256.to_hex
+let short t = String.sub (to_hex t) 0 8
+let pp fmt t = Format.pp_print_string fmt (short t)
+
+module Map = Map.Make (String)
+module Set = Set.Make (String)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)

@@ -1,0 +1,41 @@
+(** 32-byte SHA-256 digests as protocol values.
+
+    The protocol manipulates hashes of requests, datablocks and BFTblocks;
+    this module gives them an abstract, comparable, printable identity. *)
+
+type t
+(** A 32-byte digest. *)
+
+val size_bytes : int
+(** Wire size of a digest (32); the paper's β parameter. *)
+
+val of_string : string -> t
+(** [of_string s] hashes [s]. *)
+
+val of_strings : string list -> t
+(** Hash of the concatenation of the parts. *)
+
+val combine : t list -> t
+(** Hash of a list of digests; used for hash links and vote messages
+    (e.g. [H(σ¹)] in Algorithm 2). *)
+
+val raw : t -> string
+(** The underlying 32 raw bytes. *)
+
+val of_raw : string -> t
+(** Wraps a precomputed 32-byte digest. Requires length 32. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+(** For [Hashtbl] keys. *)
+
+val to_hex : t -> string
+val short : t -> string
+(** First 8 hex characters; for traces and error messages. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

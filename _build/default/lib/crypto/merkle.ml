@@ -1,0 +1,63 @@
+type step = { sibling : Hash.t; sibling_on_left : bool }
+type proof = step list
+
+let parent l r = Hash.combine [ l; r ]
+
+let rec level_up nodes =
+  match nodes with
+  | [] | [ _ ] -> nodes
+  | _ ->
+    let rec pair = function
+      | l :: r :: rest -> parent l r :: pair rest
+      | [ odd ] -> [ odd ]
+      | [] -> []
+    in
+    level_up (pair nodes)
+
+let root = function
+  | [] -> Hash.of_string ""
+  | leaves ->
+    (match level_up leaves with
+     | [ r ] -> r
+     | _ -> assert false)
+
+let prove leaves i =
+  let n = List.length leaves in
+  if i < 0 || i >= n then None
+  else begin
+    let rec go nodes idx acc =
+      match nodes with
+      | [] -> assert false
+      | [ _ ] -> List.rev acc
+      | _ ->
+        let arr = Array.of_list nodes in
+        let len = Array.length arr in
+        let acc =
+          if idx land 1 = 0 then
+            if idx + 1 < len then { sibling = arr.(idx + 1); sibling_on_left = false } :: acc
+            else acc (* odd tail promoted: no sibling at this level *)
+          else { sibling = arr.(idx - 1); sibling_on_left = true } :: acc
+        in
+        let next =
+          let rec pair = function
+            | l :: r :: rest -> parent l r :: pair rest
+            | [ odd ] -> [ odd ]
+            | [] -> []
+          in
+          pair nodes
+        in
+        go next (idx / 2) acc
+    in
+    Some (go leaves i [])
+  end
+
+let verify_proof ~root:expected ~leaf proof =
+  let computed =
+    List.fold_left
+      (fun acc step ->
+        if step.sibling_on_left then parent step.sibling acc else parent acc step.sibling)
+      leaf proof
+  in
+  Hash.equal computed expected
+
+let proof_size_bytes proof = (List.length proof * Hash.size_bytes) + ((List.length proof + 7) / 8)

@@ -1,0 +1,24 @@
+(** Merkle trees over digests.
+
+    Datablock digests in the prototype are Merkle roots over request
+    digests, which lets a replica prove inclusion of one request to a
+    client without shipping the whole datablock (used by the fast-payment
+    example). *)
+
+type proof
+(** An inclusion proof: the co-path from a leaf to the root. *)
+
+val root : Hash.t list -> Hash.t
+(** Merkle root of the leaves; leaves are paired left-to-right and odd
+    tails are promoted. The root of [[]] is the hash of the empty string,
+    and a singleton's root is its element. *)
+
+val prove : Hash.t list -> int -> proof option
+(** [prove leaves i] is the inclusion proof of leaf [i], or [None] when
+    [i] is out of range. *)
+
+val verify_proof : root:Hash.t -> leaf:Hash.t -> proof -> bool
+(** Checks an inclusion proof against a root. *)
+
+val proof_size_bytes : proof -> int
+(** Wire size of a proof (32 bytes per level plus direction bits). *)

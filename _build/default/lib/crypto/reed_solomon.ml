@@ -1,0 +1,104 @@
+type fragment = { index : int; data : bytes }
+
+let fragment_size ~k ~payload_len = (payload_len + k - 1) / k
+
+(* Evaluation point for fragment i: the field element i + 1 (non-zero,
+   distinct for i < 255). *)
+let point i = i + 1
+
+let encode ~k ~n payload =
+  assert (0 < k && k <= n && n <= 255);
+  let len = String.length payload in
+  let stripe_count = fragment_size ~k ~payload_len:len in
+  let byte_at stripe j =
+    (* coefficient j of stripe: payload.[stripe * k + j], zero padded *)
+    let pos = (stripe * k) + j in
+    if pos < len then Char.code payload.[pos] else 0
+  in
+  List.init n (fun i ->
+      let x = point i in
+      let data = Bytes.create stripe_count in
+      for stripe = 0 to stripe_count - 1 do
+        (* Horner evaluation of the stripe polynomial at x. *)
+        let acc = ref 0 in
+        for j = k - 1 downto 0 do
+          acc := Gf256.add (Gf256.mul !acc x) (byte_at stripe j)
+        done;
+        Bytes.set data stripe (Char.chr !acc)
+      done;
+      { index = i; data })
+
+let decode ~k ~len fragments =
+  let distinct =
+    List.sort_uniq (fun a b -> Int.compare a.index b.index) fragments
+  in
+  if List.length distinct < k then None
+  else begin
+    let chosen = Array.of_list (List.filteri (fun i _ -> i < k) distinct) in
+    let xs = Array.map (fun f -> point f.index) chosen in
+    let stripe_count = fragment_size ~k ~payload_len:len in
+    (* Lagrange basis evaluated at each coefficient position: we need the
+       polynomial's coefficients, not just one evaluation. Interpolate by
+       solving for coefficients via Newton-free approach: evaluate the
+       interpolating polynomial at the k coefficient "positions"?  No —
+       coefficients ARE the data. Recover them by Gaussian elimination
+       on the Vandermonde system V c = y per stripe.  k is small (the
+       code is configured per-delivery, k <= 64), so O(k^3 + k^2 per
+       stripe) is fine. *)
+    let kk = k in
+    (* LU-style elimination on the Vandermonde matrix done once. *)
+    let m = Array.make_matrix kk (kk + 1) 0 in
+    let solve ys =
+      for r = 0 to kk - 1 do
+        let x = xs.(r) in
+        let p = ref 1 in
+        for c = 0 to kk - 1 do
+          m.(r).(c) <- !p;
+          p := Gf256.mul !p x
+        done;
+        m.(r).(kk) <- ys.(r)
+      done;
+      (* forward elimination *)
+      (try
+         for col = 0 to kk - 1 do
+           (* find pivot *)
+           let pivot = ref (-1) in
+           for r = col to kk - 1 do
+             if !pivot = -1 && m.(r).(col) <> 0 then pivot := r
+           done;
+           if !pivot = -1 then raise Exit;
+           if !pivot <> col then begin
+             let tmp = m.(col) in
+             m.(col) <- m.(!pivot);
+             m.(!pivot) <- tmp
+           end;
+           let inv_p = Gf256.inv m.(col).(col) in
+           for c = col to kk do
+             m.(col).(c) <- Gf256.mul m.(col).(c) inv_p
+           done;
+           for r = 0 to kk - 1 do
+             if r <> col && m.(r).(col) <> 0 then begin
+               let factor = m.(r).(col) in
+               for c = col to kk do
+                 m.(r).(c) <- Gf256.add m.(r).(c) (Gf256.mul factor m.(col).(c))
+               done
+             end
+           done
+         done;
+         Some (Array.init kk (fun r -> m.(r).(kk)))
+       with Exit -> None)
+    in
+    let out = Bytes.make (stripe_count * kk) '\000' in
+    let ys = Array.make kk 0 in
+    let ok = ref true in
+    for stripe = 0 to stripe_count - 1 do
+      if !ok then begin
+        Array.iteri (fun r f -> ys.(r) <- Char.code (Bytes.get f.data stripe)) chosen;
+        match solve ys with
+        | Some coeffs ->
+          Array.iteri (fun j v -> Bytes.set out ((stripe * kk) + j) (Char.chr v)) coeffs
+        | None -> ok := false
+      end
+    done;
+    if !ok then Some (Bytes.sub_string out 0 len) else None
+  end

@@ -1,0 +1,31 @@
+(** Reed–Solomon erasure coding over GF(2^8).
+
+    An (n, k) code turns [k] data fragments into [n] coded fragments so
+    that *any* [k] of them reconstruct the data — the reliable-broadcast
+    building block the paper compares against in §2 (code rate 1/c with
+    c = n/k; Reed–Solomon with c = 2 tolerates the loss of half the
+    fragments). Encoding is polynomial evaluation: stripe bytes are the
+    coefficients of a degree-(k−1) polynomial evaluated at [n] distinct
+    field points; decoding is Lagrange interpolation.
+
+    Limits: [0 < k <= n <= 255]. *)
+
+type fragment = { index : int; data : bytes }
+(** Coded fragment [index] (0-based evaluation point). *)
+
+val encode : k:int -> n:int -> string -> fragment list
+(** [encode ~k ~n payload] splits the payload into [k]-byte stripes
+    (zero-padded) and produces [n] fragments, each of size
+    [ceil (len/k)] plus an 8-byte length header in fragment 0's
+    accounting (the original length is carried separately by
+    {!decode}'s [len] argument). *)
+
+val fragment_size : k:int -> payload_len:int -> int
+(** Size in bytes of each fragment for a payload of the given length. *)
+
+val decode : k:int -> len:int -> fragment list -> string option
+(** [decode ~k ~len fragments] reconstructs the original [len]-byte
+    payload from any [k] distinct fragments; [None] if fewer than [k]
+    distinct indices are supplied. Corrupted fragment *data* yields a
+    wrong payload (erasure code, not error-correcting) — integrity is
+    the caller's job (hashes). *)

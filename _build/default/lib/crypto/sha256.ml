@@ -1,0 +1,172 @@
+(* FIPS 180-4 SHA-256 over Int32 words. *)
+
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l;
+     0x3956c25bl; 0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l;
+     0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l;
+     0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l; 0xc19bf174l;
+     0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal;
+     0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l;
+     0xc6e00bf3l; 0xd5a79147l; 0x06ca6351l; 0x14292967l;
+     0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl; 0x53380d13l;
+     0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l;
+     0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l;
+     0x19a4c116l; 0x1e376c08l; 0x2748774cl; 0x34b0bcb5l;
+     0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl; 0x682e6ff3l;
+     0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+type ctx = {
+  h : int32 array;                   (* 8 chaining words *)
+  block : bytes;                     (* 64-byte input block buffer *)
+  mutable fill : int;                (* bytes buffered in [block] *)
+  mutable total : int64;             (* total message bytes fed *)
+  w : int32 array;                   (* 64-word message schedule scratch *)
+  mutable finalized : bool;
+}
+
+let init () =
+  { h =
+      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
+         0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+    block = Bytes.create 64;
+    fill = 0;
+    total = 0L;
+    w = Array.make 64 0l;
+    finalized = false }
+
+let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+let ( +% ) = Int32.add
+let ( ^% ) = Int32.logxor
+let ( &% ) = Int32.logand
+let lnot32 = Int32.lognot
+
+let compress ctx block off =
+  let w = ctx.w in
+  for i = 0 to 15 do
+    let b j = Int32.of_int (Char.code (Bytes.get block (off + (4 * i) + j))) in
+    w.(i) <-
+      Int32.logor
+        (Int32.shift_left (b 0) 24)
+        (Int32.logor
+           (Int32.shift_left (b 1) 16)
+           (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+  done;
+  for i = 16 to 63 do
+    let s0 = rotr w.(i - 15) 7 ^% rotr w.(i - 15) 18 ^% Int32.shift_right_logical w.(i - 15) 3 in
+    let s1 = rotr w.(i - 2) 17 ^% rotr w.(i - 2) 19 ^% Int32.shift_right_logical w.(i - 2) 10 in
+    w.(i) <- w.(i - 16) +% s0 +% w.(i - 7) +% s1
+  done;
+  let h = ctx.h in
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 ^% rotr !e 11 ^% rotr !e 25 in
+    let ch = (!e &% !f) ^% (lnot32 !e &% !g) in
+    let temp1 = !hh +% s1 +% ch +% k.(i) +% w.(i) in
+    let s0 = rotr !a 2 ^% rotr !a 13 ^% rotr !a 22 in
+    let maj = (!a &% !b) ^% (!a &% !c) ^% (!b &% !c) in
+    let temp2 = s0 +% maj in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := !d +% temp1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := temp1 +% temp2
+  done;
+  h.(0) <- h.(0) +% !a;
+  h.(1) <- h.(1) +% !b;
+  h.(2) <- h.(2) +% !c;
+  h.(3) <- h.(3) +% !d;
+  h.(4) <- h.(4) +% !e;
+  h.(5) <- h.(5) +% !f;
+  h.(6) <- h.(6) +% !g;
+  h.(7) <- h.(7) +% !hh
+
+let feed_bytes ctx ?(off = 0) ?len src =
+  assert (not ctx.finalized);
+  let len = match len with Some l -> l | None -> Bytes.length src - off in
+  assert (off >= 0 && len >= 0 && off + len <= Bytes.length src);
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let pos = ref off and remaining = ref len in
+  (* Top up a partially filled block first. *)
+  if ctx.fill > 0 then begin
+    let take = min !remaining (64 - ctx.fill) in
+    Bytes.blit src !pos ctx.block ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    pos := !pos + take;
+    remaining := !remaining - take;
+    if ctx.fill = 64 then begin
+      compress ctx ctx.block 0;
+      ctx.fill <- 0
+    end
+  end;
+  while !remaining >= 64 do
+    compress ctx src !pos;
+    pos := !pos + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit src !pos ctx.block ctx.fill !remaining;
+    ctx.fill <- ctx.fill + !remaining
+  end
+
+let feed_string ctx s = feed_bytes ctx (Bytes.unsafe_of_string s)
+
+let finalize ctx =
+  assert (not ctx.finalized);
+  let bit_len = Int64.mul ctx.total 8L in
+  (* Padding: 0x80, zeros, 8-byte big-endian bit length. *)
+  let pad_len =
+    let rem = (ctx.fill + 1 + 8) mod 64 in
+    if rem = 0 then 1 else 1 + (64 - rem)
+  in
+  let pad = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set pad 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set pad
+      (pad_len + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bit_len ((7 - i) * 8)) 0xFFL)))
+  done;
+  feed_bytes ctx pad;
+  ctx.finalized <- true;
+  assert (ctx.fill = 0);
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let v = ctx.h.(i) in
+    let byte shift = Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v shift) 0xFFl)) in
+    Bytes.set out (4 * i) (byte 24);
+    Bytes.set out ((4 * i) + 1) (byte 16);
+    Bytes.set out ((4 * i) + 2) (byte 8);
+    Bytes.set out ((4 * i) + 3) (byte 0)
+  done;
+  Bytes.unsafe_to_string out
+
+let digest_string s =
+  let ctx = init () in
+  feed_string ctx s;
+  finalize ctx
+
+let digest_strings parts =
+  let ctx = init () in
+  List.iter (feed_string ctx) parts;
+  finalize ctx
+
+let hmac ~key msg =
+  let key = if String.length key > 64 then digest_string key else key in
+  let pad fill =
+    let b = Bytes.make 64 (Char.chr fill) in
+    String.iteri (fun i c -> Bytes.set b i (Char.chr (Char.code c lxor fill))) key;
+    Bytes.unsafe_to_string b
+  in
+  let inner = digest_strings [ pad 0x36; msg ] in
+  digest_strings [ pad 0x5c; inner ]
+
+let to_hex raw =
+  let buf = Buffer.create (2 * String.length raw) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) raw;
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    Used for request digests, datablock/BFTblock hashes and hash links.
+    The implementation is the real compression function (verified against
+    the RFC 6234 test vectors in the test suite), so hash-link integrity
+    and collision-resistance assumptions in the protocol are exercised for
+    real rather than stubbed. *)
+
+type ctx
+(** Streaming hash context. *)
+
+val init : unit -> ctx
+val feed_bytes : ctx -> ?off:int -> ?len:int -> bytes -> unit
+val feed_string : ctx -> string -> unit
+
+val finalize : ctx -> string
+(** The 32-byte digest. The context must not be reused afterwards. *)
+
+val digest_string : string -> string
+(** [digest_string s] is the 32-byte SHA-256 digest of [s]. *)
+
+val digest_strings : string list -> string
+(** Digest of the concatenation of the given strings, without building the
+    concatenation. *)
+
+val hmac : key:string -> string -> string
+(** HMAC-SHA256 (RFC 2104); the primitive under the simulated signature
+    schemes. *)
+
+val to_hex : string -> string
+(** Lowercase hex rendering of a raw digest. *)

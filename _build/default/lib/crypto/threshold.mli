@@ -1,0 +1,82 @@
+(** (t, n)-threshold signature scheme (§3.1), simulated over Shamir shares.
+
+    [TKGen] deals a Shamir sharing of a master field element; a share
+    signature on message [M] is the signer's Shamir share masked by a hash
+    of [M], so shares are message-bound. [TSR] verifies [t + 1] shares and
+    Lagrange-interpolates them into an aggregate; [TVrf] checks the
+    aggregate against the group public key (a hash commitment to the
+    master secret). The quorum semantics are real — fewer than [t + 1]
+    valid shares cannot produce an aggregate that verifies — while
+    cryptographic hardness is simulated (see DESIGN.md substitutions).
+    Wire sizes and CPU costs mirror BLS as used by the paper. *)
+
+type setup
+(** Public material of one dealt key group: group key, per-member keys,
+    threshold [t] and group size [n]. *)
+
+type member_key
+(** [tsk_i]: member [i]'s signing key (abstract). *)
+
+type share
+(** [σ_i]: a threshold signature share on some message. *)
+
+type aggregate
+(** σ: an aggregated threshold signature (a completed round-of-voting
+    proof in Leopard: notarization, confirmation or checkpoint proof). *)
+
+val share_size_bytes : int
+(** Wire size of a share (48, as a BLS G1 point). *)
+
+val aggregate_size_bytes : int
+(** Wire size of an aggregate (48). *)
+
+val keygen : Sim.Rng.t -> threshold:int -> parties:int -> setup * member_key array
+(** [keygen rng ~threshold ~parties] deals keys for members [1..parties];
+    [threshold + 1] shares are needed to aggregate. The returned array is
+    indexed by member (0-based position = member index - 1).
+    Requires [0 <= threshold < parties]. *)
+
+val threshold : setup -> int
+val parties : setup -> int
+
+val sign_share : member_key -> string -> share
+(** [TSig]: member's share on a message. *)
+
+val share_index : share -> int
+(** The 1-based member index that produced the share. *)
+
+val verify_share : setup -> share -> string -> bool
+(** Checks a share against the member's public key and the message. *)
+
+val combine : setup -> string -> share list -> aggregate option
+(** [TSR]: verifies the shares and aggregates. Returns [None] when fewer
+    than [threshold + 1] valid shares with distinct indices are supplied
+    (invalid or duplicate shares are discarded, matching robustness). *)
+
+val verify : setup -> aggregate -> string -> bool
+(** [TVrf] on an aggregated signature. *)
+
+val encode : aggregate -> string
+(** Deterministic encoding of an aggregate, for hashing — Algorithm 2's
+    second voting round signs [H(σ¹)]. *)
+
+val forge_attempt : setup -> string -> aggregate
+(** An aggregate built without any share — guaranteed not to verify; used
+    by Byzantine strategies and unforgeability-shape tests. *)
+
+(** {2 Raw access (persistence/wire codecs)}
+
+    Shares and aggregates serialize to their field representation; raw
+    reconstruction cannot mint valid values (verification still checks
+    the key commitments). *)
+
+val share_raw : share -> int * int
+(** [(member index, masked field value)]. *)
+
+val share_of_raw : index:int -> value:int -> share
+
+val aggregate_raw : aggregate -> int
+val aggregate_of_raw : int -> aggregate
+
+val share_equal : share -> share -> bool
+val aggregate_equal : aggregate -> aggregate -> bool

@@ -1,0 +1,1 @@
+lib/delivery/broadcast_lab.ml: Array Bytes Crypto Engine Format Fun Hashtbl List Net Option Printf Sim Sim_time String

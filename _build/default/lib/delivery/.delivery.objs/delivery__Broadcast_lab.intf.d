@@ -1,0 +1,1 @@
+lib/delivery/broadcast_lab.mli: Format Net Sim

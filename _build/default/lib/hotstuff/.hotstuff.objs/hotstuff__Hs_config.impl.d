@@ -1,0 +1,1 @@
+lib/hotstuff/hs_config.ml: Crypto Sim

@@ -1,0 +1,1 @@
+lib/hotstuff/hs_config.mli: Crypto Sim

@@ -1,0 +1,1 @@
+lib/hotstuff/hs_replica.ml: Crypto Engine Hashtbl Hs_config Hs_types List Net Queue Sim Sim_time Workload

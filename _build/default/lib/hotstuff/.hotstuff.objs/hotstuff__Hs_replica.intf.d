@@ -1,0 +1,1 @@
+lib/hotstuff/hs_replica.mli: Crypto Hs_config Hs_types Net Sim Workload

@@ -1,0 +1,1 @@
+lib/hotstuff/hs_runner.ml: Array Crypto Engine Fun Hashtbl Hs_config Hs_replica Hs_types List Net Option Rng Sim Sim_time Stats Workload

@@ -1,0 +1,1 @@
+lib/hotstuff/hs_runner.mli: Hs_config Net Sim Stats

@@ -1,0 +1,1 @@
+lib/hotstuff/hs_types.ml: Crypto List Net Printf Workload

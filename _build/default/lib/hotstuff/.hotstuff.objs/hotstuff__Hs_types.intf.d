@@ -1,0 +1,1 @@
+lib/hotstuff/hs_types.mli: Crypto Net Workload

@@ -1,0 +1,37 @@
+(** Chained HotStuff replica (stable leader, pipelined three-chain).
+
+    The leader batches client requests into full blocks, proposes a new
+    block whenever the previous height's QC forms, and aggregates votes
+    into QCs. A block commits when it heads a three-chain of consecutive
+    QCs. This is the state machine whose leader egress grows as
+    Λ × (n − 1), the bottleneck the paper's Figures 1, 2, 9–12 chart. *)
+
+type t
+
+type hooks = {
+  on_commit : id:Net.Node_id.t -> height:int -> Hs_types.block -> unit;
+}
+
+val no_hooks : hooks
+
+val create :
+  engine:Sim.Engine.t ->
+  network:Hs_types.msg Net.Network.t ->
+  cfg:Hs_config.t ->
+  id:Net.Node_id.t ->
+  leader:Net.Node_id.t ->
+  tsetup:Crypto.Threshold.setup ->
+  tkey:Crypto.Threshold.member_key ->
+  ?silent:bool ->
+  ?hooks:hooks ->
+  unit ->
+  t
+
+val start : t -> unit
+val submit : t -> Workload.Request.t -> unit
+(** Client request arrival (clients submit to the leader in libhotstuff). *)
+
+val id : t -> Net.Node_id.t
+val committed_up_to : t -> int
+val committed_block : t -> int -> Hs_types.block option
+val mempool_pending : t -> int

@@ -1,0 +1,59 @@
+type block = {
+  height : int;
+  parent : Crypto.Hash.t;
+  batch : Workload.Request.t list;
+  req_count : int;
+  payload_bytes : int;
+  hash_memo : Crypto.Hash.t;
+  wire_bytes : int;
+}
+
+let genesis_hash = Crypto.Hash.of_string "hotstuff.genesis"
+
+let compute_block_hash ~height ~parent ~batch =
+  Crypto.Hash.of_strings
+    (Printf.sprintf "hsblock:%d" height
+     :: Crypto.Hash.raw parent
+     :: List.map Workload.Request.encode batch)
+
+let make_block ~height ~parent ~batch =
+  { height;
+    parent;
+    batch;
+    req_count = List.fold_left (fun a b -> a + b.Workload.Request.count) 0 batch;
+    payload_bytes = List.fold_left (fun a b -> a + Workload.Request.payload_bytes b) 0 batch;
+    hash_memo = compute_block_hash ~height ~parent ~batch;
+    wire_bytes =
+      24 + Crypto.Hash.size_bytes
+      + List.fold_left (fun acc b -> acc + Workload.Request.wire_bytes b) 0 batch }
+
+let block_hash b = b.hash_memo
+
+type qc = {
+  qc_height : int;
+  qc_block : Crypto.Hash.t;
+  qc_proof : Crypto.Threshold.aggregate;
+}
+
+type msg =
+  | Proposal of { block : block; justify : qc option }
+  | Vote of { height : int; block_hash : Crypto.Hash.t; share : Crypto.Threshold.share }
+
+let vote_payload ~height ~block_hash =
+  Printf.sprintf "hs.vote:%d:%s" height (Crypto.Hash.raw block_hash)
+
+let wire_size = function
+  | Proposal { block; justify } ->
+    block.wire_bytes
+    + (match justify with
+       | Some _ -> 8 + Crypto.Hash.size_bytes + Crypto.Threshold.aggregate_size_bytes
+       | None -> 1)
+  | Vote _ -> 24 + Crypto.Hash.size_bytes + Crypto.Threshold.share_size_bytes
+
+let category = function
+  | Proposal _ -> "proposal"
+  | Vote _ -> "vote"
+
+let priority (_ : msg) = Net.Nic.High
+
+let meta = Net.Network.{ size = wire_size; category; priority }

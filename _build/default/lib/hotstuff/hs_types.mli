@@ -1,0 +1,39 @@
+(** Chained HotStuff wire types (the baseline of §6).
+
+    The comparator is the authors' libhotstuff: a stable leader batches
+    client requests into blocks, each block carries a quorum certificate
+    (QC) for its parent, and a block commits when it heads a three-chain.
+    Unlike Leopard, the full request payload travels in the proposal —
+    the leader's egress is Λ × (n − 1), Eq. (1). *)
+
+type block = private {
+  height : int;
+  parent : Crypto.Hash.t;
+  batch : Workload.Request.t list;
+  req_count : int;
+  payload_bytes : int;
+  hash_memo : Crypto.Hash.t;
+  wire_bytes : int;
+}
+
+val make_block :
+  height:int -> parent:Crypto.Hash.t -> batch:Workload.Request.t list -> block
+
+val block_hash : block -> Crypto.Hash.t
+val genesis_hash : Crypto.Hash.t
+
+type qc = {
+  qc_height : int;
+  qc_block : Crypto.Hash.t;
+  qc_proof : Crypto.Threshold.aggregate;
+}
+
+type msg =
+  | Proposal of { block : block; justify : qc option }
+  | Vote of { height : int; block_hash : Crypto.Hash.t; share : Crypto.Threshold.share }
+
+val vote_payload : height:int -> block_hash:Crypto.Hash.t -> string
+(** What a vote's threshold share signs. *)
+
+val wire_size : msg -> int
+val meta : msg Net.Network.meta

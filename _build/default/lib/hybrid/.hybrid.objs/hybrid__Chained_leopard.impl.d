@@ -1,0 +1,1 @@
+lib/hybrid/chained_leopard.ml: Array Core Crypto Engine Fun Hashtbl Int64 List Net Option Printf Rng Sim Sim_time Stats Workload

@@ -1,0 +1,1 @@
+lib/hybrid/chained_leopard.mli: Crypto Net Sim Stats

@@ -1,0 +1,82 @@
+(** Chained Leopard: datablock decoupling grafted onto chain-based BFT.
+
+    The paper's §4.3 remark: "the decoupling of data delivery ... can
+    also be leveraged based on chain-based BFT protocols, like HotStuff,
+    to preserve the efficiency while the number of replicas increases."
+    This library is that protocol: chained HotStuff's structure (one
+    block per height, each carrying a QC for its parent, three-chain
+    commit, trivially cheap view synchronization) with Leopard's data
+    plane (non-leaders disseminate datablocks; blocks carry only their
+    hashes).
+
+    Compared to full Leopard it gives up parallel agreement instances
+    (heights are sequential) in exchange for the chain's simpler
+    recovery; compared to plain HotStuff it removes the leader's
+    Λ × (n−1) egress. The ablation bench runs all three side by side.
+
+    Like the other baselines this library implements the normal case
+    only (stable, honest leader): it exists for the throughput/bandwidth
+    comparison, and leader replacement for chained protocols is the
+    well-trodden HotStuff pacemaker. Leopard's full view change lives in
+    {!Core.Replica}. *)
+
+type cfg = {
+  n : int;
+  f : int;
+  alpha : int;              (** requests per datablock *)
+  links_per_block : int;    (** datablock hashes per chain block *)
+  payload : int;
+  datablock_timeout : Sim.Sim_time.span;
+  proposal_timeout : Sim.Sim_time.span;
+  cost : Crypto.Cost_model.t;
+  cores : int;
+}
+
+val make_cfg :
+  n:int ->
+  ?alpha:int ->
+  ?links_per_block:int ->
+  ?payload:int ->
+  ?datablock_timeout:Sim.Sim_time.span ->
+  ?proposal_timeout:Sim.Sim_time.span ->
+  ?cost:Crypto.Cost_model.t ->
+  ?cores:int ->
+  unit ->
+  cfg
+(** Defaults follow {!Core.Config.paper_batch_sizes} for alpha and use
+    BFTsize/4 links per block (chain blocks are smaller since they are
+    sequential); timers at 500 ms. *)
+
+type spec = {
+  cfg : cfg;
+  link : Net.Network.link;
+  seed : int64;
+  load : float;
+  duration : Sim.Sim_time.span;
+  warmup : Sim.Sim_time.span;
+  silent : int;
+}
+
+val spec :
+  cfg:cfg ->
+  ?link:Net.Network.link ->
+  ?seed:int64 ->
+  ?load:float ->
+  ?duration:Sim.Sim_time.span ->
+  ?warmup:Sim.Sim_time.span ->
+  ?silent:int ->
+  unit ->
+  spec
+
+type report = {
+  n : int;
+  offered : int;
+  confirmed : int;
+  throughput : float;
+  latency : Stats.Histogram.t;
+  leader_bps : float;
+  committed_heights : int;
+  safety_ok : bool;
+}
+
+val run : spec -> report

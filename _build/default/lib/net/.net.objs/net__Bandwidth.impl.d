@@ -1,0 +1,1 @@
+lib/net/bandwidth.ml: Hashtbl List String

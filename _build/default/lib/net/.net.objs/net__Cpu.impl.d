@@ -1,0 +1,1 @@
+lib/net/cpu.ml: Array Engine Sim Sim_time

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Bandwidth Engine Int64 Nic Node_id Rng Sim Sim_time

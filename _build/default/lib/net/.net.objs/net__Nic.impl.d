@@ -1,0 +1,1 @@
+lib/net/nic.ml: Engine Queue Sim Sim_time

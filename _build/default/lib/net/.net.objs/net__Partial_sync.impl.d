@@ -1,0 +1,1 @@
+lib/net/partial_sync.ml: Int64 List Node_id Rng Sim Sim_time

@@ -1,0 +1,1 @@
+lib/net/partial_sync.mli: Node_id Sim

@@ -1,0 +1,34 @@
+open Sim
+
+type t = {
+  engine : Engine.t;
+  cores : Sim_time.t array;        (* instant each core becomes free *)
+  mutable busy : Sim_time.span;
+  mutable depth : int;
+}
+
+let create engine ~cores =
+  assert (cores >= 1);
+  { engine; cores = Array.make cores Sim_time.zero; busy = 0L; depth = 0 }
+
+let earliest_core t =
+  let best = ref 0 in
+  for i = 1 to Array.length t.cores - 1 do
+    if Sim_time.compare t.cores.(i) t.cores.(!best) < 0 then best := i
+  done;
+  !best
+
+let submit t ~cost f =
+  let core = earliest_core t in
+  let start = Sim_time.max (Engine.now t.engine) t.cores.(core) in
+  let finish = Sim_time.(start + cost) in
+  t.cores.(core) <- finish;
+  t.busy <- Sim_time.(t.busy + cost);
+  t.depth <- t.depth + 1;
+  ignore
+    (Engine.schedule_at t.engine ~at:finish (fun () ->
+         t.depth <- t.depth - 1;
+         f ()))
+
+let busy_span t = t.busy
+let queue_depth t = t.depth

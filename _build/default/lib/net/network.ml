@@ -1,0 +1,169 @@
+open Sim
+
+type 'msg meta = {
+  size : 'msg -> int;
+  category : 'msg -> string;
+  priority : 'msg -> Nic.priority;
+}
+
+type link = {
+  out_bps : float;
+  in_bps : float;
+  prop_delay : Sim_time.span;
+  jitter : Sim_time.span;
+  lanes : int;
+}
+
+let default_link =
+  { out_bps = 4.9e9;
+    in_bps = 4.9e9;
+    prop_delay = Sim_time.ms 1;
+    jitter = Sim_time.us 200;
+    lanes = 1 }
+
+let mbps x = x *. 1e6
+let gbps x = x *. 1e9
+
+(* What travels through NICs: protocol messages, client injections, and
+   external egress (client acks), each with enough context to finish the
+   hop when serialization completes. *)
+type 'msg packet =
+  | Proto of { src : Node_id.t; dst : Node_id.t; msg : 'msg }
+  | External of { callback : unit -> unit }
+
+type 'msg node = {
+  egress : 'msg packet Nic.t;
+  ingress : 'msg packet Nic.t;
+  account : Bandwidth.t;
+  mutable handler : (src:Node_id.t -> 'msg -> unit) option;
+  mutable down : bool;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  meta : 'msg meta;
+  mutable link : link;
+  nodes : 'msg node array;
+  rng : Rng.t;
+  mutable extra_delay :
+    (now:Sim_time.t -> src:Node_id.t -> dst:Node_id.t -> Sim_time.span) option;
+}
+
+let engine t = t.engine
+let n t = Array.length t.nodes
+
+let deliver t dst packet =
+  let node = t.nodes.(dst) in
+  if not node.down then
+    match packet with
+    | External { callback } -> callback ()
+    | Proto { src; msg; _ } ->
+      Bandwidth.record node.account Received ~category:(t.meta.category msg) (t.meta.size msg);
+      (match node.handler with
+       | Some h -> h ~src msg
+       | None -> ())
+
+let wire_delay t ~src ~dst =
+  let base = t.link.prop_delay in
+  let jit =
+    if Int64.compare t.link.jitter 0L > 0 then
+      Int64.of_float (Rng.float t.rng (Int64.to_float t.link.jitter))
+    else 0L
+  in
+  let extra =
+    match t.extra_delay with
+    | Some f -> f ~now:(Engine.now t.engine) ~src ~dst
+    | None -> 0L
+  in
+  Sim_time.(base + Sim_time.(jit + extra))
+
+(* Egress completion: the packet crosses the wire, then contends for the
+   receiver's ingress NIC. Sent bytes are accounted here — when they have
+   actually left the NIC — so a backlogged egress queue cannot inflate a
+   measurement window's utilization. *)
+let on_egress_done t packet =
+  match packet with
+  | External _ -> () (* external egress has no in-network destination *)
+  | Proto { src; dst; msg } ->
+    Bandwidth.record t.nodes.(src).account Sent ~category:(t.meta.category msg)
+      (t.meta.size msg);
+    let dt = wire_delay t ~src ~dst in
+    ignore
+      (Engine.schedule t.engine ~delay:dt (fun () ->
+           let node = t.nodes.(dst) in
+           if not node.down then
+             Nic.submit node.ingress ~priority:(t.meta.priority msg) ~size:(t.meta.size msg)
+               packet))
+
+let create engine ~n ~meta ~link =
+  assert (n >= 1);
+  let rng = Rng.split (Engine.rng engine) in
+  (* NIC completion callbacks need the network value that owns the NICs;
+     tie the knot with a forward reference resolved before any event runs. *)
+  let t_ref = ref None in
+  let the_t () = match !t_ref with Some t -> t | None -> assert false in
+  let make_node i =
+    let egress =
+      Nic.create ~lanes:link.lanes engine ~rate_bps:link.out_bps
+        ~on_done:(fun p -> on_egress_done (the_t ()) p)
+    in
+    let ingress =
+      Nic.create ~lanes:link.lanes engine ~rate_bps:link.in_bps ~on_done:(fun p ->
+          let t = the_t () in
+          match p with
+          | External { callback } -> if not t.nodes.(i).down then callback ()
+          | Proto { dst; _ } -> deliver t dst p)
+    in
+    { egress; ingress; account = Bandwidth.create (); handler = None; down = false }
+  in
+  let t =
+    { engine; meta; link; nodes = Array.init n make_node; rng; extra_delay = None }
+  in
+  t_ref := Some t;
+  t
+
+let set_handler t id h = t.nodes.(id).handler <- Some h
+
+let send t ~src ~dst msg =
+  let node = t.nodes.(src) in
+  if not node.down then
+    if Node_id.equal src dst then deliver t dst (Proto { src; dst; msg })
+    else
+      Nic.submit node.egress ~priority:(t.meta.priority msg) ~size:(t.meta.size msg)
+        (Proto { src; dst; msg })
+
+let multicast t ~src msg =
+  for dst = 0 to Array.length t.nodes - 1 do
+    if not (Node_id.equal dst src) then send t ~src ~dst msg
+  done
+
+let inject t ~dst ~size ~category callback =
+  let node = t.nodes.(dst) in
+  if not node.down then begin
+    Bandwidth.record node.account Received ~category size;
+    Nic.submit node.ingress ~priority:Nic.Low ~size (External { callback })
+  end
+
+let charge_egress t ~src ~size ~category =
+  let node = t.nodes.(src) in
+  if not node.down then begin
+    Bandwidth.record node.account Sent ~category size;
+    Nic.submit node.egress ~priority:Nic.Low ~size (External { callback = (fun () -> ()) })
+  end
+
+let set_down t id v = t.nodes.(id).down <- v
+let is_down t id = t.nodes.(id).down
+
+let set_extra_delay t f = t.extra_delay <- Some f
+
+let set_rates t ~out_bps ~in_bps =
+  t.link <- { t.link with out_bps; in_bps };
+  Array.iter
+    (fun node ->
+      Nic.set_rate node.egress out_bps;
+      Nic.set_rate node.ingress in_bps)
+    t.nodes
+
+let stats t id = t.nodes.(id).account
+let reset_stats t = Array.iter (fun node -> Bandwidth.reset node.account) t.nodes
+let egress_queue_depth t id = Nic.queue_depth t.nodes.(id).egress

@@ -1,0 +1,68 @@
+open Sim
+
+type priority = High | Low
+
+type 'a item = { size : int; payload : 'a }
+
+(* One physical line is [lanes] independent serializers sharing the two
+   priority queues; each picks up the next queued item when it goes idle. *)
+type 'a t = {
+  engine : Engine.t;
+  mutable rate_bps : float;       (* total line rate, split across lanes *)
+  lanes : int;
+  on_done : 'a -> unit;
+  high : 'a item Queue.t;
+  low : 'a item Queue.t;
+  mutable in_flight : int;        (* lanes currently transmitting *)
+  mutable busy : Sim_time.span;
+  mutable depth : int;
+}
+
+let create ?(lanes = 1) engine ~rate_bps ~on_done =
+  assert (lanes >= 1);
+  { engine;
+    rate_bps;
+    lanes;
+    on_done;
+    high = Queue.create ();
+    low = Queue.create ();
+    in_flight = 0;
+    busy = 0L;
+    depth = 0 }
+
+let tx_time ~rate_bps ~size =
+  if rate_bps <= 0. then 0L else Sim_time.of_sec (float_of_int (size * 8) /. rate_bps)
+
+let rec start_next t =
+  if t.in_flight < t.lanes then begin
+    let next =
+      if not (Queue.is_empty t.high) then Some (Queue.pop t.high)
+      else if not (Queue.is_empty t.low) then Some (Queue.pop t.low)
+      else None
+    in
+    match next with
+    | None -> ()
+    | Some item ->
+      t.in_flight <- t.in_flight + 1;
+      let lane_rate = t.rate_bps /. float_of_int t.lanes in
+      let dt = tx_time ~rate_bps:lane_rate ~size:item.size in
+      t.busy <- Sim_time.(t.busy + dt);
+      ignore
+        (Engine.schedule t.engine ~delay:dt (fun () ->
+             t.depth <- t.depth - 1;
+             t.in_flight <- t.in_flight - 1;
+             t.on_done item.payload;
+             start_next t));
+      (* other idle lanes may pick up queued items too *)
+      start_next t
+  end
+
+let submit t ~priority ~size payload =
+  let q = match priority with High -> t.high | Low -> t.low in
+  Queue.push { size; payload } q;
+  t.depth <- t.depth + 1;
+  start_next t
+
+let busy_span t = t.busy
+let queue_depth t = t.depth
+let set_rate t rate = t.rate_bps <- rate

@@ -1,0 +1,79 @@
+type event = { callback : unit -> unit; mutable cancelled : bool }
+
+type handle = event
+
+type t = {
+  mutable clock : Sim_time.t;
+  queue : event Heap.t;
+  mutable next_seq : int;
+  root_rng : Rng.t;
+  mutable live : int;
+}
+
+let create ?(seed = 1L) () =
+  { clock = Sim_time.zero;
+    queue = Heap.create ();
+    next_seq = 0;
+    root_rng = Rng.create seed;
+    live = 0 }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t ~at callback =
+  let at = Sim_time.max at t.clock in
+  let ev = { callback; cancelled = false } in
+  Heap.add t.queue ~key:at ~seq:t.next_seq ev;
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  ev
+
+let schedule t ~delay callback =
+  let delay = if Int64.compare delay 0L < 0 then 0L else delay in
+  schedule_at t ~at:Sim_time.(t.clock + delay) callback
+
+let cancel ev =
+  ev.cancelled <- true
+
+let pending t = t.live
+
+let fire t at ev =
+  t.live <- t.live - 1;
+  if not ev.cancelled then begin
+    t.clock <- at;
+    ev.callback ()
+  end
+
+let step t =
+  match Heap.pop_min t.queue with
+  | None -> false
+  | Some (at, _, ev) ->
+    fire t at ev;
+    true
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let budget_left () =
+    match max_events with None -> true | Some m -> !fired < m
+  in
+  let stop_at_limit () =
+    match until with
+    | Some limit when Sim_time.compare t.clock limit < 0 -> t.clock <- limit
+    | Some _ | None -> ()
+  in
+  let rec loop () =
+    if budget_left () then
+      match Heap.peek_min t.queue with
+      | None -> stop_at_limit ()
+      | Some (at, _, _) ->
+        (match until with
+         | Some limit when Sim_time.compare at limit > 0 -> t.clock <- limit
+         | Some _ | None ->
+           (match Heap.pop_min t.queue with
+            | None -> ()
+            | Some (at, _, ev) ->
+              if not ev.cancelled then incr fired;
+              fire t at ev;
+              loop ()))
+  in
+  loop ()

@@ -1,0 +1,49 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine maintains a virtual clock and a priority queue of pending
+    events. [run] repeatedly pops the earliest event, advances the clock to
+    its instant, and executes its callback; callbacks schedule further
+    events. Two events at the same instant fire in schedule order, so a run
+    is a pure function of the seed and the initial schedule. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation (e.g. protocol timers). *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] is a fresh engine with clock at {!Sim_time.zero}.
+    Default seed is [1L]. *)
+
+val now : t -> Sim_time.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine's root random stream. Components that need their own stream
+    should [Rng.split] it once at set-up time. *)
+
+val schedule : t -> delay:Sim_time.span -> (unit -> unit) -> handle
+(** [schedule t ~delay f] arranges for [f ()] to run [delay] after [now t].
+    A negative delay is clamped to zero. *)
+
+val schedule_at : t -> at:Sim_time.t -> (unit -> unit) -> handle
+(** [schedule_at t ~at f] arranges for [f ()] to run at instant [at]
+    (clamped to [now t] if in the past). *)
+
+val cancel : handle -> unit
+(** Cancels a pending event; cancelling a fired or already-cancelled event
+    is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-fired, not-cancelled events (cancelled
+    events may be counted until they are garbage-popped). *)
+
+val run : ?until:Sim_time.t -> ?max_events:int -> t -> unit
+(** [run ?until ?max_events t] executes events in order until the queue is
+    empty, the clock passes [until], or [max_events] events have fired.
+    When stopping on [until], the clock is left at [until] and later events
+    remain queued. *)
+
+val step : t -> bool
+(** Executes the single earliest event. Returns [false] when the queue is
+    empty. *)

@@ -1,0 +1,71 @@
+type 'a entry = { key : int64; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+let less a b =
+  let c = Int64.compare a.key b.key in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+let grow h entry =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let ndata = Array.make ncap entry in
+    Array.blit h.data 0 ndata 0 h.size;
+    h.data <- ndata
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < h.size && less h.data.(l) h.data.(i) then l else i in
+  let smallest = if r < h.size && less h.data.(r) h.data.(smallest) then r else smallest in
+  if smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(smallest);
+    h.data.(smallest) <- tmp;
+    sift_down h smallest
+  end
+
+let add h ~key ~seq value =
+  let entry = { key; seq; value } in
+  grow h entry;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (top.key, top.seq, top.value)
+  end
+
+let peek_min h =
+  if h.size = 0 then None
+  else
+    let top = h.data.(0) in
+    Some (top.key, top.seq, top.value)
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0

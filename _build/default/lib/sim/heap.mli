@@ -1,0 +1,28 @@
+(** Binary min-heap keyed by [(int64, int)] pairs.
+
+    The event queue of the simulation engine: the primary key is the firing
+    instant, the secondary key a strictly increasing sequence number so that
+    events scheduled for the same instant fire in schedule order (FIFO),
+    which keeps runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** An empty heap. *)
+
+val length : 'a t -> int
+(** Number of stored elements. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:int64 -> seq:int -> 'a -> unit
+(** [add h ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
+
+val pop_min : 'a t -> (int64 * int * 'a) option
+(** Removes and returns the minimum element, or [None] when empty. *)
+
+val peek_min : 'a t -> (int64 * int * 'a) option
+(** Returns the minimum element without removing it. *)
+
+val clear : 'a t -> unit
+(** Removes all elements. *)

@@ -1,0 +1,61 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014). Passes BigCrush; one 64-bit state word. *)
+let next_raw t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 = next_raw
+let split t = create (next_raw t)
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the native int (63-bit) stays non-negative. *)
+  let v = Int64.to_int (Int64.logand (next_raw t) 0x3FFFFFFFFFFFFFFFL) in
+  v mod bound
+
+let float t bound =
+  assert (bound > 0.);
+  (* 53 uniform mantissa bits scaled into [0, bound). *)
+  let bits = Int64.shift_right_logical (next_raw t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_raw t) 1L = 1L
+
+let exponential t ~mean =
+  assert (mean > 0.);
+  let u = float t 1.0 in
+  (* Guard against log 0 on the (measure-zero but representable) draw u = 0. *)
+  let u = if u <= 0. then epsilon_float else u in
+  -.mean *. log u
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let sample_without_replacement t k n =
+  assert (0 <= k && k <= n);
+  (* Floyd's algorithm: O(k) expected draws, no O(n) allocation. *)
+  let module IS = Set.Make (Int) in
+  let rec go j acc =
+    if j > n then acc
+    else
+      let v = int t j in
+      let acc = if IS.mem v acc then IS.add (j - 1) acc else IS.add v acc in
+      go (j + 1) acc
+  in
+  if k = 0 then [] else IS.elements (go (n - k + 1) IS.empty)

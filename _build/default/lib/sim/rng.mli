@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The simulation must be reproducible from a seed, and independent
+    components must be able to draw randomness without perturbing each
+    other; [split] derives an independent stream for a sub-component. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** [split rng] draws from [rng] and returns a new generator whose stream
+    is statistically independent of subsequent draws from [rng]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float rng bound] is uniform in [\[0, bound)]. Requires [bound > 0.]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val exponential : t -> mean:float -> float
+(** [exponential rng ~mean] samples an exponential with the given mean;
+    used for Poisson arrival processes. Requires [mean > 0.]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element. Requires a non-empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement rng k n] is [k] distinct values drawn
+    uniformly from [\[0, n)]. Requires [0 <= k <= n]. *)

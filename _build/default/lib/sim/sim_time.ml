@@ -1,0 +1,16 @@
+type t = int64
+type span = int64
+
+let zero = 0L
+let ( + ) = Int64.add
+let ( - ) = Int64.sub
+let compare = Int64.compare
+let min a b = if Int64.compare a b <= 0 then a else b
+let max a b = if Int64.compare a b >= 0 then a else b
+let ns x = Int64.of_int x
+let us x = Int64.mul (Int64.of_int x) 1_000L
+let ms x = Int64.mul (Int64.of_int x) 1_000_000L
+let s x = Int64.mul (Int64.of_int x) 1_000_000_000L
+let of_sec x = Int64.of_float (Float.round (x *. 1e9))
+let to_sec sp = Int64.to_float sp /. 1e9
+let pp fmt t = Format.fprintf fmt "%.6fs" (to_sec t)

@@ -1,0 +1,48 @@
+(** Simulated time.
+
+    Time is an absolute instant measured in integer nanoseconds since the
+    start of the simulation; a span is a signed duration in nanoseconds.
+    Integer nanoseconds keep the simulation deterministic (no float drift)
+    while still resolving sub-microsecond NIC serialization delays. *)
+
+type t = int64
+(** An absolute instant, in nanoseconds since simulation start. *)
+
+type span = int64
+(** A duration, in nanoseconds. *)
+
+val zero : t
+(** The simulation origin. *)
+
+val ( + ) : t -> span -> t
+(** [t + s] is the instant [s] after [t]. *)
+
+val ( - ) : t -> t -> span
+(** [t1 - t2] is the duration from [t2] to [t1]. *)
+
+val compare : t -> t -> int
+(** Total order on instants. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val ns : int -> span
+(** [ns x] is [x] nanoseconds. *)
+
+val us : int -> span
+(** [us x] is [x] microseconds. *)
+
+val ms : int -> span
+(** [ms x] is [x] milliseconds. *)
+
+val s : int -> span
+(** [s x] is [x] seconds. *)
+
+val of_sec : float -> span
+(** [of_sec x] is [x] seconds, rounded to the nearest nanosecond. *)
+
+val to_sec : span -> float
+(** [to_sec s] is [s] expressed in seconds. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints an instant as fractional seconds, e.g. ["1.250s"]. *)

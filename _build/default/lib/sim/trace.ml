@@ -1,0 +1,37 @@
+type entry = { at : Sim_time.t; tag : string; detail : string }
+
+type t = {
+  capacity : int;
+  mutable enabled : bool;
+  buffer : entry Queue.t;
+}
+
+let create ?(capacity = 65536) ?(enabled = true) () =
+  { capacity; enabled; buffer = Queue.create () }
+
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+
+let record t ~at ~tag detail =
+  if t.enabled then begin
+    Queue.push { at; tag; detail } t.buffer;
+    if Queue.length t.buffer > t.capacity then ignore (Queue.pop t.buffer)
+  end
+
+let recordf t ~at ~tag fmt =
+  Format.kasprintf
+    (fun detail -> record t ~at ~tag detail)
+    fmt
+
+let entries t = List.of_seq (Queue.to_seq t.buffer)
+
+let find t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
+
+let count t ~tag =
+  Queue.fold (fun acc e -> if String.equal e.tag tag then acc + 1 else acc) 0 t.buffer
+
+let length t = Queue.length t.buffer
+let clear t = Queue.clear t.buffer
+
+let pp_entry fmt e =
+  Format.fprintf fmt "[%a] %s: %s" Sim_time.pp e.at e.tag e.detail

@@ -1,0 +1,1 @@
+lib/stats/breakdown.ml: Hashtbl List Printf Text_table

@@ -1,0 +1,1 @@
+lib/stats/meter.ml: Array Int64 Sim Sim_time

@@ -1,0 +1,1 @@
+lib/stats/meter.mli: Sim

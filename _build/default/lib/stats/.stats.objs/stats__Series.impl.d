@@ -1,0 +1,1 @@
+lib/stats/series.ml: Float List Option Printf Text_table

@@ -1,0 +1,1 @@
+lib/stats/text_table.ml: List Printf String

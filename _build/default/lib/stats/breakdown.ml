@@ -1,0 +1,42 @@
+type t = {
+  values : (string, float ref) Hashtbl.t;
+  mutable order : string list; (* reversed first-occurrence order *)
+}
+
+let create () = { values = Hashtbl.create 16; order = [] }
+
+let add t name amount =
+  match Hashtbl.find_opt t.values name with
+  | Some r -> r := !r +. amount
+  | None ->
+    Hashtbl.add t.values name (ref amount);
+    t.order <- name :: t.order
+
+let value t name =
+  match Hashtbl.find_opt t.values name with Some r -> !r | None -> 0.
+
+let total t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.values 0.
+
+let share t name =
+  let tot = total t in
+  if tot = 0. then nan else value t name /. tot
+
+let components t = List.rev_map (fun name -> (name, value t name)) t.order
+
+let render_percent ?grouping t =
+  let tot = total t in
+  let pct v = if tot = 0. then "-" else Printf.sprintf "%.2f%%" (100. *. v /. tot) in
+  match grouping with
+  | None ->
+    Text_table.render ~headers:[ "Component"; "%" ]
+      (List.map (fun (name, v) -> [ name; pct v ]) (components t))
+  | Some groups ->
+    let rows =
+      List.concat_map
+        (fun (group, members) ->
+          let member_rows = List.map (fun m -> [ group; m; pct (value t m) ]) members in
+          let sum = List.fold_left (fun acc m -> acc +. value t m) 0. members in
+          member_rows @ [ [ group; "SUM"; pct sum ] ])
+        groups
+    in
+    Text_table.render ~headers:[ "Group"; "Component"; "%" ] rows

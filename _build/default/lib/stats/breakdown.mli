@@ -1,0 +1,28 @@
+(** Named accumulators with percentage rendering.
+
+    The latency breakdown of Table 3 and the bandwidth breakdown of
+    Table 4 are percentages of named components; this collects the raw
+    quantities and renders the shares. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> float -> unit
+(** Accumulates [amount] under the component name. *)
+
+val value : t -> string -> float
+(** Current accumulated amount (0 for unknown components). *)
+
+val total : t -> float
+
+val share : t -> string -> float
+(** Component's fraction of the total, in [\[0, 1\]]; [nan] if total is 0. *)
+
+val components : t -> (string * float) list
+(** Accumulated values in insertion order of first occurrence. *)
+
+val render_percent : ?grouping:(string * string list) list -> t -> string
+(** Percentage table. With [grouping], components are organized under
+    group headers with a SUM row per group (Table 3/4 layout); ungrouped
+    components are omitted. *)

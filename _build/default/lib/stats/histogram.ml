@@ -1,0 +1,77 @@
+(* Buckets: value v (ns) lands in floor (log v / log gamma) - offset, with
+   gamma = 1.04 (~2% relative error, matches the quantile guarantee). *)
+
+let gamma = 1.04
+let log_gamma = log gamma
+let min_ns = 1_000.0 (* 1 us: everything below lands in bucket 0 *)
+let bucket_count = 700 (* gamma^700 * 1us ~ 8.4e14 ns ~ 10 days *)
+
+type t = {
+  buckets : int array;
+  mutable n : int;
+  mutable sum_ns : float;
+  mutable min_ns : float;
+  mutable max_ns : float;
+}
+
+let create () =
+  { buckets = Array.make bucket_count 0;
+    n = 0;
+    sum_ns = 0.;
+    min_ns = infinity;
+    max_ns = neg_infinity }
+
+let index_of_ns v =
+  if v < min_ns then 0
+  else
+    let i = int_of_float (log (v /. min_ns) /. log_gamma) + 1 in
+    if i >= bucket_count then bucket_count - 1 else i
+
+let bucket_mid_ns i =
+  if i = 0 then min_ns /. 2.
+  else min_ns *. (gamma ** (float_of_int i -. 0.5))
+
+let add t span =
+  let v = if Int64.compare span 0L < 0 then 0. else Int64.to_float span in
+  t.buckets.(index_of_ns v) <- t.buckets.(index_of_ns v) + 1;
+  t.n <- t.n + 1;
+  t.sum_ns <- t.sum_ns +. v;
+  if v < t.min_ns then t.min_ns <- v;
+  if v > t.max_ns then t.max_ns <- v
+
+let merge a b =
+  let t = create () in
+  Array.iteri (fun i c -> t.buckets.(i) <- c + b.buckets.(i)) a.buckets;
+  t.n <- a.n + b.n;
+  t.sum_ns <- a.sum_ns +. b.sum_ns;
+  t.min_ns <- Float.min a.min_ns b.min_ns;
+  t.max_ns <- Float.max a.max_ns b.max_ns;
+  t
+
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.sum_ns /. float_of_int t.n /. 1e9
+let min_value t = if t.n = 0 then nan else t.min_ns /. 1e9
+let max_value t = if t.n = 0 then nan else t.max_ns /. 1e9
+
+let quantile t q =
+  assert (0. <= q && q <= 1.);
+  if t.n = 0 then nan
+  else begin
+    let rank = q *. float_of_int t.n in
+    let rec walk i acc =
+      if i >= bucket_count then max_value t
+      else
+        let acc = acc + t.buckets.(i) in
+        if float_of_int acc >= rank then
+          (* Clamp the bucket estimate into the true observed range. *)
+          Float.min (t.max_ns /. 1e9) (Float.max (t.min_ns /. 1e9) (bucket_mid_ns i /. 1e9))
+        else walk (i + 1) acc
+    in
+    walk 0 0
+  end
+
+let pp_summary fmt t =
+  if t.n = 0 then Format.fprintf fmt "n=0"
+  else
+    Format.fprintf fmt "n=%d mean=%.4fs p50=%.4fs p99=%.4fs max=%.4fs" t.n (mean t)
+      (quantile t 0.5) (quantile t 0.99) (max_value t)

@@ -1,0 +1,32 @@
+(** Latency histogram with geometric buckets.
+
+    Records durations (nanosecond spans) into log-spaced buckets from 1 µs
+    to ~17 minutes, giving ~2% relative quantile error at O(1) memory —
+    the standard approach for high-volume latency measurement. Exact sum,
+    count, min and max are tracked alongside. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Sim.Sim_time.span -> unit
+(** Records one duration. Negative durations are clamped to zero. *)
+
+val merge : t -> t -> t
+(** A histogram holding both inputs' samples. *)
+
+val count : t -> int
+val mean : t -> float
+(** Mean in seconds; [nan] when empty. *)
+
+val min_value : t -> float
+(** Smallest recorded duration in seconds; [nan] when empty. *)
+
+val max_value : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [\[0, 1\]], in seconds, with ~2% relative
+    error; [nan] when empty. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** "n=…, mean=…, p50=…, p99=…" one-liner. *)

@@ -1,0 +1,55 @@
+open Sim
+
+type t = {
+  bin : Sim_time.span;
+  mutable bins : int array; (* counts, indexed by time / bin *)
+  mutable total : int;
+  mutable first : Sim_time.t option;
+}
+
+let create ?(bin = Sim_time.ms 100) () =
+  assert (Int64.compare bin 0L > 0);
+  { bin; bins = Array.make 64 0; total = 0; first = None }
+
+let index_of t at = Int64.to_int (Int64.div at t.bin)
+
+let ensure t idx =
+  let len = Array.length t.bins in
+  if idx >= len then begin
+    let nlen = max (idx + 1) (2 * len) in
+    let nbins = Array.make nlen 0 in
+    Array.blit t.bins 0 nbins 0 len;
+    t.bins <- nbins
+  end
+
+let add t ~at count =
+  let idx = index_of t at in
+  ensure t idx;
+  t.bins.(idx) <- t.bins.(idx) + count;
+  t.total <- t.total + count;
+  match t.first with
+  | None -> t.first <- Some (Int64.mul (Int64.of_int idx) t.bin)
+  | Some f ->
+    let bin_start = Int64.mul (Int64.of_int idx) t.bin in
+    if Sim_time.compare bin_start f < 0 then t.first <- Some bin_start
+
+let count_in t ~from_ ~until =
+  if Sim_time.compare until from_ <= 0 then 0
+  else begin
+    (* Bins whose start lies in [from_, until): a bin starting exactly at
+       [until] is excluded so adjacent windows do not double count. *)
+    let lo = index_of t from_ and hi = index_of t (Int64.pred until) in
+    let hi = min hi (Array.length t.bins - 1) in
+    let acc = ref 0 in
+    for i = max lo 0 to hi do
+      acc := !acc + t.bins.(i)
+    done;
+    !acc
+  end
+
+let rate t ~from_ ~until =
+  let dt = Sim_time.to_sec (Sim_time.( - ) until from_) in
+  if dt <= 0. then 0. else float_of_int (count_in t ~from_ ~until) /. dt
+
+let total t = t.total
+let first_event t = t.first

@@ -1,0 +1,27 @@
+(** Windowed event-rate meter (throughput measurement).
+
+    Counts events into fixed time bins so a steady-state rate can be
+    computed over a measurement window that excludes warmup and drain —
+    the paper averages runs "after the system had stabilized" (§6.2.1). *)
+
+type t
+
+val create : ?bin:Sim.Sim_time.span -> unit -> t
+(** [bin] is the accumulation granularity (default 100 ms). *)
+
+val add : t -> at:Sim.Sim_time.t -> int -> unit
+(** Records [count] events at instant [at]. *)
+
+val total : t -> int
+(** All events ever recorded. *)
+
+val rate : t -> from_:Sim.Sim_time.t -> until:Sim.Sim_time.t -> float
+(** Events per second over the window (bins fully or partially inside the
+    window are included; window clamped to recorded bins). Returns [0.]
+    on an empty window. *)
+
+val count_in : t -> from_:Sim.Sim_time.t -> until:Sim.Sim_time.t -> int
+(** Events recorded inside the window. *)
+
+val first_event : t -> Sim.Sim_time.t option
+(** Instant of the first recorded event's bin. *)

@@ -1,0 +1,33 @@
+type t = { name : string; mutable rev_points : (float * float) list }
+
+let create ~name = { name; rev_points = [] }
+let name t = t.name
+let add t ~x ~y = t.rev_points <- (x, y) :: t.rev_points
+let points t = List.rev t.rev_points
+
+let y_at t ~x =
+  List.find_opt (fun (px, _) -> px = x) (points t) |> Option.map snd
+
+let default_fmt v =
+  if Float.is_nan v then "nan"
+  else if Float.abs v >= 10000. then Printf.sprintf "%.3e" v
+  else if Float.is_integer v && Float.abs v < 1e9 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3f" v
+
+let render_table ?(x_label = "x") ?(fmt_x = default_fmt) ?(fmt_y = default_fmt) series =
+  let xs =
+    List.concat_map (fun s -> List.map fst (points s)) series
+    |> List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) []
+    |> List.rev
+  in
+  let headers = x_label :: List.map name series in
+  let rows =
+    List.map
+      (fun x ->
+        fmt_x x
+        :: List.map
+             (fun s -> match y_at s ~x with Some y -> fmt_y y | None -> "-")
+             series)
+      xs
+  in
+  Text_table.render ~headers rows

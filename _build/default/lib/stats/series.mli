@@ -1,0 +1,25 @@
+(** Named (x, y) series — the data behind a figure.
+
+    Bench harnesses build one series per curve (e.g. "Leopard" and
+    "HotStuff" throughput vs n) and render them side by side, mirroring
+    the paper's plots as text. *)
+
+type t
+
+val create : name:string -> t
+val name : t -> string
+
+val add : t -> x:float -> y:float -> unit
+(** Appends a point; points are kept in insertion order. *)
+
+val points : t -> (float * float) list
+
+val y_at : t -> x:float -> float option
+(** The y of the first point with the given x, if any. *)
+
+val render_table :
+  ?x_label:string -> ?fmt_x:(float -> string) -> ?fmt_y:(float -> string) ->
+  t list -> string
+(** Renders several series sharing (a superset of) x values as an aligned
+    text table, one row per distinct x (in first-appearance order), one
+    column per series; missing points render as ["-"]. *)

@@ -1,0 +1,28 @@
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let render ~headers rows =
+  let cols = List.length headers in
+  let normalize row =
+    let len = List.length row in
+    if len >= cols then row else row @ List.init (cols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let rstrip s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do decr n done;
+    String.sub s 0 !n
+  in
+  let line cells = rstrip (String.concat "  " (List.map2 pad widths cells)) in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line headers :: rule :: List.map line rows)
+
+let render_kv pairs =
+  let width = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
+  String.concat "\n" (List.map (fun (k, v) -> Printf.sprintf "%s  %s" (pad width k) v) pairs)

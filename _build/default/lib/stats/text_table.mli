@@ -1,0 +1,9 @@
+(** Aligned plain-text tables for bench output. *)
+
+val render : headers:string list -> string list list -> string
+(** [render ~headers rows] pads each column to its widest cell and joins
+    rows with newlines, with a separator rule under the header. Rows
+    shorter than the header are right-padded with empty cells. *)
+
+val render_kv : (string * string) list -> string
+(** Two-column key/value rendering without a header. *)

@@ -1,0 +1,1 @@
+lib/workload/assign.ml: Array Crypto Fun List Printf

@@ -1,0 +1,1 @@
+lib/workload/assign.mli: Net

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Engine Net Request Sim Sim_time

@@ -1,0 +1,1 @@
+lib/workload/request.ml: Crypto Printf Sim

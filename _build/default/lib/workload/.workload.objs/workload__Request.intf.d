@@ -1,0 +1,1 @@
+lib/workload/request.mli: Crypto Sim

@@ -1,0 +1,23 @@
+let replicas_for ~n ~s ~leader ~key =
+  assert (1 <= s && s <= n - 1);
+  (* Non-leader replicas in ring order starting at a key-derived offset:
+     deterministic, uniform over keys, and distinct by construction. *)
+  let candidates = List.filter (fun r -> r <> leader) (List.init n Fun.id) in
+  let arr = Array.of_list candidates in
+  let len = Array.length arr in
+  let h = Crypto.Hash.of_string (Printf.sprintf "assign:%d" key) in
+  let start = Crypto.Field.to_int (Crypto.Field.of_string_digest (Crypto.Hash.raw h)) mod len in
+  List.init s (fun i -> arr.((start + i) mod len))
+
+let honest_hit_probability ~s ~f ~n =
+  (* 1 - C(f, s) / C(n - 1, s): all s choices Byzantine among the n - 1
+     non-leader candidates. Computed iteratively to avoid overflow. *)
+  assert (0 <= f && f < n && 1 <= s && s <= n - 1);
+  if s > f then 1.0
+  else begin
+    let ratio = ref 1.0 in
+    for i = 0 to s - 1 do
+      ratio := !ratio *. float_of_int (f - i) /. float_of_int (n - 1 - i)
+    done;
+    1.0 -. !ratio
+  end

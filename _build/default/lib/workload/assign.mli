@@ -1,0 +1,16 @@
+(** The paper's μ(req) function (§4.1, datablock preparation).
+
+    Maps a request (batch) deterministically to the [s] replicas
+    responsible for disseminating it, always excluding the leader (which
+    generates no datablocks). With [s = 1] request delivery repetition is
+    minimal — the paper's recommended operating point; [s] up to [f + 1]
+    defeats censorship by Byzantine replicas. *)
+
+val replicas_for : n:int -> s:int -> leader:Net.Node_id.t -> key:int -> Net.Node_id.t list
+(** [replicas_for ~n ~s ~leader ~key] is [s] distinct non-leader replicas
+    chosen deterministically from [key]. Requires [1 <= s <= n - 1]. *)
+
+val honest_hit_probability : s:int -> f:int -> n:int -> float
+(** Probability that at least one of [s] uniformly chosen replicas is
+    honest when [f] of [n - 1] candidates are Byzantine — the paper's
+    "a small s = 9 is sufficient for 99.99%" claim, testable. *)

@@ -1,0 +1,78 @@
+open Sim
+
+type submit = target:Net.Node_id.t -> Request.t -> unit
+
+type t = {
+  engine : Engine.t;
+  rate : float;
+  payload : int;
+  targets : Net.Node_id.t array;
+  inject : dst:Net.Node_id.t -> size:int -> (unit -> unit) -> unit;
+  submit : submit;
+  tick : Sim_time.span;
+  until : Sim_time.t option;
+  mutable next_id : int;
+  mutable offered : int;
+  mutable carry : float array; (* fractional requests owed per target *)
+  mutable stopped : bool;
+  mutable all_batches : Request.t list;
+}
+
+let offered t = t.offered
+let batches t = t.all_batches
+let next_batch_id t = t.next_id
+let stop t = t.stopped <- true
+
+let make_batch t ~at ~count ?resend () =
+  let b = Request.make ~id:t.next_id ~count ~size_each:t.payload ~born:at ?resend () in
+  t.next_id <- t.next_id + 1;
+  t.offered <- t.offered + count;
+  t.all_batches <- b :: t.all_batches;
+  b
+
+let emit t target count =
+  let now = Engine.now t.engine in
+  let b = make_batch t ~at:now ~count () in
+  t.inject ~dst:target ~size:(Request.wire_bytes b) (fun () -> t.submit ~target b)
+
+let rec tick_once t =
+  if not t.stopped then begin
+    let now = Engine.now t.engine in
+    let past_deadline =
+      match t.until with Some u -> Sim_time.compare now u >= 0 | None -> false
+    in
+    if not past_deadline then begin
+      let per_target =
+        t.rate *. Sim_time.to_sec t.tick /. float_of_int (Array.length t.targets)
+      in
+      Array.iteri
+        (fun i target ->
+          let owed = t.carry.(i) +. per_target in
+          let count = int_of_float owed in
+          t.carry.(i) <- owed -. float_of_int count;
+          if count > 0 then emit t target count)
+        t.targets;
+      ignore (Engine.schedule t.engine ~delay:t.tick (fun () -> tick_once t))
+    end
+  end
+
+let start engine ~rate ~payload ~targets ~inject ~submit ?(tick = Sim_time.ms 20) ?until () =
+  assert (targets <> [] && rate >= 0.);
+  let targets = Array.of_list targets in
+  let t =
+    { engine;
+      rate;
+      payload;
+      targets;
+      inject;
+      submit;
+      tick;
+      until;
+      next_id = 0;
+      offered = 0;
+      carry = Array.make (Array.length targets) 0.;
+      stopped = false;
+      all_batches = [] }
+  in
+  tick_once t;
+  t

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Core Crypto Float List Printf QCheck QCheck_alcotest Sim Stats

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Array Core Crypto Int64 List QCheck QCheck_alcotest Sim String Workload

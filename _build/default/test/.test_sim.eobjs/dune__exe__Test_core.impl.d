@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Crypto Float List Net Printf Rng Sim Sim_time Workload

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Crypto Fun Gen Int64 List Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_delivery.ml: Alcotest Array Bytes Char Crypto Delivery List Net QCheck QCheck_alcotest Sim String

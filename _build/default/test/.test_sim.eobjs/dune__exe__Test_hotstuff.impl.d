@@ -1,0 +1,1 @@
+test/test_hotstuff.ml: Alcotest Crypto Hotstuff Net Option Sim Sim_time Stats

@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest Crypto Hotstuff Hybrid List QCheck QCheck_alcotest Sim Sim_time Stats

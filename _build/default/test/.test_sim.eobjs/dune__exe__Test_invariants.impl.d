@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Buffer Core Crypto Engine Hashtbl List Printf QCheck QCheck_alcotest Rng Sim Sim_time String Workload

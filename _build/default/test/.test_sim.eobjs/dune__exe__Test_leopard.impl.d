@@ -1,0 +1,1 @@
+test/test_leopard.ml: Alcotest Array Core Crypto Engine List Net QCheck QCheck_alcotest Rng Sim Sim_time Stats

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Engine Int64 List Net Option Rng Sim Sim_time

@@ -1,0 +1,1 @@
+test/test_pbft.ml: Alcotest Crypto Net Option Pbft Sim Sim_time

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Fun Heap Int Int64 List QCheck QCheck_alcotest Rng Sim Sim_time Trace

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Crypto Engine Hashtbl Int List Option Sim Sim_time Workload

@@ -1,0 +1,211 @@
+(* Round-trip property tests for the binary wire codec. *)
+
+let checkb = Alcotest.(check bool)
+
+let rng = Sim.Rng.create 2026L
+let tsetup, tkeys = Crypto.Threshold.keygen rng ~threshold:2 ~parties:4
+let pk, sk = Crypto.Signature.keygen rng
+
+(* -- generators --------------------------------------------------------- *)
+
+let gen_batch =
+  QCheck.Gen.(
+    map
+      (fun (id, count, size_each, born, resend) ->
+        Workload.Request.make ~id ~count:(1 + count) ~size_each ~born:(Int64.of_int born)
+          ~resend ())
+      (tup5 (int_bound 1_000_000) (int_bound 500) (int_bound 4096) (int_bound 1_000_000) bool))
+
+let gen_datablock =
+  QCheck.Gen.(
+    map
+      (fun (creator, counter, batches, at) ->
+        Core.Datablock.create ~sk ~creator ~counter:(1 + counter)
+          ~now:(Int64.of_int at)
+          (List.map (fun b -> b) (if batches = [] then [ Workload.Request.make ~id:0 ~count:1 ~size_each:1 ~born:0L () ] else batches)))
+      (tup4 (int_bound 64) (int_bound 10_000) (list_size (int_range 1 20) gen_batch)
+         (int_bound 1_000_000)))
+
+let gen_hash = QCheck.Gen.map (fun s -> Crypto.Hash.of_string s) QCheck.Gen.string
+
+let gen_bftblock =
+  QCheck.Gen.(
+    bool >>= fun dummy ->
+    map
+      (fun (view, sn, links) ->
+        if dummy then Core.Bftblock.dummy ~view ~sn:(1 + sn)
+        else Core.Bftblock.create ~view ~sn:(1 + sn) ~links)
+      (tup3 (int_range 1 100) (int_bound 10_000) (list_size (int_range 0 30) gen_hash)))
+
+let gen_share =
+  QCheck.Gen.map (fun (i, m) -> Crypto.Threshold.sign_share tkeys.(i mod 4) m)
+    QCheck.Gen.(tup2 (int_bound 3) string)
+
+let gen_aggregate =
+  QCheck.Gen.map
+    (fun m ->
+      match
+        Crypto.Threshold.combine tsetup m
+          (List.init 3 (fun i -> Crypto.Threshold.sign_share tkeys.(i) m))
+      with
+      | Some a -> a
+      | None -> assert false)
+    QCheck.Gen.string
+
+let gen_signature = QCheck.Gen.map (fun m -> Crypto.Signature.sign sk m) QCheck.Gen.string
+
+let gen_cert =
+  QCheck.Gen.(
+    map
+      (fun (sn, h, proof) -> Core.Msg.{ cp_sn = sn; cp_state = h; cp_proof = proof })
+      (tup3 (int_bound 10_000) gen_hash gen_aggregate))
+
+let gen_view_change =
+  QCheck.Gen.(
+    map
+      (fun (nv, sender, cp, entries, signature) ->
+        Core.Msg.
+          { vc_new_view = 1 + nv;
+            vc_sender = sender;
+            vc_checkpoint = cp;
+            vc_entries = entries;
+            vc_signature = signature })
+      (tup5 (int_bound 50) (int_bound 63) (option gen_cert)
+         (list_size (int_range 0 5)
+            (map
+               (fun (v, b, p) -> (1 + v, b, p))
+               (tup3 (int_bound 50) gen_bftblock gen_aggregate)))
+         gen_signature))
+
+let gen_msg =
+  QCheck.Gen.(
+    frequency
+      [ (2, map (fun db -> Core.Msg.Datablock_msg db) gen_datablock);
+        ( 2,
+          map
+            (fun (b, s, j) -> Core.Msg.Propose { block = b; leader_share = s; justification = j })
+            (tup3 gen_bftblock gen_share (option (map (fun (v, a) -> (1 + v, a)) (tup2 (int_bound 40) gen_aggregate)))) );
+        ( 2,
+          map
+            (fun (view, sn, h, s) -> Core.Msg.Prepare_vote { view; sn; block_hash = h; share = s })
+            (tup4 (int_range 1 50) (int_bound 10_000) gen_hash gen_share) );
+        ( 1,
+          map
+            (fun (view, sn, h, p) -> Core.Msg.Notarization { view; sn; block_hash = h; proof = p })
+            (tup4 (int_range 1 50) (int_bound 10_000) gen_hash gen_aggregate) );
+        ( 1,
+          map
+            (fun (view, sn, h, s) -> Core.Msg.Commit_vote { view; sn; notar_digest = h; share = s })
+            (tup4 (int_range 1 50) (int_bound 10_000) gen_hash gen_share) );
+        ( 1,
+          map
+            (fun (view, sn, h, p) -> Core.Msg.Confirmation { view; sn; notar_digest = h; proof = p })
+            (tup4 (int_range 1 50) (int_bound 10_000) gen_hash gen_aggregate) );
+        ( 1,
+          map
+            (fun (sn, h, s) -> Core.Msg.Checkpoint_vote { cp_sn = sn; cp_state = h; share = s })
+            (tup3 (int_bound 10_000) gen_hash gen_share) );
+        (1, map (fun c -> Core.Msg.Checkpoint_cert_msg c) gen_cert);
+        ( 1,
+          map
+            (fun (view, sender, s) -> Core.Msg.Timeout { view; sender; signature = s })
+            (tup3 (int_range 1 50) (int_bound 63) gen_signature) );
+        (1, map (fun vc -> Core.Msg.View_change_msg vc) gen_view_change);
+        ( 1,
+          map
+            (fun (v, sender, vcs, s) ->
+              Core.Msg.New_view_msg
+                Core.Msg.{ nv_view = 1 + v; nv_sender = sender; nv_vcs = vcs; nv_signature = s })
+            (tup4 (int_bound 50) (int_bound 63) (list_size (int_range 0 3) gen_view_change)
+               gen_signature) );
+        (1, map (fun h -> Core.Msg.Fetch { hash = h }) gen_hash);
+        (1, map (fun db -> Core.Msg.Fetch_reply db) gen_datablock) ])
+
+(* -- properties ---------------------------------------------------------- *)
+
+let prop_batch_roundtrip =
+  QCheck.Test.make ~name:"batch round-trips" ~count:300 (QCheck.make gen_batch) (fun b ->
+      match Core.Codec.decode_batch (Core.Codec.encode_batch b) with
+      | Some b' -> Core.Codec.batch_equal b b'
+      | None -> false)
+
+let prop_datablock_roundtrip =
+  QCheck.Test.make ~name:"datablock round-trips, hash & verify preserved" ~count:100
+    (QCheck.make gen_datablock) (fun db ->
+      match Core.Codec.decode_datablock (Core.Codec.encode_datablock db) with
+      | Some db' ->
+        Core.Codec.datablock_equal db db'
+        && Crypto.Hash.equal (Core.Datablock.hash db) (Core.Datablock.hash db')
+        && Core.Datablock.verify ~pks:(Array.make 65 pk) db'
+           = Core.Datablock.verify ~pks:(Array.make 65 pk) db
+      | None -> false)
+
+let prop_bftblock_roundtrip =
+  QCheck.Test.make ~name:"bftblock round-trips with identical hash" ~count:200
+    (QCheck.make gen_bftblock) (fun b ->
+      match Core.Codec.decode_bftblock (Core.Codec.encode_bftblock b) with
+      | Some b' ->
+        b.Core.Bftblock.view = b'.Core.Bftblock.view
+        && Core.Bftblock.equal_content b b'
+        && Crypto.Hash.equal (Core.Bftblock.hash b) (Core.Bftblock.hash b')
+      | None -> false)
+
+let prop_msg_roundtrip =
+  QCheck.Test.make ~name:"every message round-trips" ~count:200 (QCheck.make gen_msg) (fun m ->
+      match Core.Codec.decode_msg (Core.Codec.encode_msg m) with
+      | Some m' -> Core.Codec.msg_equal m m'
+      | None -> false)
+
+let prop_encoding_deterministic =
+  QCheck.Test.make ~name:"encoding is deterministic" ~count:100 (QCheck.make gen_msg) (fun m ->
+      String.equal (Core.Codec.encode_msg m) (Core.Codec.encode_msg m))
+
+let prop_truncation_rejected =
+  QCheck.Test.make ~name:"any strict prefix fails to decode" ~count:100 (QCheck.make gen_msg)
+    (fun m ->
+      let s = Core.Codec.encode_msg m in
+      let cut = String.length s / 2 in
+      Core.Codec.decode_msg (String.sub s 0 cut) = None)
+
+let prop_trailing_garbage_rejected =
+  QCheck.Test.make ~name:"trailing bytes fail to decode" ~count:100 (QCheck.make gen_msg)
+    (fun m -> Core.Codec.decode_msg (Core.Codec.encode_msg m ^ "\x00") = None)
+
+(* -- unit edges ---------------------------------------------------------- *)
+
+let test_decode_garbage () =
+  checkb "empty" true (Core.Codec.decode_msg "" = None);
+  checkb "bad tag" true (Core.Codec.decode_msg "\xff" = None);
+  checkb "random" true (Core.Codec.decode_msg "not a message at all" = None)
+
+let test_decoded_share_still_verifies () =
+  let msg_payload = "vote payload" in
+  let share = Crypto.Threshold.sign_share tkeys.(1) msg_payload in
+  let m =
+    Core.Msg.Prepare_vote
+      { view = 1; sn = 2; block_hash = Crypto.Hash.of_string "b"; share }
+  in
+  match Core.Codec.decode_msg (Core.Codec.encode_msg m) with
+  | Some (Core.Msg.Prepare_vote { share = share'; _ }) ->
+    checkb "decoded share verifies" true (Crypto.Threshold.verify_share tsetup share' msg_payload);
+    checkb "decoded share rejects other payload" false
+      (Crypto.Threshold.verify_share tsetup share' "other")
+  | _ -> Alcotest.fail "round trip failed"
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "codec"
+    [ ( "round trips",
+        qsuite
+          [ prop_batch_roundtrip;
+            prop_datablock_roundtrip;
+            prop_bftblock_roundtrip;
+            prop_msg_roundtrip;
+            prop_encoding_deterministic;
+            prop_truncation_rejected;
+            prop_trailing_garbage_rejected ] );
+      ( "edges",
+        [ Alcotest.test_case "garbage rejected" `Quick test_decode_garbage;
+          Alcotest.test_case "credentials survive the wire" `Quick
+            test_decoded_share_still_verifies ] ) ]

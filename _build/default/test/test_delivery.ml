@@ -1,0 +1,189 @@
+(* Tests for GF(256), Reed–Solomon coding, and the broadcast lab. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* -- GF(256) ----------------------------------------------------------- *)
+
+let test_gf256_basics () =
+  checki "add = xor" (0x57 lxor 0x83) (Crypto.Gf256.add 0x57 0x83);
+  (* AES standard example: 0x57 * 0x83 = 0xc1 *)
+  checki "mul vector" 0xc1 (Crypto.Gf256.mul 0x57 0x83);
+  checki "mul by zero" 0 (Crypto.Gf256.mul 0 0x83);
+  checki "mul by one" 0x83 (Crypto.Gf256.mul 1 0x83)
+
+let prop_gf256_inverse =
+  QCheck.Test.make ~name:"x * inv x = 1 in GF(256)" ~count:255
+    QCheck.(int_range 1 255)
+    (fun x -> Crypto.Gf256.mul x (Crypto.Gf256.inv x) = 1)
+
+let prop_gf256_distributive =
+  QCheck.Test.make ~name:"distributivity" ~count:300
+    QCheck.(triple (int_range 0 255) (int_range 0 255) (int_range 0 255))
+    (fun (a, b, c) ->
+      Crypto.Gf256.mul a (Crypto.Gf256.add b c)
+      = Crypto.Gf256.add (Crypto.Gf256.mul a b) (Crypto.Gf256.mul a c))
+
+let prop_gf256_mul_assoc_comm =
+  QCheck.Test.make ~name:"mul associative & commutative" ~count:300
+    QCheck.(triple (int_range 0 255) (int_range 0 255) (int_range 0 255))
+    (fun (a, b, c) ->
+      Crypto.Gf256.mul a (Crypto.Gf256.mul b c) = Crypto.Gf256.mul (Crypto.Gf256.mul a b) c
+      && Crypto.Gf256.mul a b = Crypto.Gf256.mul b a)
+
+let test_gf256_pow () =
+  checki "x^0" 1 (Crypto.Gf256.pow 0x57 0);
+  checki "x^1" 0x57 (Crypto.Gf256.pow 0x57 1);
+  checki "x^2" (Crypto.Gf256.mul 0x57 0x57) (Crypto.Gf256.pow 0x57 2);
+  checki "0^3" 0 (Crypto.Gf256.pow 0 3)
+
+(* -- Reed–Solomon ------------------------------------------------------- *)
+
+let payload_of_size len = String.init len (fun i -> Char.chr ((i * 37 + 11) land 0xff))
+
+let prop_rs_roundtrip_prefix =
+  QCheck.Test.make ~name:"any k-subset decodes" ~count:60
+    QCheck.(triple (int_range 1 8) (int_range 0 8) (int_range 1 200))
+    (fun (k, extra, len) ->
+      let n = k + extra in
+      if n > 255 then true
+      else begin
+        let payload = payload_of_size len in
+        let frags = Crypto.Reed_solomon.encode ~k ~n payload in
+        (* drop the first [extra] fragments: decode from the tail *)
+        let subset = List.filteri (fun i _ -> i >= extra) frags in
+        match Crypto.Reed_solomon.decode ~k ~len subset with
+        | Some s -> String.equal s payload
+        | None -> false
+      end)
+
+let prop_rs_random_subset =
+  QCheck.Test.make ~name:"random k-subset decodes" ~count:60 QCheck.int64 (fun seed ->
+      let rng = Sim.Rng.create seed in
+      let k = 4 and n = 12 in
+      let payload = payload_of_size 100 in
+      let frags = Array.of_list (Crypto.Reed_solomon.encode ~k ~n payload) in
+      let indices = Sim.Rng.sample_without_replacement rng k n in
+      let subset = List.map (fun i -> frags.(i)) indices in
+      match Crypto.Reed_solomon.decode ~k ~len:100 subset with
+      | Some s -> String.equal s payload
+      | None -> false)
+
+let test_rs_insufficient () =
+  let payload = payload_of_size 64 in
+  let frags = Crypto.Reed_solomon.encode ~k:4 ~n:8 payload in
+  let subset = List.filteri (fun i _ -> i < 3) frags in
+  checkb "3 of 4 insufficient" true (Crypto.Reed_solomon.decode ~k:4 ~len:64 subset = None);
+  (* duplicates do not count *)
+  let dup = List.hd frags in
+  checkb "duplicates rejected" true
+    (Crypto.Reed_solomon.decode ~k:4 ~len:64 (dup :: subset) <> None
+     = (List.length (List.sort_uniq compare (List.map (fun f -> f.Crypto.Reed_solomon.index) (dup :: subset))) >= 4))
+
+let test_rs_fragment_size () =
+  checki "size" 25 (Crypto.Reed_solomon.fragment_size ~k:4 ~payload_len:100);
+  checki "rounding" 26 (Crypto.Reed_solomon.fragment_size ~k:4 ~payload_len:101);
+  let frags = Crypto.Reed_solomon.encode ~k:4 ~n:6 (payload_of_size 101) in
+  List.iter
+    (fun f -> checki "actual" 26 (Bytes.length f.Crypto.Reed_solomon.data))
+    frags
+
+let test_rs_expansion_factor () =
+  (* (n, k) with n = 2k: total coded bytes = 2x the payload (c = 2). *)
+  let payload = payload_of_size 1000 in
+  let frags = Crypto.Reed_solomon.encode ~k:10 ~n:20 payload in
+  let total = List.fold_left (fun a f -> a + Bytes.length f.Crypto.Reed_solomon.data) 0 frags in
+  checki "c = 2 expansion" 2000 total
+
+(* -- Broadcast lab ------------------------------------------------------- *)
+
+let payload = payload_of_size 8192
+
+let fast_link =
+  Net.Network.{ out_bps = 8e8; in_bps = 8e8; prop_delay = Sim.Sim_time.ms 1; jitter = 0L; lanes = 1 }
+
+let test_lab_direct () =
+  let r =
+    Delivery.Broadcast_lab.run ~link:fast_link ~n:16 ~payload ~byzantine:[] Delivery.Broadcast_lab.Direct
+  in
+  checki "all delivered" r.Delivery.Broadcast_lab.honest r.Delivery.Broadcast_lab.delivered;
+  (* source ships (n-1) x payload; replicas ship nothing *)
+  checkb "source egress ~ 15x payload" true
+    (r.Delivery.Broadcast_lab.source_egress >= 15 * 8192);
+  checki "replicas silent" 0 r.Delivery.Broadcast_lab.max_replica_egress
+
+let test_lab_tree_honest () =
+  let r =
+    Delivery.Broadcast_lab.run ~link:fast_link ~n:31 ~payload ~byzantine:[]
+      (Delivery.Broadcast_lab.Tree { fanout = 2 })
+  in
+  checki "all delivered" r.Delivery.Broadcast_lab.honest r.Delivery.Broadcast_lab.delivered;
+  checkb "source egress only fanout x payload" true
+    (r.Delivery.Broadcast_lab.source_egress < 3 * 8300)
+
+let test_lab_tree_byzantine_severs () =
+  (* Node 1 (an inner node) is Byzantine: its whole subtree starves. *)
+  let r =
+    Delivery.Broadcast_lab.run ~link:fast_link ~n:31 ~payload ~byzantine:[ 1 ]
+      (Delivery.Broadcast_lab.Tree { fanout = 2 })
+  in
+  checkb "coverage collapses" true
+    (r.Delivery.Broadcast_lab.delivered < r.Delivery.Broadcast_lab.honest);
+  checkb "incomplete" true (r.Delivery.Broadcast_lab.completion = None)
+
+let test_lab_erasure_honest () =
+  let r =
+    Delivery.Broadcast_lab.run ~link:fast_link ~n:13 ~payload ~byzantine:[]
+      (Delivery.Broadcast_lab.Erasure { k = 6 })
+  in
+  checki "all delivered" r.Delivery.Broadcast_lab.honest r.Delivery.Broadcast_lab.delivered;
+  checki "no decode failures" 0 r.Delivery.Broadcast_lab.decode_failures;
+  (* the source ships ~n/k x payload instead of (n-1) x *)
+  checkb "source cheap vs direct" true
+    (r.Delivery.Broadcast_lab.source_egress < 4 * 8192)
+
+let test_lab_erasure_tolerates_faults () =
+  (* 4 of 13 replicas Byzantine (drop their fragment): the remaining
+     honest rebroadcasts still give everyone >= k = 6 fragments. *)
+  let r =
+    Delivery.Broadcast_lab.run ~link:fast_link ~n:13 ~payload ~byzantine:[ 3; 5; 7; 9 ]
+      (Delivery.Broadcast_lab.Erasure { k = 6 })
+  in
+  checki "all honest delivered" r.Delivery.Broadcast_lab.honest r.Delivery.Broadcast_lab.delivered
+
+let test_lab_erasure_balances_load () =
+  let direct =
+    Delivery.Broadcast_lab.run ~link:fast_link ~n:16 ~payload ~byzantine:[] Delivery.Broadcast_lab.Direct
+  in
+  let erasure =
+    Delivery.Broadcast_lab.run ~link:fast_link ~n:16 ~payload ~byzantine:[]
+      (Delivery.Broadcast_lab.Erasure { k = 7 })
+  in
+  checkb "erasure source much cheaper than direct" true
+    (erasure.Delivery.Broadcast_lab.source_egress * 3
+     < direct.Delivery.Broadcast_lab.source_egress);
+  (* ... but total traffic is higher than the payload-optimal n x payload
+     (the c > 1 overhead the paper points out) *)
+  checkb "erasure total exceeds direct total" true
+    (erasure.Delivery.Broadcast_lab.total_bytes > direct.Delivery.Broadcast_lab.total_bytes)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "delivery"
+    [ ( "gf256",
+        [ Alcotest.test_case "basics" `Quick test_gf256_basics;
+          Alcotest.test_case "pow" `Quick test_gf256_pow ]
+        @ qsuite [ prop_gf256_inverse; prop_gf256_distributive; prop_gf256_mul_assoc_comm ] );
+      ( "reed-solomon",
+        [ Alcotest.test_case "insufficient" `Quick test_rs_insufficient;
+          Alcotest.test_case "fragment size" `Quick test_rs_fragment_size;
+          Alcotest.test_case "expansion factor" `Quick test_rs_expansion_factor ]
+        @ qsuite [ prop_rs_roundtrip_prefix; prop_rs_random_subset ] );
+      ( "broadcast lab",
+        [ Alcotest.test_case "direct" `Quick test_lab_direct;
+          Alcotest.test_case "tree honest" `Quick test_lab_tree_honest;
+          Alcotest.test_case "tree severed by Byzantine" `Quick test_lab_tree_byzantine_severs;
+          Alcotest.test_case "erasure honest" `Quick test_lab_erasure_honest;
+          Alcotest.test_case "erasure tolerates faults" `Quick test_lab_erasure_tolerates_faults;
+          Alcotest.test_case "erasure balances load" `Quick test_lab_erasure_balances_load ] ) ]

@@ -1,0 +1,311 @@
+(* Unit tests for the NIC/network substrate. *)
+
+open Sim
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+
+(* -- Nic ------------------------------------------------------------------ *)
+
+let test_nic_tx_time () =
+  (* 1000 bytes at 8 Mbit/s = 1 ms. *)
+  check64 "tx time" (Sim_time.ms 1) (Net.Nic.tx_time ~rate_bps:8e6 ~size:1000);
+  check64 "unlimited" 0L (Net.Nic.tx_time ~rate_bps:0. ~size:1000)
+
+let test_nic_serializes () =
+  let e = Engine.create () in
+  let done_at = ref [] in
+  let nic =
+    Net.Nic.create e ~rate_bps:8e6 ~on_done:(fun label -> done_at := (label, Engine.now e) :: !done_at)
+  in
+  Net.Nic.submit nic ~priority:Net.Nic.Low ~size:1000 "a";
+  Net.Nic.submit nic ~priority:Net.Nic.Low ~size:1000 "b";
+  Engine.run e;
+  (match List.rev !done_at with
+   | [ ("a", ta); ("b", tb) ] ->
+     check64 "first after 1ms" (Sim_time.ms 1) ta;
+     check64 "second serialized" (Sim_time.ms 2) tb
+   | _ -> Alcotest.fail "wrong completions");
+  check64 "busy" (Sim_time.ms 2) (Net.Nic.busy_span nic)
+
+let test_nic_priority () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let nic = Net.Nic.create e ~rate_bps:8e6 ~on_done:(fun l -> order := l :: !order) in
+  (* Three low items queued; a high item submitted while the first is in
+     flight must overtake the remaining low ones. *)
+  Net.Nic.submit nic ~priority:Net.Nic.Low ~size:1000 "low1";
+  Net.Nic.submit nic ~priority:Net.Nic.Low ~size:1000 "low2";
+  Net.Nic.submit nic ~priority:Net.Nic.Low ~size:1000 "low3";
+  ignore
+    (Engine.schedule e ~delay:(Sim_time.us 100) (fun () ->
+         Net.Nic.submit nic ~priority:Net.Nic.High ~size:1000 "high"));
+  Engine.run e;
+  Alcotest.(check (list string)) "high overtakes queued lows"
+    [ "low1"; "high"; "low2"; "low3" ]
+    (List.rev !order)
+
+let test_nic_lanes_relieve_hol_blocking () =
+  (* One lane: a small message waits behind a big one. Two lanes: it
+     goes out immediately on the second lane at half rate. *)
+  let run lanes =
+    let e = Engine.create () in
+    let finished = ref None in
+    let nic =
+      Net.Nic.create ~lanes e ~rate_bps:8e6 ~on_done:(fun label ->
+          if label = "small" then finished := Some (Engine.now e))
+    in
+    Net.Nic.submit nic ~priority:Net.Nic.Low ~size:10_000 "big";
+    Net.Nic.submit nic ~priority:Net.Nic.Low ~size:100 "small";
+    Engine.run e;
+    Option.get !finished
+  in
+  (* 1 lane: big takes 10 ms, small finishes at 10.1 ms. *)
+  check64 "one lane: blocked" (Sim_time.us 10_100) (run 1);
+  (* 2 lanes: small starts immediately at 4 Mbit/s -> 200 us. *)
+  check64 "two lanes: immediate" (Sim_time.us 200) (run 2)
+
+let test_nic_lanes_same_total_rate () =
+  (* A saturated queue drains at the same total rate; only the tail
+     differs (the last wave may leave lanes idle, like real parallel
+     TCP connections): 10 items of 1000 B at 8 Mbit/s. *)
+  let run lanes =
+    let e = Engine.create () in
+    let last = ref 0L in
+    let nic = Net.Nic.create ~lanes e ~rate_bps:8e6 ~on_done:(fun _ -> last := Engine.now e) in
+    for _ = 1 to 10 do
+      Net.Nic.submit nic ~priority:Net.Nic.Low ~size:1000 ()
+    done;
+    Engine.run e;
+    !last
+  in
+  check64 "1 lane" (Sim_time.ms 10) (run 1);
+  (* 4 lanes at 2 Mbit/s each: waves of 4 items x 4 ms -> ceil(10/4) = 3 waves. *)
+  check64 "4 lanes" (Sim_time.ms 12) (run 4)
+
+(* -- Cpu ------------------------------------------------------------------ *)
+
+let test_cpu_serial () =
+  let e = Engine.create () in
+  let cpu = Net.Cpu.create e ~cores:1 in
+  let done_at = ref [] in
+  Net.Cpu.submit cpu ~cost:(Sim_time.ms 2) (fun () -> done_at := ("a", Engine.now e) :: !done_at);
+  Net.Cpu.submit cpu ~cost:(Sim_time.ms 3) (fun () -> done_at := ("b", Engine.now e) :: !done_at);
+  Engine.run e;
+  (match List.rev !done_at with
+   | [ ("a", ta); ("b", tb) ] ->
+     check64 "first" (Sim_time.ms 2) ta;
+     check64 "queued behind" (Sim_time.ms 5) tb
+   | _ -> Alcotest.fail "wrong order");
+  check64 "busy" (Sim_time.ms 5) (Net.Cpu.busy_span cpu)
+
+let test_cpu_multicore () =
+  let e = Engine.create () in
+  let cpu = Net.Cpu.create e ~cores:2 in
+  let done_at = ref [] in
+  for i = 0 to 3 do
+    Net.Cpu.submit cpu ~cost:(Sim_time.ms 10) (fun () -> done_at := (i, Engine.now e) :: !done_at)
+  done;
+  Engine.run e;
+  (* 4 x 10ms tasks on 2 cores: pairs complete at 10ms and 20ms. *)
+  let times = List.map snd (List.rev !done_at) in
+  Alcotest.(check (list int64)) "two waves"
+    [ Sim_time.ms 10; Sim_time.ms 10; Sim_time.ms 20; Sim_time.ms 20 ]
+    times
+
+let test_cpu_zero_cost_keeps_order () =
+  let e = Engine.create () in
+  let cpu = Net.Cpu.create e ~cores:1 in
+  let order = ref [] in
+  Net.Cpu.submit cpu ~cost:(Sim_time.ms 1) (fun () -> order := "slow" :: !order);
+  Net.Cpu.submit cpu ~cost:0L (fun () -> order := "fast" :: !order);
+  Engine.run e;
+  Alcotest.(check (list string)) "fifo" [ "slow"; "fast" ] (List.rev !order)
+
+(* -- Bandwidth ------------------------------------------------------------ *)
+
+let test_bandwidth_accounting () =
+  let b = Net.Bandwidth.create () in
+  Net.Bandwidth.record b Net.Bandwidth.Sent ~category:"vote" 100;
+  Net.Bandwidth.record b Net.Bandwidth.Sent ~category:"vote" 50;
+  Net.Bandwidth.record b Net.Bandwidth.Sent ~category:"datablock" 1000;
+  Net.Bandwidth.record b Net.Bandwidth.Received ~category:"proposal" 10;
+  checki "sent total" 1150 (Net.Bandwidth.total b Net.Bandwidth.Sent);
+  checki "received total" 10 (Net.Bandwidth.total b Net.Bandwidth.Received);
+  checki "by cat" 150 (Net.Bandwidth.category_total b Net.Bandwidth.Sent "vote");
+  Alcotest.(check (list (pair string int)))
+    "sorted categories"
+    [ ("datablock", 1000); ("vote", 150) ]
+    (Net.Bandwidth.by_category b Net.Bandwidth.Sent);
+  Net.Bandwidth.reset b;
+  checki "reset" 0 (Net.Bandwidth.total b Net.Bandwidth.Sent)
+
+(* -- Network ---------------------------------------------------------------- *)
+
+type tmsg = { label : string; bytes : int; prio : Net.Nic.priority }
+
+let tmeta =
+  Net.Network.
+    { size = (fun m -> m.bytes); category = (fun _ -> "test"); priority = (fun m -> m.prio) }
+
+let fast_link =
+  Net.Network.
+    { out_bps = 8e9; in_bps = 8e9; prop_delay = Sim_time.ms 1; jitter = 0L; lanes = 1 }
+
+let test_network_unicast () =
+  let e = Engine.create () in
+  let net = Net.Network.create e ~n:3 ~meta:tmeta ~link:fast_link in
+  let got = ref [] in
+  Net.Network.set_handler net 1 (fun ~src m -> got := (src, m.label, Engine.now e) :: !got);
+  Net.Network.send net ~src:0 ~dst:1 { label = "hi"; bytes = 1000; prio = Net.Nic.High };
+  Engine.run e;
+  (match !got with
+   | [ (0, "hi", at) ] ->
+     (* 1 us egress + 1 ms wire + 1 us ingress = 1.002 ms *)
+     check64 "delivery time" (Sim_time.us 1002) at
+   | _ -> Alcotest.fail "not delivered")
+
+let test_network_multicast_excludes_src () =
+  let e = Engine.create () in
+  let net = Net.Network.create e ~n:4 ~meta:tmeta ~link:fast_link in
+  let got = Array.make 4 0 in
+  for i = 0 to 3 do
+    Net.Network.set_handler net i (fun ~src:_ _ -> got.(i) <- got.(i) + 1)
+  done;
+  Net.Network.multicast net ~src:2 { label = "m"; bytes = 100; prio = Net.Nic.High };
+  Engine.run e;
+  Alcotest.(check (array int)) "everyone but source" [| 1; 1; 0; 1 |] got
+
+let test_network_self_send_loopback () =
+  let e = Engine.create () in
+  let net = Net.Network.create e ~n:2 ~meta:tmeta ~link:fast_link in
+  let got = ref 0 in
+  Net.Network.set_handler net 0 (fun ~src:_ _ -> incr got);
+  Net.Network.send net ~src:0 ~dst:0 { label = "self"; bytes = 100; prio = Net.Nic.High };
+  Engine.run e;
+  checki "self delivery" 1 !got;
+  (* loopback is free: no bytes accounted as sent *)
+  checki "no egress bytes" 0
+    (Net.Bandwidth.total (Net.Network.stats net 0) Net.Bandwidth.Sent)
+
+let test_network_down_node () =
+  let e = Engine.create () in
+  let net = Net.Network.create e ~n:3 ~meta:tmeta ~link:fast_link in
+  let got = ref 0 in
+  Net.Network.set_handler net 1 (fun ~src:_ _ -> incr got);
+  Net.Network.set_down net 1 true;
+  Net.Network.send net ~src:0 ~dst:1 { label = "x"; bytes = 10; prio = Net.Nic.High };
+  Net.Network.set_down net 2 true;
+  Net.Network.send net ~src:2 ~dst:1 { label = "y"; bytes = 10; prio = Net.Nic.High };
+  Engine.run e;
+  checki "down node hears nothing" 0 !got;
+  checkb "is_down" true (Net.Network.is_down net 1)
+
+let test_network_bandwidth_bottleneck () =
+  (* Multicast of a large message from one node serializes on its egress:
+     the k-th recipient hears it k transmission-times later. *)
+  let e = Engine.create () in
+  let link = Net.Network.{ fast_link with out_bps = 8e6 (* 1 byte/us *) } in
+  let net = Net.Network.create e ~n:5 ~meta:tmeta ~link in
+  let arrivals = ref [] in
+  for i = 1 to 4 do
+    Net.Network.set_handler net i (fun ~src:_ _ -> arrivals := Engine.now e :: !arrivals)
+  done;
+  Net.Network.multicast net ~src:0 { label = "blk"; bytes = 1000; prio = Net.Nic.High };
+  Engine.run e;
+  let sorted = List.sort Int64.compare !arrivals in
+  (match sorted with
+   | [ a1; _; _; a4 ] ->
+     (* tx = 1 ms per copy on the sender; fast ingress adds 1 us. *)
+     check64 "first arrival" (Sim_time.us 2001) a1;
+     check64 "last arrival staggered" (Sim_time.us 5001) a4
+   | _ -> Alcotest.fail "expected 4 arrivals")
+
+let test_network_inject_and_charge () =
+  let e = Engine.create () in
+  let net = Net.Network.create e ~n:2 ~meta:tmeta ~link:fast_link in
+  let got = ref false in
+  Net.Network.inject net ~dst:1 ~size:500 ~category:"client-req" (fun () -> got := true);
+  Net.Network.charge_egress net ~src:0 ~size:300 ~category:"ack";
+  Engine.run e;
+  checkb "inject delivered" true !got;
+  checki "ingress accounted" 500
+    (Net.Bandwidth.category_total (Net.Network.stats net 1) Net.Bandwidth.Received "client-req");
+  checki "egress accounted" 300
+    (Net.Bandwidth.category_total (Net.Network.stats net 0) Net.Bandwidth.Sent "ack")
+
+let test_network_set_rates () =
+  let e = Engine.create () in
+  let net = Net.Network.create e ~n:2 ~meta:tmeta ~link:fast_link in
+  Net.Network.set_rates net ~out_bps:8e3 ~in_bps:8e3;
+  let at = ref 0L in
+  Net.Network.set_handler net 1 (fun ~src:_ _ -> at := Engine.now e);
+  Net.Network.send net ~src:0 ~dst:1 { label = "slow"; bytes = 1000; prio = Net.Nic.High };
+  Engine.run e;
+  (* 1000 B at 8 kbit/s = 1 s egress + 1 s ingress + 1 ms wire *)
+  check64 "throttled" Sim_time.(s 2 + ms 1) !at
+
+let test_network_extra_delay () =
+  let e = Engine.create () in
+  let net = Net.Network.create e ~n:2 ~meta:tmeta ~link:fast_link in
+  Net.Network.set_extra_delay net (fun ~now:_ ~src:_ ~dst:_ -> Sim_time.ms 50);
+  let at = ref 0L in
+  Net.Network.set_handler net 1 (fun ~src:_ _ -> at := Engine.now e);
+  Net.Network.send net ~src:0 ~dst:1 { label = "late"; bytes = 1000; prio = Net.Nic.High };
+  Engine.run e;
+  check64 "with adversarial delay" (Sim_time.us 51002) !at
+
+(* -- Partial synchrony ------------------------------------------------------ *)
+
+let test_partial_sync_until_gst () =
+  let rng = Rng.create 8L in
+  let sched = Net.Partial_sync.until_gst ~rng ~gst:(Sim_time.s 5) ~max_delay:(Sim_time.ms 100) in
+  let before = sched ~now:(Sim_time.s 1) ~src:0 ~dst:1 in
+  checkb "pre-GST delayed (usually nonzero, always bounded)" true
+    (Int64.compare before 0L >= 0 && Int64.compare before (Sim_time.ms 100) <= 0);
+  check64 "post-GST zero" 0L (sched ~now:(Sim_time.s 6) ~src:0 ~dst:1)
+
+let test_partial_sync_target () =
+  let sched =
+    Net.Partial_sync.target_node ~gst:(Sim_time.s 5) ~victim:2 ~delay:(Sim_time.ms 30)
+  in
+  check64 "victim src" (Sim_time.ms 30) (sched ~now:Sim_time.zero ~src:2 ~dst:0);
+  check64 "victim dst" (Sim_time.ms 30) (sched ~now:Sim_time.zero ~src:0 ~dst:2);
+  check64 "others" 0L (sched ~now:Sim_time.zero ~src:0 ~dst:1);
+  check64 "after gst" 0L (sched ~now:(Sim_time.s 9) ~src:2 ~dst:0)
+
+let test_partial_sync_combine () =
+  let a ~now:_ ~src:_ ~dst:_ = Sim_time.ms 1 in
+  let b ~now:_ ~src:_ ~dst:_ = Sim_time.ms 2 in
+  check64 "sum" (Sim_time.ms 3)
+    (Net.Partial_sync.combine [ a; b ] ~now:Sim_time.zero ~src:0 ~dst:1)
+
+let () =
+  Alcotest.run "net"
+    [ ( "nic",
+        [ Alcotest.test_case "tx time" `Quick test_nic_tx_time;
+          Alcotest.test_case "serialization" `Quick test_nic_serializes;
+          Alcotest.test_case "priority channels" `Quick test_nic_priority;
+          Alcotest.test_case "lanes relieve HoL blocking" `Quick
+            test_nic_lanes_relieve_hol_blocking;
+          Alcotest.test_case "lanes keep total rate" `Quick test_nic_lanes_same_total_rate ] );
+      ( "cpu",
+        [ Alcotest.test_case "serial" `Quick test_cpu_serial;
+          Alcotest.test_case "multicore" `Quick test_cpu_multicore;
+          Alcotest.test_case "fifo with zero cost" `Quick test_cpu_zero_cost_keeps_order ] );
+      ("bandwidth", [ Alcotest.test_case "accounting" `Quick test_bandwidth_accounting ]);
+      ( "network",
+        [ Alcotest.test_case "unicast timing" `Quick test_network_unicast;
+          Alcotest.test_case "multicast excludes source" `Quick
+            test_network_multicast_excludes_src;
+          Alcotest.test_case "self send loopback" `Quick test_network_self_send_loopback;
+          Alcotest.test_case "down node" `Quick test_network_down_node;
+          Alcotest.test_case "egress bottleneck" `Quick test_network_bandwidth_bottleneck;
+          Alcotest.test_case "inject & charge" `Quick test_network_inject_and_charge;
+          Alcotest.test_case "throttling" `Quick test_network_set_rates;
+          Alcotest.test_case "extra delay hook" `Quick test_network_extra_delay ] );
+      ( "partial sync",
+        [ Alcotest.test_case "until gst" `Quick test_partial_sync_until_gst;
+          Alcotest.test_case "target node" `Quick test_partial_sync_target;
+          Alcotest.test_case "combine" `Quick test_partial_sync_combine ] ) ]
