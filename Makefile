@@ -1,0 +1,24 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: check build test bench bench-fast bench-micro clean
+
+check: ## build + full test suite (tier-1 gate)
+	dune build && dune runtest
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench: ## every experiment (slow)
+	dune exec bench/main.exe
+
+bench-fast: ## micro benches only, reduced quota, compare vs baseline
+	dune exec bench/main.exe -- --only micro --fast --check-regressions
+
+bench-micro: ## full micro benches, rewrite BENCH_micro.json
+	dune exec bench/main.exe -- --only micro
+
+clean:
+	dune clean

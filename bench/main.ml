@@ -631,51 +631,12 @@ let extension_chained () =
 (* Bechamel micro-benchmarks of the hot primitives                     *)
 (* ------------------------------------------------------------------ *)
 
+let check_regressions = ref false
+
 let micro () =
-  header ~id:"micro" ~title:"Micro-benchmarks (bechamel)"
+  header ~id:"micro" ~title:"Micro-benchmarks (bechamel) with JSON baseline"
     ~paper:"hot primitives under the figures above";
-  let open Bechamel in
-  let payload = String.make 4096 'x' in
-  let rng = Sim.Rng.create 1L in
-  let setup, keys = Crypto.Threshold.keygen rng ~threshold:20 ~parties:31 in
-  let shares = Array.to_list (Array.map (fun k -> Crypto.Threshold.sign_share k "m") keys) in
-  let quorum_shares = List.filteri (fun i _ -> i < 21) shares in
-  let pk, sk = Crypto.Signature.keygen rng in
-  let signature = Crypto.Signature.sign sk "m" in
-  let tests =
-    [ Test.make ~name:"sha256 4KiB" (Staged.stage (fun () -> Crypto.Sha256.digest_string payload));
-      Test.make ~name:"hmac 64B" (Staged.stage (fun () -> Crypto.Sha256.hmac ~key:"k" "message"));
-      Test.make ~name:"signature verify"
-        (Staged.stage (fun () -> Crypto.Signature.verify pk signature "m"));
-      Test.make ~name:"threshold combine (21 shares)"
-        (Staged.stage (fun () -> Crypto.Threshold.combine setup "m" quorum_shares));
-      Test.make ~name:"heap push+pop"
-        (Staged.stage
-           (let h = Sim.Heap.create () in
-            fun () ->
-              Sim.Heap.add h ~key:1L ~seq:0 ();
-              Sim.Heap.pop_min h));
-      Test.make ~name:"engine event"
-        (Staged.stage
-           (let e = Sim.Engine.create () in
-            fun () ->
-              ignore (Sim.Engine.schedule e ~delay:0L (fun () -> ()));
-              Sim.Engine.step e)) ]
-  in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
-  let instances = [ Toolkit.Instance.monotonic_clock ] in
-  List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg instances test in
-      let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
-      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name est ->
-          match Analyze.OLS.estimates est with
-          | Some (ns :: _) -> say "  %-34s %12.1f ns/op" name ns
-          | Some [] | None -> say "  %-34s (no estimate)" name)
-        results)
-    tests
+  Micro.run ~fast:!fast_mode ~check:!check_regressions
 
 (* ------------------------------------------------------------------ *)
 (* Registry and entry point                                            *)
@@ -708,6 +669,7 @@ let experiments =
 let () =
   let args = Array.to_list Sys.argv in
   if List.mem "--fast" args then fast_mode := true;
+  if List.mem "--check-regressions" args then check_regressions := true;
   if List.mem "--list" args then List.iter (fun (id, _) -> print_endline id) experiments
   else begin
     let only =

@@ -1,23 +1,27 @@
 (* Wire format: little-endian fixed-width integers, u32-length-prefixed
-   byte strings, u32-count-prefixed lists, one u8 tag per variant. *)
+   byte strings, u32-count-prefixed lists, one u8 tag per variant.
 
+   Hot-path notes: the reader decodes fixed-width integers in place with
+   [String.get_int32_le]/[String.get_int64_le] (no [String.sub] per
+   field), and the writer uses [Buffer.add_int32_le]/[add_int64_le].
+   Validation is explicit — [Encode_error]/[Decode_error] — rather than
+   [assert]-based, so it survives [-noassert] and [guard] need not catch
+   [Assert_failure]. *)
+
+exception Encode_error of string
 exception Decode_error
+
+let max_u32 = 0xFFFFFFFF
 
 module W = struct
   let create () = Buffer.create 256
   let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
 
   let u32 b v =
-    assert (v >= 0);
-    for i = 0 to 3 do
-      Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
-    done
+    if v < 0 || v > max_u32 then raise (Encode_error "u32 out of range");
+    Buffer.add_int32_le b (Int32.of_int v)
 
-  let i64 b (v : int64) =
-    for i = 0 to 7 do
-      Buffer.add_char b
-        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
-    done
+  let i64 b (v : int64) = Buffer.add_int64_le b v
 
   let str b s =
     u32 b (String.length s);
@@ -36,28 +40,28 @@ module R = struct
   let create src = { src; pos = 0 }
 
   let take r n =
-    if r.pos + n > String.length r.src then raise Decode_error;
+    if n < 0 || r.pos + n > String.length r.src then raise Decode_error;
     let s = String.sub r.src r.pos n in
     r.pos <- r.pos + n;
     s
 
-  let u8 r = Char.code (take r 1).[0]
+  let u8 r =
+    let p = r.pos in
+    if p >= String.length r.src then raise Decode_error;
+    r.pos <- p + 1;
+    Char.code (String.unsafe_get r.src p)
 
   let u32 r =
-    let s = take r 4 in
-    let v = ref 0 in
-    for i = 3 downto 0 do
-      v := (!v lsl 8) lor Char.code s.[i]
-    done;
-    !v
+    let p = r.pos in
+    if p + 4 > String.length r.src then raise Decode_error;
+    r.pos <- p + 4;
+    Int32.to_int (String.get_int32_le r.src p) land max_u32
 
   let i64 r =
-    let s = take r 8 in
-    let v = ref 0L in
-    for i = 7 downto 0 do
-      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[i]))
-    done;
-    !v
+    let p = r.pos in
+    if p + 8 > String.length r.src then raise Decode_error;
+    r.pos <- p + 8;
+    String.get_int64_le r.src p
 
   let str r =
     let n = u32 r in
@@ -77,15 +81,22 @@ let guard f s =
   match f r with
   | v -> if R.at_end r then Some v else None
   | exception Decode_error -> None
-  | exception Assert_failure _ -> None
-  | exception Invalid_argument _ -> None
 
 (* -- leaves ------------------------------------------------------------ *)
 
 let w_hash b h = W.str b (Crypto.Hash.raw h)
-let r_hash r = Crypto.Hash.of_raw (R.str r)
+
+let r_hash r =
+  let s = R.str r in
+  if String.length s <> Crypto.Hash.size_bytes then raise Decode_error;
+  Crypto.Hash.of_raw s
+
 let w_signature b s = W.str b (Crypto.Signature.to_raw s)
-let r_signature r = Crypto.Signature.of_raw (R.str r)
+
+let r_signature r =
+  let s = R.str r in
+  if String.length s <> 32 then raise Decode_error;
+  Crypto.Signature.of_raw s
 
 let w_share b s =
   let index, value = Crypto.Threshold.share_raw s in
@@ -113,6 +124,9 @@ let r_batch r =
   let size_each = R.u32 r in
   let born = R.i64 r in
   let resend = R.bool r in
+  (* [Request.make]'s precondition, checked explicitly so malformed input
+     yields [None] rather than tripping an assert. *)
+  if count < 1 then raise Decode_error;
   Workload.Request.make ~id ~count ~size_each ~born ~resend ()
 
 let w_datablock b (db : Datablock.t) =

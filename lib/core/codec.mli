@@ -15,6 +15,14 @@
     serializes the *control representation* (request payloads are
     synthetic in the simulator), so encoded lengths are smaller. *)
 
+exception Encode_error of string
+(** Raised by [encode_*] when a value cannot be represented on the wire
+    (e.g. a negative or >32-bit integer in a u32 field). Unlike the old
+    [assert]-based check this survives [-noassert]. *)
+
+exception Decode_error
+(** Internal decoder failure; [decode_*] catch it and return [None]. *)
+
 val encode_batch : Workload.Request.t -> string
 val decode_batch : string -> Workload.Request.t option
 

@@ -58,43 +58,69 @@ type t =
   | Fetch of { hash : Crypto.Hash.t }
   | Fetch_reply of Datablock.t
 
-(* -- Signing payloads ---------------------------------------------------- *)
+(* -- Signing payloads ----------------------------------------------------
 
-let prepare_payload ~view ~block_hash =
-  Printf.sprintf "leopard.prep:%d:%s" view (Crypto.Hash.raw block_hash)
+   Hot path: a payload is built for every vote signed or verified, so the
+   per-round builders write a one-byte domain tag, a little-endian 64-bit
+   integer and the raw 32-byte digest into one preallocated [Bytes] — a
+   single allocation, no [Printf] machinery. Tags keep the payload kinds
+   mutually injective (fixed layout per tag; length-prefixed lists in the
+   variable-size view-change/new-view payloads). *)
+
+let[@inline] tagged_int_hash tag v h =
+  let b = Bytes.create 41 in
+  Bytes.unsafe_set b 0 tag;
+  Bytes.set_int64_le b 1 (Int64.of_int v);
+  Bytes.blit_string (Crypto.Hash.raw h) 0 b 9 32;
+  Bytes.unsafe_to_string b
+
+let prepare_payload ~view ~block_hash = tagged_int_hash 'P' view block_hash
 
 let notar_digest proof = Crypto.Hash.of_string (Crypto.Threshold.encode proof)
 
-let commit_payload ~view ~notar_digest =
-  Printf.sprintf "leopard.commit:%d:%s" view (Crypto.Hash.raw notar_digest)
+let commit_payload ~view ~notar_digest = tagged_int_hash 'C' view notar_digest
+let checkpoint_payload ~cp_sn ~cp_state = tagged_int_hash 'K' cp_sn cp_state
 
-let checkpoint_payload ~cp_sn ~cp_state =
-  Printf.sprintf "leopard.cp:%d:%s" cp_sn (Crypto.Hash.raw cp_state)
+let timeout_payload ~view =
+  let b = Bytes.create 9 in
+  Bytes.unsafe_set b 0 'T';
+  Bytes.set_int64_le b 1 (Int64.of_int view);
+  Bytes.unsafe_to_string b
 
-let timeout_payload ~view = Printf.sprintf "leopard.timeout:%d" view
+let add_int b v = Buffer.add_int64_le b (Int64.of_int v)
+let add_hash b h = Buffer.add_string b (Crypto.Hash.raw h)
 
-let checkpoint_cert_encoding = function
-  | None -> "none"
-  | Some c -> Printf.sprintf "%d:%s" c.cp_sn (Crypto.Hash.raw c.cp_state)
+let add_view_change b vc =
+  Buffer.add_char b 'V';
+  add_int b vc.vc_new_view;
+  add_int b vc.vc_sender;
+  (match vc.vc_checkpoint with
+   | None -> Buffer.add_char b '\000'
+   | Some c ->
+     Buffer.add_char b '\001';
+     add_int b c.cp_sn;
+     add_hash b c.cp_state);
+  add_int b (List.length vc.vc_entries);
+  List.iter
+    (fun (v, blk, proof) ->
+      add_int b v;
+      add_hash b (Bftblock.hash blk);
+      add_int b (Crypto.Threshold.aggregate_raw proof))
+    vc.vc_entries
 
 let view_change_payload vc =
-  let entries =
-    List.map
-      (fun (v, b, proof) ->
-        Printf.sprintf "%d:%s:%s" v
-          (Crypto.Hash.raw (Bftblock.hash b))
-          (Crypto.Threshold.encode proof))
-      vc.vc_entries
-  in
-  String.concat "|"
-    (Printf.sprintf "leopard.vc:%d:%d" vc.vc_new_view vc.vc_sender
-     :: checkpoint_cert_encoding vc.vc_checkpoint
-     :: entries)
+  let b = Buffer.create 128 in
+  add_view_change b vc;
+  Buffer.contents b
 
 let new_view_payload nv =
-  String.concat "|"
-    (Printf.sprintf "leopard.nv:%d:%d" nv.nv_view nv.nv_sender
-     :: List.map view_change_payload nv.nv_vcs)
+  let b = Buffer.create 256 in
+  Buffer.add_char b 'N';
+  add_int b nv.nv_view;
+  add_int b nv.nv_sender;
+  add_int b (List.length nv.nv_vcs);
+  List.iter (add_view_change b) nv.nv_vcs;
+  Buffer.contents b
 
 (* -- Network metadata ---------------------------------------------------- *)
 

@@ -3,6 +3,16 @@ module Ts = Crypto.Threshold
 module Sig = Crypto.Signature
 module Hash = Crypto.Hash
 
+(* (view, block hash)-keyed table for the verified-notarization cache: a
+   direct structural key instead of the old SHA-256 + sprintf synthetic
+   key, so a cache probe costs a hash-table lookup, not a digest. *)
+module Notar_table = Hashtbl.Make (struct
+  type t = int * Hash.t
+
+  let equal (v1, h1) (v2, h2) = v1 = v2 && Hash.equal h1 h2
+  let hash (v, h) = Hash.hash h lxor (v * 0x9e3779b1)
+end)
+
 type hooks = {
   on_execute : id:Net.Node_id.t -> sn:int -> Bftblock.t -> Datablock.t list -> unit;
   on_view_change : id:Net.Node_id.t -> view:int -> unit;
@@ -79,7 +89,7 @@ type t = {
   watched : (int, Workload.Request.t * Sim_time.t) Hashtbl.t;
       (* re-sent requests under observation, by batch id, with the
          instant observation started *)
-  verified_notarizations : unit Hash.Table.t;
+  verified_notarizations : unit Notar_table.t;
       (* notarization proofs already verified — view-change and new-view
          messages repeat the same proofs 2f+1 times, and re-verifying an
          aggregate costs 10 ms of simulated BLS each time *)
@@ -795,17 +805,12 @@ let enter_view t ~nv_view ~vcs =
     maybe_propose t
   end
 
-let notarization_cache_key ~view ~block_hash =
-  Hash.of_string (Printf.sprintf "notar:%d:%s" view (Hash.raw block_hash))
-
 (* Entries whose notarization proof has not been verified before; the
    verification *cost* is charged only for these. *)
 let fresh_entries t entries =
   List.filter
     (fun (v, block, _) ->
-      not
-        (Hash.Table.mem t.verified_notarizations
-           (notarization_cache_key ~view:v ~block_hash:(Bftblock.hash block))))
+      not (Notar_table.mem t.verified_notarizations (v, Bftblock.hash block)))
     entries
 
 let verify_view_change t (vc : Msg.view_change) =
@@ -814,14 +819,14 @@ let verify_view_change t (vc : Msg.view_change) =
   && Sig.verify t.pks.(vc.Msg.vc_sender) vc.Msg.vc_signature (Msg.view_change_payload vc)
   && List.for_all
        (fun (v, block, proof) ->
-         let key = notarization_cache_key ~view:v ~block_hash:(Bftblock.hash block) in
-         Hash.Table.mem t.verified_notarizations key
+         let key = (v, Bftblock.hash block) in
+         Notar_table.mem t.verified_notarizations key
          ||
          let ok =
            Ts.verify t.tsetup proof
              (Msg.prepare_payload ~view:v ~block_hash:(Bftblock.hash block))
          in
-         if ok then Hash.Table.replace t.verified_notarizations key ();
+         if ok then Notar_table.replace t.verified_notarizations key ();
          ok)
        vc.Msg.vc_entries
 
@@ -1166,7 +1171,7 @@ let create ~engine ~network ~cfg ~id ~sk ~pks ~tsetup ~tkey ?(strategy = Byzanti
       vc_msgs = Hashtbl.create 8;
       new_view_sent_for = 0;
       watched = Hashtbl.create 64;
-      verified_notarizations = Hash.Table.create 64;
+      verified_notarizations = Notar_table.create 64;
       crashed = false;
       last_partial_pack = Sim_time.zero;
       last_partial_propose = Sim_time.zero;

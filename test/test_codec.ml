@@ -171,6 +171,75 @@ let prop_trailing_garbage_rejected =
   QCheck.Test.make ~name:"trailing bytes fail to decode" ~count:100 (QCheck.make gen_msg)
     (fun m -> Core.Codec.decode_msg (Core.Codec.encode_msg m ^ "\x00") = None)
 
+(* -- golden bytes -------------------------------------------------------- *)
+
+(* Hex images captured from the seed codec before the zero-copy rewrite:
+   the wire format is frozen, so any byte-level drift is a break, not a
+   refactor. *)
+
+let to_hex s =
+  String.concat "" (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let checks = Alcotest.(check string)
+
+let test_golden_batch () =
+  let b =
+    Workload.Request.make ~id:7 ~count:3 ~size_each:128 ~born:123456789L ~resend:true ()
+  in
+  checks "batch bytes" "07000000030000008000000015cd5b070000000001"
+    (to_hex (Core.Codec.encode_batch b))
+
+let test_golden_bftblock () =
+  let links = [ Crypto.Hash.of_string "a"; Crypto.Hash.of_string "b" ] in
+  let blk = Core.Bftblock.create ~view:1 ~sn:2 ~links in
+  checks "bftblock bytes"
+    "0100000002000000000200000020000000ca978112ca1bbdcafac231b39a23dc4da786eff8147c4e72b9807785afee48bb200000003e23e8160039594a33894f6564e1b1348bbd7a0088d42c4acb73eeaed59c009d"
+    (to_hex (Core.Codec.encode_bftblock blk));
+  let dummy = Core.Bftblock.dummy ~view:5 ~sn:9 in
+  checks "dummy bftblock bytes" "05000000090000000100000000"
+    (to_hex (Core.Codec.encode_bftblock dummy))
+
+let test_golden_fetch () =
+  checks "fetch bytes" "0b20000000ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (to_hex (Core.Codec.encode_msg (Core.Msg.Fetch { hash = Crypto.Hash.of_string "abc" })))
+
+(* -- integer boundaries -------------------------------------------------- *)
+
+let test_u32_boundaries () =
+  (* Max u32 view survives the round trip; i64 extremes survive in [born]. *)
+  let m =
+    Core.Msg.Timeout
+      { view = 0xFFFFFFFF; sender = 0; signature = Crypto.Signature.sign sk "t" }
+  in
+  (match Core.Codec.decode_msg (Core.Codec.encode_msg m) with
+   | Some (Core.Msg.Timeout { view; _ }) -> Alcotest.(check int) "u32 max view" 0xFFFFFFFF view
+   | _ -> Alcotest.fail "u32 max round trip failed");
+  List.iter
+    (fun born ->
+      let b = Workload.Request.make ~id:1 ~count:1 ~size_each:1 ~born () in
+      match Core.Codec.decode_batch (Core.Codec.encode_batch b) with
+      | Some b' -> Alcotest.(check int64) "i64 born" born b'.Workload.Request.born
+      | None -> Alcotest.fail "i64 round trip failed")
+    [ Int64.max_int; Int64.min_int; 0L; -1L ]
+
+let test_encode_error_on_negative () =
+  (* The old [assert (v >= 0)] vanished under -noassert; the explicit
+     Encode_error must fire regardless of build flags. *)
+  let bad =
+    Core.Msg.Timeout { view = -1; sender = 0; signature = Crypto.Signature.sign sk "t" }
+  in
+  checkb "negative view raises" true
+    (match Core.Codec.encode_msg bad with
+     | exception Core.Codec.Encode_error _ -> true
+     | _ -> false);
+  let too_big =
+    Core.Msg.Timeout { view = 0x1_0000_0000; sender = 0; signature = Crypto.Signature.sign sk "t" }
+  in
+  checkb "oversized u32 raises" true
+    (match Core.Codec.encode_msg too_big with
+     | exception Core.Codec.Encode_error _ -> true
+     | _ -> false)
+
 (* -- unit edges ---------------------------------------------------------- *)
 
 let test_decode_garbage () =
@@ -205,7 +274,13 @@ let () =
             prop_encoding_deterministic;
             prop_truncation_rejected;
             prop_trailing_garbage_rejected ] );
+      ( "golden bytes",
+        [ Alcotest.test_case "batch" `Quick test_golden_batch;
+          Alcotest.test_case "bftblock" `Quick test_golden_bftblock;
+          Alcotest.test_case "fetch msg" `Quick test_golden_fetch ] );
       ( "edges",
         [ Alcotest.test_case "garbage rejected" `Quick test_decode_garbage;
+          Alcotest.test_case "u32/i64 boundaries" `Quick test_u32_boundaries;
+          Alcotest.test_case "encode errors" `Quick test_encode_error_on_negative;
           Alcotest.test_case "credentials survive the wire" `Quick
             test_decoded_share_still_verifies ] ) ]
