@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: check build test bench bench-fast bench-micro clean
+.PHONY: check build test bench bench-fast bench-micro bench-macro clean
 
 check: ## build + full test suite (tier-1 gate)
 	dune build && dune runtest
@@ -19,6 +19,9 @@ bench-fast: ## micro benches only, reduced quota, compare vs baseline
 
 bench-micro: ## full micro benches, rewrite BENCH_micro.json
 	dune exec bench/main.exe -- --only micro
+
+bench-macro: ## full-protocol simulator scaling bench, rewrite BENCH_sim.json
+	dune exec bench/main.exe -- --only macro
 
 clean:
 	dune clean

@@ -638,6 +638,11 @@ let micro () =
     ~paper:"hot primitives under the figures above";
   Micro.run ~fast:!fast_mode ~check:!check_regressions
 
+let macro () =
+  header ~id:"macro" ~title:"Macro-benchmark: simulator cost vs n, with JSON baseline"
+    ~paper:"the substrate cost of scaling the reproductions toward n=600";
+  Macro.run ~fast:!fast_mode ~check:!check_regressions
+
 (* ------------------------------------------------------------------ *)
 (* Registry and entry point                                            *)
 (* ------------------------------------------------------------------ *)
@@ -664,7 +669,8 @@ let experiments =
     ("ablation-delivery", ablation_delivery);
     ("extension-chained", extension_chained);
     ("extension-lanes", extension_lanes);
-    ("micro", micro) ]
+    ("micro", micro);
+    ("macro", macro) ]
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -4,6 +4,8 @@ type header = {
   digest : Crypto.Hash.t;
 }
 
+type verify_memo = Unverified | Valid | Invalid
+
 type t = {
   header : header;
   batches : Workload.Request.t list;
@@ -17,6 +19,11 @@ type t = {
   true_digest : Crypto.Hash.t;
   wire_bytes : int;
   hash_memo : Crypto.Hash.t;
+  header_enc : string;
+  (* the signature + digest check is a pure function of the (immutable)
+     datablock, and every replica holds the same key set, so the first
+     receiver's verdict is memoized for the other n-2 *)
+  mutable verify_memo : verify_memo;
 }
 
 let header_overhead_bytes = 48 (* creator + counter + digest *)
@@ -29,6 +36,7 @@ let header_encoding h =
 let of_wire ~creator ~counter ~digest ~created_at ~signature batches =
   assert (batches <> []);
   let header = { creator; counter; digest } in
+  let header_enc = header_encoding header in
   { header;
     batches;
     req_count = List.fold_left (fun acc b -> acc + b.Workload.Request.count) 0 batches;
@@ -39,7 +47,9 @@ let of_wire ~creator ~counter ~digest ~created_at ~signature batches =
     wire_bytes =
       header_overhead_bytes + Crypto.Signature.size_bytes
       + List.fold_left (fun acc b -> acc + Workload.Request.wire_bytes b) 0 batches;
-    hash_memo = Crypto.Hash.of_string (header_encoding header) }
+    hash_memo = Crypto.Hash.of_string header_enc;
+    header_enc;
+    verify_memo = Unverified }
 
 let make_with_digest ~sk ~creator ~counter ~now ~digest batches =
   let header = { creator; counter; digest } in
@@ -57,11 +67,19 @@ let forge_with_bad_digest ~sk ~creator ~counter ~now batches =
     ~digest:(Crypto.Hash.of_string "bogus digest") batches
 
 let verify ~pks t =
-  let h = t.header in
-  h.creator >= 0
-  && h.creator < Array.length pks
-  && Crypto.Hash.equal h.digest t.true_digest
-  && Crypto.Signature.verify pks.(h.creator) t.signature (header_encoding h)
+  match t.verify_memo with
+  | Valid -> true
+  | Invalid -> false
+  | Unverified ->
+    let h = t.header in
+    let ok =
+      h.creator >= 0
+      && h.creator < Array.length pks
+      && Crypto.Hash.equal h.digest t.true_digest
+      && Crypto.Signature.verify pks.(h.creator) t.signature t.header_enc
+    in
+    t.verify_memo <- (if ok then Valid else Invalid);
+    ok
 
 let hash t = t.hash_memo
 let wire_size t = t.wire_bytes

@@ -12,6 +12,8 @@ type header = {
   digest : Crypto.Hash.t; (** Merkle root over the batch hashes *)
 }
 
+type verify_memo = Unverified | Valid | Invalid
+
 type t = private {
   header : header;
   batches : Workload.Request.t list;
@@ -27,6 +29,11 @@ type t = private {
           cost model; memoizing keeps simulation wallclock linear) *)
   wire_bytes : int;       (** memoized {!wire_size} *)
   hash_memo : Crypto.Hash.t;  (** memoized {!hash} *)
+  header_enc : string;    (** memoized signed-header encoding *)
+  mutable verify_memo : verify_memo;
+      (** first receiver's {!verify} verdict, reused by the others — a
+          datablock is immutable and every replica checks it against the
+          same key set, so the outcome cannot differ across receivers *)
 }
 
 val create :

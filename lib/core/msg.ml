@@ -76,7 +76,7 @@ let[@inline] tagged_int_hash tag v h =
 
 let prepare_payload ~view ~block_hash = tagged_int_hash 'P' view block_hash
 
-let notar_digest proof = Crypto.Hash.of_string (Crypto.Threshold.encode proof)
+let notar_digest proof = Crypto.Hash.of_raw (Crypto.Threshold.encode_digest proof)
 
 let commit_payload ~view ~notar_digest = tagged_int_hash 'C' view notar_digest
 let checkpoint_payload ~cp_sn ~cp_state = tagged_int_hash 'K' cp_sn cp_state

@@ -18,13 +18,15 @@ type hooks = {
   on_view_change : id:Net.Node_id.t -> view:int -> unit;
   on_view_change_trigger : id:Net.Node_id.t -> abandoned:int -> unit;
   on_propose : id:Net.Node_id.t -> sn:int -> at:Sim_time.t -> unit;
+  on_checkpoint : id:Net.Node_id.t -> lw:int -> unit;
 }
 
 let no_hooks =
   { on_execute = (fun ~id:_ ~sn:_ _ _ -> ());
     on_view_change = (fun ~id:_ ~view:_ -> ());
     on_view_change_trigger = (fun ~id:_ ~abandoned:_ -> ());
-    on_propose = (fun ~id:_ ~sn:_ ~at:_ -> ()) }
+    on_propose = (fun ~id:_ ~sn:_ ~at:_ -> ());
+    on_checkpoint = (fun ~id:_ ~lw:_ -> ()) }
 
 (* Per-serial agreement instance (Algorithm 2 executes many in parallel). *)
 type instance = {
@@ -143,6 +145,7 @@ let multicast t msg = Net.Network.multicast t.network ~src:t.id msg
 
 (* Charge [cost] on the replica's CPU, then run [f]. *)
 let with_cpu t cost f = Net.Cpu.submit t.cpu ~cost f
+let with_cpu_ns t cost_ns f = Net.Cpu.submit_ns t.cpu ~cost_ns f
 
 let instance_of t sn =
   match Hashtbl.find_opt t.instances sn with
@@ -389,6 +392,7 @@ let apply_checkpoint_cert t (cert : Msg.checkpoint_cert) =
       let stale = Hashtbl.fold (fun sn _ acc -> if sn <= lw then sn :: acc else acc) t.instances [] in
       List.iter (Hashtbl.remove t.instances) stale;
       tracef t "checkpoint.applied" "lw=%d" t.lw;
+      t.hooks.on_checkpoint ~id:t.id ~lw:t.lw;
       maybe_propose t;
       try_execute t
     end
@@ -904,11 +908,13 @@ let on_new_view_msg t (nv : Msg.new_view) =
 (* ----------------------------------------------------------------- *)
 
 let on_datablock t (db : Datablock.t) ~is_fetch_reply =
-  let cost =
-    Sim_time.( + ) t.cfg.cost.verify
-      (Crypto.Cost_model.hash_cost t.cfg.cost ~bytes_len:db.Datablock.payload_bytes)
+  (* int-ns cost arithmetic: this runs once per receiver of every
+     datablock multicast, the highest-rate CPU submission in the system *)
+  let cost_ns =
+    Int64.to_int t.cfg.cost.verify
+    + Crypto.Cost_model.hash_cost_ns t.cfg.cost ~bytes_len:db.Datablock.payload_bytes
   in
-  with_cpu t cost (fun () ->
+  with_cpu_ns t cost_ns (fun () ->
       if
         active t
         && (not (Hashtbl.mem t.punished db.Datablock.header.creator))

@@ -25,6 +25,10 @@ type hooks = {
   on_propose : id:Net.Node_id.t -> sn:int -> at:Sim.Sim_time.t -> unit;
       (** fires when the replica (as leader) multicasts a proposal; the
           runner uses it for the agreement-stage latency breakdown *)
+  on_checkpoint : id:Net.Node_id.t -> lw:int -> unit;
+      (** fires when a checkpoint certificate advances THIS replica's low
+          watermark to [lw] (every serial [<= lw] is durably agreed by a
+          quorum); the runner prunes its per-serial bookkeeping on it *)
 }
 
 val no_hooks : hooks

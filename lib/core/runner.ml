@@ -80,20 +80,38 @@ type t = {
   gen : Workload.Generator.t;
   trace : Trace.t;
   strategies : Byzantine.t array;
-  (* f+1 execution tracking *)
+  (* f+1 execution tracking. Both tables are keyed per serial and would
+     otherwise grow for the whole run; when a checkpoint certificate
+     advances the low watermark every serial at or below it is settled,
+     so [on_checkpoint] prunes them (see [prune_below]) and
+     [pruned_below] guards against a lagging replica's late execution of
+     a pruned serial being re-counted from scratch. Batch-level dedup
+     lives on the requests themselves ({!Workload.Request.mark_counted}),
+     which needs no table at all. *)
   exec_counts : (int, int ref) Hashtbl.t;
-  counted_batches : (int, unit) Hashtbl.t;
   propose_times : (int, Sim_time.t) Hashtbl.t;
+  mutable pruned_below : int;
   confirm_meter : Stats.Meter.t;
   goodput_meter : Stats.Meter.t; (* payload bytes confirmed *)
   latency : Stats.Histogram.t;
-  stages : Stats.Breakdown.t;
+  (* Table-3 stage accumulators (request-weighted seconds), indexed by
+     [stage_*] below. A float array keeps the per-confirmed-batch hot path
+     free of the boxed-float stores and string-hashtable lookups a
+     {!Stats.Breakdown} would cost; the report materializes the named
+     list. *)
+  stage_acc : float array;
   mutable confirmed_requests : int;
   mutable executed_blocks : int;
   mutable first_vc_trigger : Sim_time.t option;
   mutable last_view_entry : Sim_time.t option;
   mutable view_changes : int;
-  mutable resend_clock : (int, Sim_time.t * int) Hashtbl.t;  (* last resend, attempt count *)
+  (* Unconfirmed client batches ordered by next re-send deadline (ns key,
+     batch id as tiebreak; the value carries the attempt count for the
+     exponential backoff). A scan pops only the entries that are due —
+     O(due) — where the previous implementation swept the generator's
+     entire batch history every half-timeout. Confirmed batches are
+     dropped lazily when their deadline surfaces. *)
+  resend_queue : (Workload.Request.t * int) Heap.t;
 }
 
 let engine t = t.engine
@@ -109,6 +127,14 @@ let honest_ids t =
 
 let f_plus_1 t = Config.max_faulty t.sp.cfg + 1
 
+let stage_generation = 0
+and stage_delivery = 1
+and stage_agreement = 2
+and stage_response = 3
+
+let stage_names =
+  [| "Datablock Generation"; "Datablock Delivery"; "Agreement"; "Response to Client" |]
+
 (* The (f+1)-th execution of a serial is the client-visible confirmation
    instant (a valid client response needs f+1 identical acks, §4.1). *)
 let on_f1_execution t ~sn (block : Bftblock.t) dbs =
@@ -119,29 +145,50 @@ let on_f1_execution t ~sn (block : Bftblock.t) dbs =
     (fun (db : Datablock.t) ->
       List.iter
         (fun (b : Workload.Request.t) ->
-          if not (Hashtbl.mem t.counted_batches b.Workload.Request.id) then begin
-            Hashtbl.add t.counted_batches b.Workload.Request.id ();
+          if not (Workload.Request.is_counted b) then begin
+            Workload.Request.mark_counted b;
             let count = b.Workload.Request.count in
             t.confirmed_requests <- t.confirmed_requests + count;
             Stats.Meter.add t.confirm_meter ~at:now count;
             Stats.Meter.add t.goodput_meter ~at:now (Workload.Request.payload_bytes b);
             Stats.Histogram.add t.latency Sim_time.(now - b.Workload.Request.born);
             let w = float_of_int count in
+            let acc = t.stage_acc in
             let gen_span = Sim_time.to_sec Sim_time.(db.Datablock.created_at - b.Workload.Request.born) in
-            Stats.Breakdown.add t.stages "Datablock Generation" (w *. Float.max 0. gen_span);
+            acc.(stage_generation) <- acc.(stage_generation) +. (w *. Float.max 0. gen_span);
             (match agree_start with
              | Some p ->
-               Stats.Breakdown.add t.stages "Datablock Delivery"
-                 (w *. Float.max 0. (Sim_time.to_sec Sim_time.(p - db.Datablock.created_at)));
-               Stats.Breakdown.add t.stages "Agreement"
-                 (w *. Float.max 0. (Sim_time.to_sec Sim_time.(now - p)))
+               acc.(stage_delivery) <-
+                 acc.(stage_delivery)
+                 +. (w *. Float.max 0. (Sim_time.to_sec Sim_time.(p - db.Datablock.created_at)));
+               acc.(stage_agreement) <-
+                 acc.(stage_agreement)
+                 +. (w *. Float.max 0. (Sim_time.to_sec Sim_time.(now - p)))
              | None -> ());
-            Stats.Breakdown.add t.stages "Response to Client"
-              (w *. Sim_time.to_sec t.sp.link.Net.Network.prop_delay)
+            acc.(stage_response) <-
+              acc.(stage_response) +. (w *. Sim_time.to_sec t.sp.link.Net.Network.prop_delay)
           end)
         db.Datablock.batches)
     dbs;
   ignore block
+
+(* Checkpoint garbage collection for the runner's own bookkeeping: once
+   the protocol's low watermark reaches [lw], no serial at or below it
+   can produce a fresh (f+1)-th execution, so the per-serial counters and
+   the ids of batches counted under those serials can go. Runs once per
+   watermark value (n replicas report the same advance). *)
+let prune_below t lw =
+  if lw > t.pruned_below then begin
+    t.pruned_below <- lw;
+    let stale =
+      Hashtbl.fold (fun sn _ acc -> if sn <= lw then sn :: acc else acc) t.exec_counts []
+    in
+    List.iter (Hashtbl.remove t.exec_counts) stale;
+    let stale =
+      Hashtbl.fold (fun sn _ acc -> if sn <= lw then sn :: acc else acc) t.propose_times []
+    in
+    List.iter (Hashtbl.remove t.propose_times) stale
+  end
 
 let make_hooks t_ref =
   { Replica.on_execute =
@@ -149,16 +196,21 @@ let make_hooks t_ref =
         match !t_ref with
         | None -> ()
         | Some t ->
-          let c =
-            match Hashtbl.find_opt t.exec_counts sn with
-            | Some c -> c
-            | None ->
-              let c = ref 0 in
-              Hashtbl.add t.exec_counts sn c;
-              c
-          in
-          incr c;
-          if !c = f_plus_1 t then on_f1_execution t ~sn block dbs);
+          (* A replica catching up via state transfer can execute a
+             serial the checkpoint GC already settled; restarting its
+             counter from zero must not re-trigger the f+1 accounting. *)
+          if sn > t.pruned_below then begin
+            let c =
+              match Hashtbl.find_opt t.exec_counts sn with
+              | Some c -> c
+              | None ->
+                let c = ref 0 in
+                Hashtbl.add t.exec_counts sn c;
+                c
+            in
+            incr c;
+            if !c = f_plus_1 t then on_f1_execution t ~sn block dbs
+          end);
     on_view_change =
       (fun ~id:_ ~view ->
         match !t_ref with
@@ -176,47 +228,52 @@ let make_hooks t_ref =
       (fun ~id:_ ~sn ~at ->
         match !t_ref with
         | None -> ()
-        | Some t -> if not (Hashtbl.mem t.propose_times sn) then Hashtbl.add t.propose_times sn at)
+        | Some t -> if not (Hashtbl.mem t.propose_times sn) then Hashtbl.add t.propose_times sn at);
+    on_checkpoint =
+      (fun ~id:_ ~lw ->
+        match !t_ref with
+        | None -> ()
+        | Some t -> prune_below t lw)
   }
+
+let resend_batch t (b : Workload.Request.t) =
+  let copy = Workload.Request.resend_of b in
+  (* Re-send to several deterministically chosen replicas; §4.1:
+     s = 9 already gives > 99.99% probability of hitting an
+     honest one (f + 1 would guarantee it but floods large
+     clusters). *)
+  let fanout = min 9 (min (Config.max_faulty t.sp.cfg + 1) (t.sp.cfg.Config.n - 1)) in
+  let leader = Config.leader_of_view t.sp.cfg 1 in
+  let targets =
+    Workload.Assign.replicas_for ~n:t.sp.cfg.Config.n ~s:fanout ~leader
+      ~key:b.Workload.Request.id
+  in
+  List.iter
+    (fun dst ->
+      Net.Network.inject t.network ~dst ~size:(Workload.Request.wire_bytes copy)
+        ~category:"client-req" (fun () -> Replica.submit t.replicas.(dst) copy))
+    targets
 
 let schedule_resends t timeout =
   let period = Int64.div timeout 2L in
+  let timeout_ns = Int64.to_int timeout in
   let rec scan () =
-    let now = Engine.now t.engine in
-    List.iter
-      (fun (b : Workload.Request.t) ->
-        if not (Workload.Request.is_confirmed b) then begin
-          (* Exponential backoff (capped): a recovering cluster is not
-             re-flooded with its whole backlog every period. *)
-          let due, attempts =
-            match Hashtbl.find_opt t.resend_clock b.Workload.Request.id with
-            | Some (last, count) ->
-              let wait = Int64.mul timeout (Int64.of_int (min 8 (1 lsl count))) in
-              (Sim_time.compare Sim_time.(now - last) wait >= 0, count)
-            | None -> (Sim_time.compare Sim_time.(now - b.Workload.Request.born) timeout >= 0, 0)
-          in
-          if due then begin
-            Hashtbl.replace t.resend_clock b.Workload.Request.id (now, attempts + 1);
-            let copy = Workload.Request.resend_of b in
-            (* Re-send to several deterministically chosen replicas; §4.1:
-               s = 9 already gives > 99.99% probability of hitting an
-               honest one (f + 1 would guarantee it but floods large
-               clusters). *)
-            let fanout = min 9 (min (Config.max_faulty t.sp.cfg + 1) (t.sp.cfg.Config.n - 1)) in
-            let leader = Config.leader_of_view t.sp.cfg 1 in
-            let targets =
-              Workload.Assign.replicas_for ~n:t.sp.cfg.Config.n ~s:fanout ~leader
-                ~key:b.Workload.Request.id
-            in
-            List.iter
-              (fun dst ->
-                Net.Network.inject t.network ~dst ~size:(Workload.Request.wire_bytes copy)
-                  ~category:"client-req" (fun () -> Replica.submit t.replicas.(dst) copy))
-              targets
-          end
-        end)
-      (Workload.Generator.batches t.gen);
-    if Sim_time.compare now t.sp.duration < 0 then
+    let now_ns = Engine.now_ns t.engine in
+    while
+      (not (Heap.is_empty t.resend_queue)) && Heap.peek_key_ns t.resend_queue <= now_ns
+    do
+      let b, attempts = Heap.pop_value t.resend_queue in
+      if not (Workload.Request.is_confirmed b) then begin
+        resend_batch t b;
+        (* Exponential backoff (capped): a recovering cluster is not
+           re-flooded with its whole backlog every period. *)
+        let attempts = attempts + 1 in
+        let wait_ns = timeout_ns * min 8 (1 lsl attempts) in
+        Heap.add_ns t.resend_queue ~key_ns:(now_ns + wait_ns) ~seq:b.Workload.Request.id
+          (b, attempts)
+      end
+    done;
+    if Sim_time.compare (Engine.now t.engine) t.sp.duration < 0 then
       ignore (Engine.schedule t.engine ~delay:period (fun () -> scan ()))
   in
   ignore (Engine.schedule t.engine ~delay:timeout (fun () -> scan ()))
@@ -268,6 +325,21 @@ let create sp =
         && (sp.client_resend_timeout <> None || not (Byzantine.is_byzantine strategies.(id))))
       (List.init cfg.Config.n Fun.id)
   in
+  let resend_queue = Heap.create () in
+  (* Every new batch registers its first re-send deadline as it is born;
+     the scanner in [schedule_resends] then only ever touches due
+     entries. *)
+  let on_batch =
+    match sp.client_resend_timeout with
+    | None -> None
+    | Some timeout ->
+      let timeout_ns = Int64.to_int timeout in
+      Some
+        (fun (b : Workload.Request.t) ->
+          Heap.add_ns resend_queue
+            ~key_ns:(Int64.to_int b.Workload.Request.born + timeout_ns)
+            ~seq:b.Workload.Request.id (b, 0))
+  in
   let gen =
     (* Coarser client batching at large scale keeps the event volume of
        the open-loop generator proportional to the offered load rather
@@ -291,7 +363,7 @@ let create sp =
       end
     in
     Workload.Generator.start engine ~rate:sp.load ~payload:cfg.Config.payload ~targets ~tick
-      ~inject ~submit
+      ~inject ~submit ?on_batch
       ?until:(match sp.load_until with Some u -> Some u | None -> Some sp.duration)
       ()
   in
@@ -304,18 +376,18 @@ let create sp =
       trace;
       strategies;
       exec_counts = Hashtbl.create 1024;
-      counted_batches = Hashtbl.create 65536;
       propose_times = Hashtbl.create 1024;
+      pruned_below = 0;
       confirm_meter = Stats.Meter.create ();
       goodput_meter = Stats.Meter.create ();
       latency = Stats.Histogram.create ();
-      stages = Stats.Breakdown.create ();
+      stage_acc = Array.make (Array.length stage_names) 0.;
       confirmed_requests = 0;
       executed_blocks = 0;
       first_vc_trigger = None;
       last_view_entry = None;
       view_changes = 0;
-      resend_clock = Hashtbl.create 64 }
+      resend_queue }
   in
   t_ref := Some t;
   (* Bandwidth accounting restarts when the warmup window closes. *)
@@ -404,7 +476,7 @@ let report t =
     throughput;
     goodput_bps;
     latency = t.latency;
-    stage_seconds = Stats.Breakdown.components t.stages;
+    stage_seconds = Array.to_list (Array.mapi (fun i name -> (name, t.stage_acc.(i))) stage_names);
     leader = leader_view;
     non_leader = bandwidth_view t non_leader;
     leader_bps =

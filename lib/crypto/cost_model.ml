@@ -44,6 +44,11 @@ let free =
 let hash_cost t ~bytes_len =
   Int64.div (Int64.mul t.hash_per_kb (Int64.of_int bytes_len)) 1024L
 
+(* [hash_cost] on immediate ints (same truncating division — both
+   operands are non-negative): the per-delivery datablock path computes
+   this once per receiver, where int64 intermediates would box. *)
+let hash_cost_ns t ~bytes_len = Int64.to_int t.hash_per_kb * bytes_len / 1024
+
 let combine_cost t ~shares =
   Sim_time.( + )
     (Int64.mul t.tcombine_per_share (Int64.of_int shares))

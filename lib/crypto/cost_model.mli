@@ -31,6 +31,10 @@ val free : t
 val hash_cost : t -> bytes_len:int -> Sim.Sim_time.span
 (** Hashing cost for a payload of [bytes_len] bytes. *)
 
+val hash_cost_ns : t -> bytes_len:int -> int
+(** [hash_cost] as a nanosecond int (identical value) — the
+    allocation-free companion for per-message hot paths. *)
+
 val combine_cost : t -> shares:int -> Sim.Sim_time.span
 (** Cost of aggregating [shares] threshold shares (verification of each
     share plus interpolation). *)

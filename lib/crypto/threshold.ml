@@ -7,7 +7,24 @@ type setup = {
 
 type member_key = { index : int; secret : Field.t }
 type share = { s_index : int; masked : Field.t }
-type aggregate = { value : Field.t }
+
+(* The memo fields cut simulation wallclock, not simulated CPU time (the
+   cost model charges TVrf separately): one aggregate is verified against
+   the same message by each of the n - 1 receivers of a notarization or
+   confirmation, and hashed once per receiver on top of that. Verification
+   is a pure function of (aggregate, group key, message), so the first
+   verdict holds for everyone. [verified_key = ""] means "no verdict yet"
+   (a group key is a 32-byte digest, never empty). *)
+type aggregate = {
+  value : Field.t;
+  mutable digest_memo : string;  (* SHA-256 of [encode]; "" = not yet *)
+  mutable verified_key : string; (* group_pk of the memoized verdict *)
+  mutable verified_msg : string;
+  mutable verified_ok : bool;
+}
+
+let aggregate value =
+  { value; digest_memo = ""; verified_key = ""; verified_msg = ""; verified_ok = false }
 
 let share_size_bytes = 48
 let aggregate_size_bytes = 48
@@ -32,7 +49,22 @@ let parties t = t.parties
    same mask to every Shamir share shifts the interpolated secret by the
    mask (Lagrange coefficients at 0 sum to 1), which binds shares and
    aggregate to the message. *)
-let mask msg = Field.of_string_digest (Sha256.digest_strings [ "leopard.ts.msg"; msg ])
+(* One-slot memo: votes for the same payload arrive in bursts (a leader
+   verifies n shares of one payload back to back; n replicas each sign the
+   same payload once per round), so the last-message cache hits on nearly
+   every hot-path call. Purely a wallclock saving — [mask] is a pure
+   function, so determinism is untouched. *)
+let mask_memo_msg = ref ""
+let mask_memo_val = ref Field.one
+
+let mask msg =
+  if String.equal !mask_memo_msg msg then !mask_memo_val
+  else begin
+    let v = Field.of_string_digest (Sha256.digest_strings [ "leopard.ts.msg"; msg ]) in
+    mask_memo_msg := msg;
+    mask_memo_val := v;
+    v
+  end
 
 let sign_share key msg = { s_index = key.index; masked = Field.add key.secret (mask msg) }
 
@@ -56,18 +88,31 @@ let combine setup msg shares =
     let points =
       List.map (fun s -> Shamir.{ index = s.s_index; value = Field.sub s.masked (mask msg) }) chosen
     in
-    Some { value = Field.add (Shamir.reconstruct points) (mask msg) }
+    Some (aggregate (Field.add (Shamir.reconstruct points) (mask msg)))
   end
 
 let verify setup agg msg =
-  String.equal (commit_master (Field.sub agg.value (mask msg))) setup.group_pk
+  if String.equal agg.verified_key setup.group_pk && String.equal agg.verified_msg msg then
+    agg.verified_ok
+  else begin
+    let ok = String.equal (commit_master (Field.sub agg.value (mask msg))) setup.group_pk in
+    agg.verified_key <- setup.group_pk;
+    agg.verified_msg <- msg;
+    agg.verified_ok <- ok;
+    ok
+  end
 
 let encode agg = Printf.sprintf "tsagg:%d" (Field.to_int agg.value)
+
+let encode_digest agg =
+  if String.length agg.digest_memo = 0 then
+    agg.digest_memo <- Sha256.digest_string (encode agg);
+  agg.digest_memo
 
 let share_raw s = (s.s_index, Field.to_int s.masked)
 let share_of_raw ~index ~value = { s_index = index; masked = Field.of_int value }
 let aggregate_raw agg = Field.to_int agg.value
-let aggregate_of_raw v = { value = Field.of_int v }
+let aggregate_of_raw v = aggregate (Field.of_int v)
 let share_equal a b = a.s_index = b.s_index && Field.equal a.masked b.masked
 let aggregate_equal a b = Field.equal a.value b.value
 
@@ -75,5 +120,5 @@ let forge_attempt setup msg =
   (* A deterministic guess at an aggregate; nudged if it accidentally
      verifies (probability ~1/p) so callers can rely on rejection. *)
   let guess = Field.of_string_digest (Sha256.digest_strings [ "forge"; setup.group_pk; msg ]) in
-  let candidate = { value = Field.add guess (mask msg) } in
-  if verify setup candidate msg then { value = Field.add candidate.value Field.one } else candidate
+  let candidate = aggregate (Field.add guess (mask msg)) in
+  if verify setup candidate msg then aggregate (Field.add candidate.value Field.one) else candidate

@@ -60,6 +60,13 @@ val encode : aggregate -> string
 (** Deterministic encoding of an aggregate, for hashing — Algorithm 2's
     second voting round signs [H(σ¹)]. *)
 
+val encode_digest : aggregate -> string
+(** SHA-256 of [encode agg] (32 raw bytes), memoized in the aggregate:
+    every receiver of a notarization hashes the same immutable proof, so
+    the digest is computed once per aggregate rather than once per
+    receiver. The simulated hashing cost is charged by the cost model
+    regardless. *)
+
 val forge_attempt : setup -> string -> aggregate
 (** An aggregate built without any share — guaranteed not to verify; used
     by Byzantine strategies and unforgeability-shape tests. *)

@@ -11,11 +11,13 @@ let table t = function
   | Sent -> t.sent
   | Received -> t.received
 
+(* Called twice per delivered message; [Hashtbl.find] + [Not_found]
+   avoids allocating [find_opt]'s [Some] on the hit path. *)
 let record t dir ~category bytes =
   let tbl = table t dir in
-  match Hashtbl.find_opt tbl category with
-  | Some r -> r := !r + bytes
-  | None -> Hashtbl.add tbl category (ref bytes)
+  match Hashtbl.find tbl category with
+  | r -> r := !r + bytes
+  | exception Not_found -> Hashtbl.add tbl category (ref bytes)
 
 let total t dir = Hashtbl.fold (fun _ r acc -> acc + !r) (table t dir) 0
 

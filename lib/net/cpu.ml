@@ -1,34 +1,40 @@
 open Sim
 
+(* Core-free instants and the busy accumulator are nanosecond ints so the
+   per-message [submit] path allocates nothing but its completion closure
+   (int64 spans would box on every compare/add without flambda). *)
 type t = {
   engine : Engine.t;
-  cores : Sim_time.t array;        (* instant each core becomes free *)
-  mutable busy : Sim_time.span;
+  cores : int array;               (* ns instant each core becomes free *)
+  mutable busy_ns : int;
   mutable depth : int;
 }
 
 let create engine ~cores =
   assert (cores >= 1);
-  { engine; cores = Array.make cores Sim_time.zero; busy = 0L; depth = 0 }
+  { engine; cores = Array.make cores 0; busy_ns = 0; depth = 0 }
 
 let earliest_core t =
   let best = ref 0 in
   for i = 1 to Array.length t.cores - 1 do
-    if Sim_time.compare t.cores.(i) t.cores.(!best) < 0 then best := i
+    if t.cores.(i) < t.cores.(!best) then best := i
   done;
   !best
 
-let submit t ~cost f =
+let submit_ns t ~cost_ns f =
   let core = earliest_core t in
-  let start = Sim_time.max (Engine.now t.engine) t.cores.(core) in
-  let finish = Sim_time.(start + cost) in
+  let now_ns = Engine.now_ns t.engine in
+  let start = if now_ns > t.cores.(core) then now_ns else t.cores.(core) in
+  let finish = start + cost_ns in
   t.cores.(core) <- finish;
-  t.busy <- Sim_time.(t.busy + cost);
+  t.busy_ns <- t.busy_ns + cost_ns;
   t.depth <- t.depth + 1;
   ignore
-    (Engine.schedule_at t.engine ~at:finish (fun () ->
+    (Engine.schedule_ns t.engine ~delay_ns:(finish - now_ns) (fun () ->
          t.depth <- t.depth - 1;
          f ()))
 
-let busy_span t = t.busy
+let submit t ~cost f = submit_ns t ~cost_ns:(Int64.to_int cost) f
+
+let busy_span t = Int64.of_int t.busy_ns
 let queue_depth t = t.depth

@@ -17,6 +17,10 @@ val submit : t -> cost:Sim.Sim_time.span -> (unit -> unit) -> unit
     after all previously submitted work. Zero-cost tasks still respect
     FIFO order with respect to queued work. *)
 
+val submit_ns : t -> cost_ns:int -> (unit -> unit) -> unit
+(** [submit] with the cost as a nanosecond int — allocation-free for
+    callers whose cost arithmetic is already in immediate ints. *)
+
 val busy_span : t -> Sim.Sim_time.span
 (** Total core-busy time accumulated (for utilization metrics). *)
 

@@ -26,9 +26,32 @@ let gbps x = x *. 1e9
 
 (* What travels through NICs: protocol messages, client injections, and
    external egress (client acks), each with enough context to finish the
-   hop when serialization completes. *)
+   hop when serialization completes. Wire size, category and priority are
+   computed once at send time and carried along.
+
+   A [Fanout] is one shared record standing for a whole multicast: the
+   sender's NIC transmits it [n - 1] times (see {!Nic.submit_many}), and
+   each egress completion claims the next destination in ascending order
+   via the [next] counter. Copies of one fanout always complete in start
+   order — equal sizes on FIFO lanes — so the counter reproduces exactly
+   the per-destination packets it replaced. *)
 type 'msg packet =
-  | Proto of { src : Node_id.t; dst : Node_id.t; msg : 'msg }
+  | Proto of {
+      src : Node_id.t;
+      dst : Node_id.t;
+      msg : 'msg;
+      size : int;
+      category : string;
+      priority : Nic.priority;
+    }
+  | Fanout of {
+      src : Node_id.t;
+      msg : 'msg;
+      size : int;
+      category : string;
+      priority : Nic.priority;
+      mutable next : int;    (* egress completions so far *)
+    }
   | External of { callback : unit -> unit }
 
 type 'msg node = {
@@ -47,53 +70,63 @@ type 'msg t = {
   rng : Rng.t;
   mutable extra_delay :
     (now:Sim_time.t -> src:Node_id.t -> dst:Node_id.t -> Sim_time.span) option;
+  mutable delivered : int;
 }
 
 let engine t = t.engine
 let n t = Array.length t.nodes
+let delivered_messages t = t.delivered
 
 let deliver t dst packet =
   let node = t.nodes.(dst) in
   if not node.down then
     match packet with
     | External { callback } -> callback ()
-    | Proto { src; msg; _ } ->
-      Bandwidth.record node.account Received ~category:(t.meta.category msg) (t.meta.size msg);
+    | Proto { src; msg; size; category; _ } | Fanout { src; msg; size; category; _ } ->
+      t.delivered <- t.delivered + 1;
+      Bandwidth.record node.account Received ~category size;
       (match node.handler with
        | Some h -> h ~src msg
        | None -> ())
 
-let wire_delay t ~src ~dst =
-  let base = t.link.prop_delay in
+let wire_delay_ns t ~src ~dst =
   let jit =
     if Int64.compare t.link.jitter 0L > 0 then
-      Int64.of_float (Rng.float t.rng (Int64.to_float t.link.jitter))
-    else 0L
+      int_of_float (Rng.float t.rng (Int64.to_float t.link.jitter))
+    else 0
   in
   let extra =
     match t.extra_delay with
-    | Some f -> f ~now:(Engine.now t.engine) ~src ~dst
-    | None -> 0L
+    | Some f -> Int64.to_int (f ~now:(Engine.now t.engine) ~src ~dst)
+    | None -> 0
   in
-  Sim_time.(base + Sim_time.(jit + extra))
+  Int64.to_int t.link.prop_delay + jit + extra
 
 (* Egress completion: the packet crosses the wire, then contends for the
    receiver's ingress NIC. Sent bytes are accounted here — when they have
    actually left the NIC — so a backlogged egress queue cannot inflate a
    measurement window's utilization. *)
+let cross_wire t ~src ~dst ~priority ~size packet =
+  let dt = wire_delay_ns t ~src ~dst in
+  ignore
+    (Engine.schedule_ns t.engine ~delay_ns:dt (fun () ->
+         let node = t.nodes.(dst) in
+         if not node.down then Nic.submit node.ingress ~priority ~size packet))
+
 let on_egress_done t packet =
   match packet with
   | External _ -> () (* external egress has no in-network destination *)
-  | Proto { src; dst; msg } ->
-    Bandwidth.record t.nodes.(src).account Sent ~category:(t.meta.category msg)
-      (t.meta.size msg);
-    let dt = wire_delay t ~src ~dst in
-    ignore
-      (Engine.schedule t.engine ~delay:dt (fun () ->
-           let node = t.nodes.(dst) in
-           if not node.down then
-             Nic.submit node.ingress ~priority:(t.meta.priority msg) ~size:(t.meta.size msg)
-               packet))
+  | Proto { src; dst; size; category; priority; _ } ->
+    Bandwidth.record t.nodes.(src).account Sent ~category size;
+    cross_wire t ~src ~dst ~priority ~size packet
+  | Fanout ({ src; size; category; priority; _ } as f) ->
+    Bandwidth.record t.nodes.(src).account Sent ~category size;
+    (* the k-th completion serves the k-th destination in ascending
+       order, skipping the sender *)
+    let k = f.next in
+    f.next <- k + 1;
+    let dst = if k < src then k else k + 1 in
+    cross_wire t ~src ~dst ~priority ~size packet
 
 let create engine ~n ~meta ~link =
   assert (n >= 1);
@@ -112,12 +145,14 @@ let create engine ~n ~meta ~link =
           let t = the_t () in
           match p with
           | External { callback } -> if not t.nodes.(i).down then callback ()
-          | Proto { dst; _ } -> deliver t dst p)
+          | Proto { dst; _ } -> deliver t dst p
+          | Fanout _ -> deliver t i p (* this ingress NIC belongs to [i] *))
     in
     { egress; ingress; account = Bandwidth.create (); handler = None; down = false }
   in
   let t =
-    { engine; meta; link; nodes = Array.init n make_node; rng; extra_delay = None }
+    { engine; meta; link; nodes = Array.init n make_node; rng; extra_delay = None;
+      delivered = 0 }
   in
   t_ref := Some t;
   t
@@ -126,16 +161,24 @@ let set_handler t id h = t.nodes.(id).handler <- Some h
 
 let send t ~src ~dst msg =
   let node = t.nodes.(src) in
-  if not node.down then
-    if Node_id.equal src dst then deliver t dst (Proto { src; dst; msg })
-    else
-      Nic.submit node.egress ~priority:(t.meta.priority msg) ~size:(t.meta.size msg)
-        (Proto { src; dst; msg })
+  if not node.down then begin
+    let size = t.meta.size msg in
+    let category = t.meta.category msg in
+    let priority = t.meta.priority msg in
+    let packet = Proto { src; dst; msg; size; category; priority } in
+    if Node_id.equal src dst then deliver t dst packet
+    else Nic.submit node.egress ~priority ~size packet
+  end
 
 let multicast t ~src msg =
-  for dst = 0 to Array.length t.nodes - 1 do
-    if not (Node_id.equal dst src) then send t ~src ~dst msg
-  done
+  let node = t.nodes.(src) in
+  if (not node.down) && Array.length t.nodes > 1 then begin
+    let size = t.meta.size msg in
+    let category = t.meta.category msg in
+    let priority = t.meta.priority msg in
+    let packet = Fanout { src; msg; size; category; priority; next = 0 } in
+    Nic.submit_many node.egress ~priority ~size ~copies:(Array.length t.nodes - 1) packet
+  end
 
 let inject t ~dst ~size ~category callback =
   let node = t.nodes.(dst) in

@@ -46,6 +46,11 @@ val create : Sim.Engine.t -> n:int -> meta:'msg meta -> link:link -> 'msg t
 val engine : 'msg t -> Sim.Engine.t
 val n : 'msg t -> int
 
+val delivered_messages : 'msg t -> int
+(** Protocol messages handed to a replica handler so far (multicast
+    copies count once per destination); the macro-benchmark's
+    words-per-delivered-message denominator. *)
+
 val set_handler : 'msg t -> Node_id.t -> (src:Node_id.t -> 'msg -> unit) -> unit
 (** Installs the delivery callback of a replica. *)
 

@@ -25,6 +25,15 @@ val create :
 val submit : 'a t -> priority:priority -> size:int -> 'a -> unit
 (** Queues an item of [size] bytes. *)
 
+val submit_many : 'a t -> priority:priority -> size:int -> copies:int -> 'a -> unit
+(** [submit_many t ~priority ~size ~copies p] behaves exactly like
+    [copies] consecutive [submit]s of [p] — same transmission start and
+    completion instants, [on_done p] once per copy — but enqueues a
+    single shared entry, so a wide multicast costs O(1) allocation at
+    the NIC instead of O(copies). [copies <= 0] is a no-op. Copies
+    started after a {!set_rate} change transmit at the new rate, like
+    separately queued items would. *)
+
 val busy_span : 'a t -> Sim.Sim_time.span
 (** Accumulated transmission time (for utilization). *)
 

@@ -1,79 +1,120 @@
-type event = { callback : unit -> unit; mutable cancelled : bool }
+(* The clock and the queue keys are nanosecond counts held as immediate
+   ints (2^62 ns is ~146 years of simulated time), and the heap stores
+   the callbacks themselves — scheduling allocates nothing beyond the
+   caller's closure, and firing nothing at all.
 
-type handle = event
+   A handle is the event's sequence number. Cancellation marks the seq in
+   a side table consulted on fire; [n_cancelled] keeps the common case
+   (nothing cancelled, protocol hot paths never cancel) to a single int
+   test. Cancelling an event that already fired parks one entry in the
+   table permanently — harmless at the test-only rate cancellation is
+   actually used, see the .mli note. *)
+
+type handle = int
 
 type t = {
-  mutable clock : Sim_time.t;
-  queue : event Heap.t;
+  mutable clock_ns : int;
+  queue : (unit -> unit) Heap.t;
   mutable next_seq : int;
   root_rng : Rng.t;
-  mutable live : int;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable n_cancelled : int;
+  mutable fired_total : int;
 }
 
 let create ?(seed = 1L) () =
-  { clock = Sim_time.zero;
+  { clock_ns = 0;
     queue = Heap.create ();
     next_seq = 0;
     root_rng = Rng.create seed;
-    live = 0 }
+    cancelled = Hashtbl.create 8;
+    n_cancelled = 0;
+    fired_total = 0 }
 
-let now t = t.clock
+let now t = Int64.of_int t.clock_ns
+let now_ns t = t.clock_ns
 let rng t = t.root_rng
+let events_fired t = t.fired_total
+
+let enqueue t at_ns callback =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.add_ns t.queue ~key_ns:at_ns ~seq callback;
+  seq
 
 let schedule_at t ~at callback =
-  let at = Sim_time.max at t.clock in
-  let ev = { callback; cancelled = false } in
-  Heap.add t.queue ~key:at ~seq:t.next_seq ev;
-  t.next_seq <- t.next_seq + 1;
-  t.live <- t.live + 1;
-  ev
+  let at_ns = Int64.to_int at in
+  enqueue t (if at_ns < t.clock_ns then t.clock_ns else at_ns) callback
 
 let schedule t ~delay callback =
-  let delay = if Int64.compare delay 0L < 0 then 0L else delay in
-  schedule_at t ~at:Sim_time.(t.clock + delay) callback
+  let d = Int64.to_int delay in
+  enqueue t (if d < 0 then t.clock_ns else t.clock_ns + d) callback
 
-let cancel ev =
-  ev.cancelled <- true
+let schedule_ns t ~delay_ns callback =
+  enqueue t (if delay_ns < 0 then t.clock_ns else t.clock_ns + delay_ns) callback
 
-let pending t = t.live
-
-let fire t at ev =
-  t.live <- t.live - 1;
-  if not ev.cancelled then begin
-    t.clock <- at;
-    ev.callback ()
+let cancel t h =
+  if not (Hashtbl.mem t.cancelled h) then begin
+    Hashtbl.replace t.cancelled h ();
+    t.n_cancelled <- t.n_cancelled + 1
   end
 
+let pending t = Heap.length t.queue
+
+(* True (consuming the mark) iff the event was cancelled. *)
+let consume_cancel t seq =
+  t.n_cancelled > 0
+  && Hashtbl.mem t.cancelled seq
+  && begin
+       Hashtbl.remove t.cancelled seq;
+       t.n_cancelled <- t.n_cancelled - 1;
+       true
+     end
+
 let step t =
-  match Heap.pop_min t.queue with
-  | None -> false
-  | Some (at, _, ev) ->
-    fire t at ev;
+  if Heap.is_empty t.queue then false
+  else begin
+    let at = Heap.peek_key_ns t.queue in
+    let seq = Heap.peek_seq t.queue in
+    let callback = Heap.pop_value t.queue in
+    if not (consume_cancel t seq) then begin
+      t.clock_ns <- at;
+      t.fired_total <- t.fired_total + 1;
+      callback ()
+    end;
     true
+  end
 
 let run ?until ?max_events t =
-  let fired = ref 0 in
-  let budget_left () =
-    match max_events with None -> true | Some m -> !fired < m
-  in
-  let stop_at_limit () =
+  let limit_ns =
     match until with
-    | Some limit when Sim_time.compare t.clock limit < 0 -> t.clock <- limit
-    | Some _ | None -> ()
+    | None -> max_int
+    | Some l -> if Int64.compare l (Int64.of_int max_int) > 0 then max_int else Int64.to_int l
   in
-  let rec loop () =
-    if budget_left () then
-      match Heap.peek_min t.queue with
-      | None -> stop_at_limit ()
-      | Some (at, _, _) ->
-        (match until with
-         | Some limit when Sim_time.compare at limit > 0 -> t.clock <- limit
-         | Some _ | None ->
-           (match Heap.pop_min t.queue with
-            | None -> ()
-            | Some (at, _, ev) ->
-              if not ev.cancelled then incr fired;
-              fire t at ev;
-              loop ()))
-  in
-  loop ()
+  let budget = match max_events with None -> max_int | Some m -> m in
+  let fired = ref 0 in
+  let running = ref true in
+  while !running do
+    if !fired >= budget then running := false
+    else if Heap.is_empty t.queue then begin
+      if until <> None && t.clock_ns < limit_ns then t.clock_ns <- limit_ns;
+      running := false
+    end
+    else begin
+      let at = Heap.peek_key_ns t.queue in
+      if at > limit_ns then begin
+        t.clock_ns <- limit_ns;
+        running := false
+      end
+      else begin
+        let seq = Heap.peek_seq t.queue in
+        let callback = Heap.pop_value t.queue in
+        if not (consume_cancel t seq) then begin
+          incr fired;
+          t.clock_ns <- at;
+          t.fired_total <- t.fired_total + 1;
+          callback ()
+        end
+      end
+    end
+  done

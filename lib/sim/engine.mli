@@ -9,7 +9,9 @@
 type t
 
 type handle
-(** A scheduled event, usable for cancellation (e.g. protocol timers). *)
+(** A scheduled event, usable for cancellation (e.g. protocol timers).
+    Handles are engine-local: pass them back to {!cancel} on the engine
+    that issued them. *)
 
 val create : ?seed:int64 -> unit -> t
 (** [create ~seed ()] is a fresh engine with clock at {!Sim_time.zero}.
@@ -17,6 +19,10 @@ val create : ?seed:int64 -> unit -> t
 
 val now : t -> Sim_time.t
 (** Current virtual time. *)
+
+val now_ns : t -> int
+(** [Sim_time.to_int64 (now t)] as an immediate int — the allocation-free
+    companion of {!schedule_ns} for hot callers doing clock arithmetic. *)
 
 val rng : t -> Rng.t
 (** The engine's root random stream. Components that need their own stream
@@ -30,13 +36,26 @@ val schedule_at : t -> at:Sim_time.t -> (unit -> unit) -> handle
 (** [schedule_at t ~at f] arranges for [f ()] to run at instant [at]
     (clamped to [now t] if in the past). *)
 
-val cancel : handle -> unit
-(** Cancels a pending event; cancelling a fired or already-cancelled event
-    is a no-op. *)
+val schedule_ns : t -> delay_ns:int -> (unit -> unit) -> handle
+(** [schedule t ~delay:(Sim_time.ns delay_ns)] without the int64 detour:
+    the allocation-free path for hot callers whose delays are already
+    nanosecond ints. *)
+
+val cancel : t -> handle -> unit
+(** Cancels a pending event; cancelling an already-cancelled event is a
+    no-op. Cancelling an event that has already fired is also a no-op
+    behaviorally, but retains a small bookkeeping entry for the engine's
+    lifetime — fine for timers, not for per-message traffic (the protocol
+    hot paths never cancel). *)
 
 val pending : t -> int
-(** Number of scheduled, not-yet-fired, not-cancelled events (cancelled
-    events may be counted until they are garbage-popped). *)
+(** Number of scheduled, not-yet-fired events (cancelled events are
+    counted until they are garbage-popped). *)
+
+val events_fired : t -> int
+(** Total events executed (cancelled events excluded) since [create];
+    the denominator of the macro-benchmark's events/sec and words/event
+    metrics. *)
 
 val run : ?until:Sim_time.t -> ?max_events:int -> t -> unit
 (** [run ?until ?max_events t] executes events in order until the queue is

@@ -1,71 +1,178 @@
-type 'a entry = { key : int64; seq : int; value : 'a }
+(* Structure-of-arrays binary min-heap.
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+   The previous implementation stored one {key; seq; value} record per
+   entry, so every [add] allocated and every comparison chased a pointer
+   (plus a boxed-int64 compare). Here each logical field lives in its own
+   flat array and the int64 key is split into two immediate ints:
 
-let create () = { data = [||]; size = 0 }
+     hi = signed high 32 bits     (Int64.shift_right key 32)
+     lo = unsigned low 32 bits    (Int64.logand key 0xFFFFFFFF)
+
+   Lexicographic (hi, lo, seq) equals signed int64 (key, seq) order —
+   base-2^32 digits with a signed leading digit — and compares with plain
+   int operations only, which matters without flambda where int64 locals
+   stay boxed. Engine keys are nanosecond timestamps that fit an OCaml
+   int, so the engine uses the [_ns] entry points and never touches an
+   int64 on its fast path.
+
+   Values are stored as [Obj.t] so the slot array is a uniform (never
+   flat-float) array with a shared filler; a popped entry's slot is reset
+   to the filler immediately, so the heap retains no reference to values
+   it no longer contains. *)
+
+type 'a t = {
+  mutable hi : int array;
+  mutable lo : int array;
+  mutable seqs : int array;
+  mutable vals : Obj.t array;
+  mutable size : int;
+}
+
+let filler : Obj.t = Obj.repr 0
+
+let create () = { hi = [||]; lo = [||]; seqs = [||]; vals = [||]; size = 0 }
 let length h = h.size
 let is_empty h = h.size = 0
 
-let less a b =
-  let c = Int64.compare a.key b.key in
-  if c <> 0 then c < 0 else a.seq < b.seq
+let key_at h i =
+  Int64.logor (Int64.shift_left (Int64.of_int h.hi.(i)) 32) (Int64.of_int h.lo.(i))
 
-let grow h entry =
-  let cap = Array.length h.data in
+let grow h =
+  let cap = Array.length h.seqs in
   if h.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let ndata = Array.make ncap entry in
-    Array.blit h.data 0 ndata 0 h.size;
-    h.data <- ndata
+    let nhi = Array.make ncap 0
+    and nlo = Array.make ncap 0
+    and nseqs = Array.make ncap 0
+    and nvals = Array.make ncap filler in
+    Array.blit h.hi 0 nhi 0 h.size;
+    Array.blit h.lo 0 nlo 0 h.size;
+    Array.blit h.seqs 0 nseqs 0 h.size;
+    Array.blit h.vals 0 nvals 0 h.size;
+    h.hi <- nhi;
+    h.lo <- nlo;
+    h.seqs <- nseqs;
+    h.vals <- nvals
   end
 
-let rec sift_up h i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less h.data.(i) h.data.(parent) then begin
-      let tmp = h.data.(i) in
-      h.data.(i) <- h.data.(parent);
-      h.data.(parent) <- tmp;
-      sift_up h parent
+(* Hole-based sift: carry the moving entry in locals and shift blockers
+   into the hole, writing each array once per level instead of swapping. *)
+
+let set h i khi klo seq v =
+  h.hi.(i) <- khi;
+  h.lo.(i) <- klo;
+  h.seqs.(i) <- seq;
+  h.vals.(i) <- v
+
+let sift_up h i khi klo seq v =
+  let i = ref i in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let phi = h.hi.(p) in
+    if
+      khi < phi
+      || (khi = phi
+          && (klo < h.lo.(p) || (klo = h.lo.(p) && seq < h.seqs.(p))))
+    then begin
+      set h !i phi h.lo.(p) h.seqs.(p) h.vals.(p);
+      i := p
     end
-  end
+    else continue := false
+  done;
+  set h !i khi klo seq v
 
-let rec sift_down h i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = if l < h.size && less h.data.(l) h.data.(i) then l else i in
-  let smallest = if r < h.size && less h.data.(r) h.data.(smallest) then r else smallest in
-  if smallest <> i then begin
-    let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(smallest);
-    h.data.(smallest) <- tmp;
-    sift_down h smallest
-  end
+let sift_down h khi klo seq v =
+  let size = h.size in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= size then continue := false
+    else begin
+      let r = l + 1 in
+      (* smallest child *)
+      let c =
+        if r < size then begin
+          let lhi = h.hi.(l) and rhi = h.hi.(r) in
+          if
+            rhi < lhi
+            || (rhi = lhi
+                && (h.lo.(r) < h.lo.(l)
+                    || (h.lo.(r) = h.lo.(l) && h.seqs.(r) < h.seqs.(l))))
+          then r
+          else l
+        end
+        else l
+      in
+      let chi = h.hi.(c) in
+      if
+        chi < khi
+        || (chi = khi
+            && (h.lo.(c) < klo || (h.lo.(c) = klo && h.seqs.(c) < seq)))
+      then begin
+        set h !i chi h.lo.(c) h.seqs.(c) h.vals.(c);
+        i := c
+      end
+      else continue := false
+    end
+  done;
+  set h !i khi klo seq v
+
+let add_split h khi klo ~seq v =
+  grow h;
+  let i = h.size in
+  h.size <- i + 1;
+  sift_up h i khi klo seq v
 
 let add h ~key ~seq value =
-  let entry = { key; seq; value } in
-  grow h entry;
-  h.data.(h.size) <- entry;
-  h.size <- h.size + 1;
-  sift_up h (h.size - 1)
+  add_split h
+    (Int64.to_int (Int64.shift_right key 32))
+    (Int64.to_int (Int64.logand key 0xFFFFFFFFL))
+    ~seq (Obj.repr value)
+
+(* Nanosecond timestamps are nonnegative ints, for which the arithmetic
+   int shift produces the same (hi, lo) digits as the int64 split. *)
+let add_ns h ~key_ns ~seq value =
+  add_split h (key_ns asr 32) (key_ns land 0xFFFFFFFF) ~seq (Obj.repr value)
+
+let pop_at_root h =
+  let last = h.size - 1 in
+  h.size <- last;
+  if last > 0 then begin
+    let khi = h.hi.(last)
+    and klo = h.lo.(last)
+    and seq = h.seqs.(last)
+    and v = h.vals.(last) in
+    h.vals.(last) <- filler;
+    sift_down h khi klo seq v
+  end
+  else h.vals.(0) <- filler
 
 let pop_min h =
   if h.size = 0 then None
   else begin
-    let top = h.data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      sift_down h 0
-    end;
-    Some (top.key, top.seq, top.value)
+    let key = key_at h 0 and seq = h.seqs.(0) in
+    let value : 'a = Obj.obj h.vals.(0) in
+    pop_at_root h;
+    Some (key, seq, value)
   end
 
 let peek_min h =
   if h.size = 0 then None
-  else
-    let top = h.data.(0) in
-    Some (top.key, top.seq, top.value)
+  else Some (key_at h 0, h.seqs.(0), (Obj.obj h.vals.(0) : 'a))
+
+let peek_key_ns h = (h.hi.(0) lsl 32) lor h.lo.(0)
+let peek_seq h = h.seqs.(0)
+
+let pop_value h =
+  let value : 'a = Obj.obj h.vals.(0) in
+  pop_at_root h;
+  value
 
 let clear h =
-  h.data <- [||];
+  h.hi <- [||];
+  h.lo <- [||];
+  h.seqs <- [||];
+  h.vals <- [||];
   h.size <- 0

@@ -3,7 +3,13 @@
     The event queue of the simulation engine: the primary key is the firing
     instant, the secondary key a strictly increasing sequence number so that
     events scheduled for the same instant fire in schedule order (FIFO),
-    which keeps runs deterministic. *)
+    which keeps runs deterministic.
+
+    The layout is structure-of-arrays: keys (split into immediate-int
+    halves), sequence numbers and values live in parallel flat arrays, so
+    insertion allocates nothing beyond amortized array growth and
+    comparisons never touch a boxed int64. Popped slots are cleared, so the
+    heap holds no reference to values it no longer contains. *)
 
 type 'a t
 
@@ -26,3 +32,24 @@ val peek_min : 'a t -> (int64 * int * 'a) option
 
 val clear : 'a t -> unit
 (** Removes all elements. *)
+
+(** {2 Unboxed fast path}
+
+    For callers whose keys are nonnegative ints (nanosecond timestamps):
+    the same ordering as the int64 API, with no boxing and no option or
+    tuple allocation. The peek/pop functions below require a non-empty
+    heap (unchecked); guard with {!is_empty} or {!length}. *)
+
+val add_ns : 'a t -> key_ns:int -> seq:int -> 'a -> unit
+(** [add h ~key:(Int64.of_int key_ns) ~seq v], allocation-free. Requires
+    [key_ns >= 0]; ordering is consistent with int64-keyed entries. *)
+
+val peek_key_ns : 'a t -> int
+(** Root key as an int. Meaningful only when every key was added via
+    {!add_ns} (or otherwise fits in an int). *)
+
+val peek_seq : 'a t -> int
+(** Root sequence number. *)
+
+val pop_value : 'a t -> 'a
+(** Removes the root and returns its value alone. *)

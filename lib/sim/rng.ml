@@ -1,32 +1,87 @@
-type t = { mutable state : int64 }
-
-let create seed = { state = seed }
-
 (* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
-   generators" (OOPSLA 2014). Passes BigCrush; one 64-bit state word. *)
+   generators" (OOPSLA 2014). Passes BigCrush; one 64-bit state word.
+
+   The 64-bit state is held as two 32-bit halves in immediate ints and
+   stepped with native-int arithmetic: an [int64] state would box on
+   every add/mul/xor without flambda, and the simulator draws once per
+   delivered packet (wire jitter). The emulation is bit-exact — the
+   mod-2^64 adds and multiplies are reassembled from 16/32-bit limb
+   products that never exceed the 62 bits a native int holds safely
+   (native products of 32-bit limbs wrap mod 2^63, which preserves the
+   low 32 bits we extract). [out_hi]/[out_lo] carry {!step}'s result so
+   drawing allocates nothing (a tuple return would box). *)
+
+type t = {
+  mutable hi : int;      (* state bits 32..63 *)
+  mutable lo : int;      (* state bits 0..31 *)
+  mutable out_hi : int;  (* last output, high/low 32 bits *)
+  mutable out_lo : int;
+}
+
+let mask32 = 0xFFFFFFFF
+
+let create seed =
+  { hi = Int64.to_int (Int64.shift_right_logical seed 32);
+    lo = Int64.to_int (Int64.logand seed 0xFFFFFFFFL);
+    out_hi = 0;
+    out_lo = 0 }
+
+(* High 32 bits of the low-64-bit product (ah:al) * (bh:bl). *)
+let mul_hi ah al bh bl =
+  let p1 = (al lsr 16) * bl in
+  let lo_sum = ((al land 0xFFFF) * bl) + ((p1 land 0xFFFF) lsl 16) in
+  ((lo_sum lsr 32) + (p1 lsr 16) + (al * bh) + (ah * bl)) land mask32
+
+(* Low 32 bits of the same product. *)
+let mul_lo al bl = (al * bl) land mask32
+
+let step t =
+  (* state += 0x9E3779B97F4A7C15; z = state *)
+  let l = t.lo + 0x7F4A7C15 in
+  let zl = l land mask32 in
+  let zh = (t.hi + 0x9E3779B9 + (l lsr 32)) land mask32 in
+  t.hi <- zh;
+  t.lo <- zl;
+  (* z ^= z >>> 30 *)
+  let zl = zl lxor ((zl lsr 30) lor ((zh lsl 2) land mask32)) in
+  let zh = zh lxor (zh lsr 30) in
+  (* z *= 0xBF58476D1CE4E5B9 *)
+  let nh = mul_hi zh zl 0xBF58476D 0x1CE4E5B9 in
+  let nl = mul_lo zl 0x1CE4E5B9 in
+  (* z ^= z >>> 27 *)
+  let zl = nl lxor ((nl lsr 27) lor ((nh lsl 5) land mask32)) in
+  let zh = nh lxor (nh lsr 27) in
+  (* z *= 0x94D049BB133111EB *)
+  let nh = mul_hi zh zl 0x94D049BB 0x133111EB in
+  let nl = mul_lo zl 0x133111EB in
+  (* z ^= z >>> 31 *)
+  t.out_lo <- nl lxor ((nl lsr 31) lor ((nh lsl 1) land mask32));
+  t.out_hi <- nh lxor (nh lsr 31)
+
 let next_raw t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+  step t;
+  Int64.logor (Int64.shift_left (Int64.of_int t.out_hi) 32) (Int64.of_int t.out_lo)
 
 let int64 = next_raw
 let split t = create (next_raw t)
 
 let int t bound =
   assert (bound > 0);
+  step t;
   (* Keep 62 bits so the native int (63-bit) stays non-negative. *)
-  let v = Int64.to_int (Int64.logand (next_raw t) 0x3FFFFFFFFFFFFFFFL) in
+  let v = ((t.out_hi land 0x3FFFFFFF) lsl 32) lor t.out_lo in
   v mod bound
 
 let float t bound =
   assert (bound > 0.);
-  (* 53 uniform mantissa bits scaled into [0, bound). *)
-  let bits = Int64.shift_right_logical (next_raw t) 11 in
-  Int64.to_float bits /. 9007199254740992.0 *. bound
+  step t;
+  (* 53 uniform mantissa bits (z >>> 11) scaled into [0, bound). *)
+  let bits = (t.out_hi lsl 21) lor (t.out_lo lsr 11) in
+  float_of_int bits /. 9007199254740992.0 *. bound
 
-let bool t = Int64.logand (next_raw t) 1L = 1L
+let bool t =
+  step t;
+  t.out_lo land 1 = 1
 
 let exponential t ~mean =
   assert (mean > 0.);

@@ -18,10 +18,13 @@ let record t ~at ~tag detail =
     if Queue.length t.buffer > t.capacity then ignore (Queue.pop t.buffer)
   end
 
+(* The disabled branch must not format: callers sit on per-message hot
+   paths and pretty-printing the arguments would dominate their
+   allocation even when the trace is off. *)
 let recordf t ~at ~tag fmt =
-  Format.kasprintf
-    (fun detail -> record t ~at ~tag detail)
-    fmt
+  if t.enabled then
+    Format.kasprintf (fun detail -> record t ~at ~tag detail) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let entries t = List.of_seq (Queue.to_seq t.buffer)
 

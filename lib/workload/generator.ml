@@ -9,6 +9,7 @@ type t = {
   targets : Net.Node_id.t array;
   inject : dst:Net.Node_id.t -> size:int -> (unit -> unit) -> unit;
   submit : submit;
+  on_batch : Request.t -> unit;
   tick : Sim_time.span;
   until : Sim_time.t option;
   mutable next_id : int;
@@ -28,6 +29,7 @@ let make_batch t ~at ~count ?resend () =
   t.next_id <- t.next_id + 1;
   t.offered <- t.offered + count;
   t.all_batches <- b :: t.all_batches;
+  t.on_batch b;
   b
 
 let emit t target count =
@@ -56,7 +58,8 @@ let rec tick_once t =
     end
   end
 
-let start engine ~rate ~payload ~targets ~inject ~submit ?(tick = Sim_time.ms 20) ?until () =
+let start engine ~rate ~payload ~targets ~inject ~submit ?(on_batch = fun _ -> ())
+    ?(tick = Sim_time.ms 20) ?until () =
   assert (targets <> [] && rate >= 0.);
   let targets = Array.of_list targets in
   let t =
@@ -66,6 +69,7 @@ let start engine ~rate ~payload ~targets ~inject ~submit ?(tick = Sim_time.ms 20
       targets;
       inject;
       submit;
+      on_batch;
       tick;
       until;
       next_id = 0;

@@ -20,6 +20,7 @@ val start :
   targets:Net.Node_id.t list ->
   inject:(dst:Net.Node_id.t -> size:int -> (unit -> unit) -> unit) ->
   submit:submit ->
+  ?on_batch:(Request.t -> unit) ->
   ?tick:Sim.Sim_time.span ->
   ?until:Sim.Sim_time.t ->
   unit ->
@@ -27,7 +28,11 @@ val start :
 (** [start engine ~rate ~payload ~targets ~inject ~submit ()] begins
     injecting [rate] requests/s of [payload] bytes each, round-robin over
     [targets], batched per [tick] (default 20 ms). Stops at [until] when
-    given. Requires a non-empty target list and [rate >= 0]. *)
+    given. Requires a non-empty target list and [rate >= 0].
+
+    [on_batch] is invoked once for every batch the moment it is created
+    (including {!make_batch} ones) — the hook a client re-send scheduler
+    uses to register deadlines without ever scanning {!batches}. *)
 
 val stop : t -> unit
 

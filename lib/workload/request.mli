@@ -18,6 +18,12 @@ type t = {
   born : Sim.Sim_time.t;    (** client submission instant *)
   resend : bool;            (** re-sent after a timeout (view-change §4.3) *)
   confirmed : bool ref;     (** shared with re-sent copies *)
+  counted : bool ref;
+      (** measurement-side dedup, shared like [confirmed]: set when the
+          runner's (f+1)-execution accounting has counted the batch, so a
+          duplicate appearing in a later datablock (fan-out [s > 1],
+          re-sends) is never counted twice — with no per-batch table
+          growing for the length of the run *)
 }
 
 val make :
@@ -30,6 +36,10 @@ val resend_of : t -> t
 
 val is_confirmed : t -> bool
 val mark_confirmed : t -> unit
+
+val is_counted : t -> bool
+val mark_counted : t -> unit
+(** See [counted] above; owned by the measurement layer, not replicas. *)
 
 val payload_bytes : t -> int
 (** Total request payload carried by the batch. *)

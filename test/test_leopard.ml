@@ -47,6 +47,19 @@ let test_deterministic_replay () =
   checki "same leader bytes" a.Core.Runner.leader.Core.Runner.sent_bytes
     b.Core.Runner.leader.Core.Runner.sent_bytes
 
+(* Stronger than spot-checking a few fields: two runs of the same spec
+   and seed must produce reports that are indistinguishable down to the
+   last histogram bucket and bandwidth category (the report is pure data,
+   so a marshalled byte comparison covers every field at once). Guards
+   the event engine, heap, RNG and NIC rewrites against any source of
+   nondeterminism. *)
+let test_deterministic_report_bytes () =
+  let spec = run_spec ~seed:13L ~client_resend_timeout:(Sim_time.s 1) (small_cfg ()) in
+  let a = Core.Runner.run spec in
+  let b = Core.Runner.run spec in
+  checkb "byte-identical reports" true
+    (String.equal (Marshal.to_string a []) (Marshal.to_string b []))
+
 let test_latency_breakdown_components () =
   let r = Core.Runner.run (run_spec (small_cfg ())) in
   let names = List.map fst r.Core.Runner.stage_seconds in
@@ -370,6 +383,7 @@ let () =
         [ Alcotest.test_case "liveness & safety" `Quick test_honest_liveness_and_safety;
           Alcotest.test_case "larger cluster" `Slow test_honest_larger_cluster;
           Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
+          Alcotest.test_case "byte-identical reports" `Quick test_deterministic_report_bytes;
           Alcotest.test_case "latency breakdown" `Quick test_latency_breakdown_components;
           Alcotest.test_case "bandwidth shape" `Quick test_bandwidth_accounting_shape ] );
       ( "silent faults",

@@ -46,6 +46,47 @@ let test_nic_priority () =
     [ "low1"; "high"; "low2"; "low3" ]
     (List.rev !order)
 
+(* [submit_many ~copies:k] is the multicast fast path: one queue entry
+   transmitted k times must complete at exactly the instants of k
+   consecutive [submit]s, fire [on_done] once per copy, and account the
+   same busy time — interleaved traffic included. *)
+let test_nic_submit_many_equals_repeated_submit () =
+  let run use_many =
+    let e = Engine.create () in
+    let done_at = ref [] in
+    let nic =
+      Net.Nic.create e ~rate_bps:8e6 ~on_done:(fun label ->
+          done_at := (label, Engine.now e) :: !done_at)
+    in
+    if use_many then Net.Nic.submit_many nic ~priority:Net.Nic.Low ~size:1000 ~copies:5 "m"
+    else
+      for _ = 1 to 5 do
+        Net.Nic.submit nic ~priority:Net.Nic.Low ~size:1000 "m"
+      done;
+    (* traffic landing mid-burst must serialize behind it identically *)
+    ignore
+      (Engine.schedule e ~delay:(Sim_time.us 500) (fun () ->
+           Net.Nic.submit nic ~priority:Net.Nic.Low ~size:500 "tail"));
+    Engine.run e;
+    (List.rev !done_at, Net.Nic.busy_span nic)
+  in
+  let many, busy_many = run true in
+  let repeated, busy_repeated = run false in
+  checki "same completion count" (List.length repeated) (List.length many);
+  List.iter2
+    (fun (l1, t1) (l2, t2) ->
+      checkb "same label" true (String.equal l1 l2);
+      check64 "same completion instant" t1 t2)
+    repeated many;
+  check64 "same busy time" busy_repeated busy_many;
+  (* copies <= 0 is a no-op *)
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let nic = Net.Nic.create e ~rate_bps:8e6 ~on_done:(fun _ -> incr fired) in
+  Net.Nic.submit_many nic ~priority:Net.Nic.Low ~size:1000 ~copies:0 "none";
+  Engine.run e;
+  checki "zero copies no-op" 0 !fired
+
 let test_nic_lanes_relieve_hol_blocking () =
   (* One lane: a small message waits behind a big one. Two lanes: it
      goes out immediately on the second lane at half rate. *)
@@ -287,6 +328,8 @@ let () =
         [ Alcotest.test_case "tx time" `Quick test_nic_tx_time;
           Alcotest.test_case "serialization" `Quick test_nic_serializes;
           Alcotest.test_case "priority channels" `Quick test_nic_priority;
+          Alcotest.test_case "submit_many equals repeated submit" `Quick
+            test_nic_submit_many_equals_repeated_submit;
           Alcotest.test_case "lanes relieve HoL blocking" `Quick
             test_nic_lanes_relieve_hol_blocking;
           Alcotest.test_case "lanes keep total rate" `Quick test_nic_lanes_same_total_rate ] );

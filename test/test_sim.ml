@@ -68,6 +68,60 @@ let test_heap_peek () =
    | Some _ | None -> Alcotest.fail "bad peek");
   checki "peek keeps" 1 (Heap.length h)
 
+(* 10k random add/pop interleavings, mixing the int64 and unboxed int-ns
+   insertion paths, checked pop-by-pop against a reference model: every
+   pop must return exactly the model's (key, seq) minimum. *)
+let test_heap_random_vs_model () =
+  let rng = Rng.create 1234L in
+  let h = Heap.create () in
+  let model = ref [] in
+  let next_seq = ref 0 in
+  let cmp (k1, s1) (k2, s2) =
+    match Int64.compare k1 k2 with 0 -> Int.compare s1 s2 | c -> c
+  in
+  let model_min () = List.fold_left (fun a x -> if cmp x a < 0 then x else a) (List.hd !model) !model in
+  let pop_check () =
+    match Heap.pop_min h with
+    | None -> Alcotest.fail "heap empty while model is not"
+    | Some (k, s, ()) ->
+      let mk, ms = model_min () in
+      checkb "pop matches model min" true (Int64.equal k mk && s = ms);
+      model := List.filter (fun (_, s') -> s' <> ms) !model
+  in
+  for _ = 1 to 10_000 do
+    if !model = [] || Rng.int rng 3 < 2 then begin
+      let k = Int64.of_int (Rng.int rng 1_000) in
+      let seq = !next_seq in
+      incr next_seq;
+      if Rng.bool rng then Heap.add h ~key:k ~seq ()
+      else Heap.add_ns h ~key_ns:(Int64.to_int k) ~seq ();
+      model := (k, seq) :: !model
+    end
+    else pop_check ()
+  done;
+  while !model <> [] do
+    pop_check ()
+  done;
+  checkb "heap drained with model" true (Heap.is_empty h)
+
+(* Popping must clear the vacated slot: a heap that retains a reference
+   to a popped value is a space leak at millions of events per run. *)
+let test_heap_pop_releases_value () =
+  let h = Heap.create () in
+  let w = Weak.create 1 in
+  (let v = Bytes.make 64 'x' in
+   Weak.set w 0 (Some v);
+   Heap.add h ~key:1L ~seq:0 (Some v));
+  (* a survivor, so the heap's arrays stay live and non-empty *)
+  Heap.add h ~key:2L ~seq:1 None;
+  (match Heap.pop_min h with
+   | Some (1L, 0, Some _) -> ()
+   | _ -> Alcotest.fail "expected the weak-tracked entry first");
+  Gc.full_major ();
+  Gc.full_major ();
+  checkb "popped value reclaimed" true (Weak.get w 0 = None);
+  checki "survivor retained" 1 (Heap.length h)
+
 let prop_heap_sorted =
   QCheck.Test.make ~name:"heap drains sorted" ~count:200
     QCheck.(list (pair int64 small_nat))
@@ -148,7 +202,7 @@ let test_engine_cancel () =
   let e = Engine.create () in
   let fired = ref false in
   let h = Engine.schedule e ~delay:(Sim_time.ms 1) (fun () -> fired := true) in
-  Engine.cancel h;
+  Engine.cancel e h;
   Engine.run e;
   checkb "cancelled does not fire" false !fired
 
@@ -240,7 +294,9 @@ let () =
       ( "heap",
         [ Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
-          Alcotest.test_case "peek" `Quick test_heap_peek ]
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "random ops vs model" `Quick test_heap_random_vs_model;
+          Alcotest.test_case "pop releases value" `Quick test_heap_pop_releases_value ]
         @ qsuite [ prop_heap_sorted ] );
       ( "rng",
         [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
