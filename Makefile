@@ -1,9 +1,16 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: check build test bench bench-fast bench-micro bench-macro clean
+.PHONY: check ci build test bench bench-fast bench-micro bench-macro clean
 
 check: ## build + full test suite (tier-1 gate)
 	dune build && dune runtest
+
+ci: ## the full gate: build, tests, perf regressions, TCP smoke test
+	dune build && dune runtest
+	dune exec bench/main.exe -- --only micro --fast --check-regressions
+	dune exec bench/main.exe -- --only macro --fast --check-regressions
+	dune exec bin/leopard_cli.exe -- local-cluster -n 4 --load 2000 --duration 3 \
+	  --min-confirmed 1000 --drain 10
 
 build:
 	dune build

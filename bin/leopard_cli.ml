@@ -14,6 +14,18 @@ open Cmdliner
 
 let span_of_sec s = Sim.Sim_time.of_sec s
 
+(* Shared by `run` and `local-cluster`: dump a recorded protocol trace
+   as one line per entry. *)
+let dump_trace trace file =
+  let oc = open_out file in
+  let fmt = Format.formatter_of_out_channel oc in
+  List.iter
+    (fun e -> Format.fprintf fmt "%a@." Sim.Trace.pp_entry e)
+    (Sim.Trace.entries trace);
+  Format.pp_print_flush fmt ();
+  close_out oc;
+  Format.printf "trace: %d entries -> %s@." (Sim.Trace.length trace) file
+
 (* ---------------- run (Leopard) ---------------- *)
 
 let pp_bandwidth_view title (v : Core.Runner.bandwidth_view) =
@@ -28,7 +40,7 @@ let pp_bandwidth_view title (v : Core.Runner.bandwidth_view) =
     v.Core.Runner.received_by_category
 
 let leopard_run n load duration warmup alpha bft_size payload silent stop_leader resend gst seed
-    bandwidth_mbps db_timeout prop_timeout verbose =
+    bandwidth_mbps db_timeout prop_timeout trace_out verbose =
   let cfg =
     Core.Config.make ~n ?alpha ?bft_size ~payload
       ~datablock_timeout:(span_of_sec db_timeout) ~proposal_timeout:(span_of_sec prop_timeout) ()
@@ -45,11 +57,16 @@ let leopard_run n load duration warmup alpha bft_size payload silent stop_leader
       ~warmup:(span_of_sec warmup) ~byzantine
       ?stop_leader_at:(Option.map span_of_sec stop_leader)
       ?client_resend_timeout:(Option.map span_of_sec resend)
-      ?gst:(Option.map span_of_sec gst) ()
+      ?gst:(Option.map span_of_sec gst) ~trace:(trace_out <> None) ()
   in
   Format.printf "running Leopard: %a, load %.0f req/s, %.0fs (+%d silent Byzantine)@."
     Core.Config.pp cfg load duration (List.length byzantine);
-  let r = Core.Runner.run spec in
+  let t = Core.Runner.create spec in
+  Core.Runner.run_until t (span_of_sec duration);
+  let r = Core.Runner.report t in
+  (match trace_out with
+   | Some file -> dump_trace (Core.Runner.trace t) file
+   | None -> ());
   Format.printf "throughput:       %.0f req/s@." r.Core.Runner.throughput;
   Format.printf "goodput:          %.1f Mbps@." (r.Core.Runner.goodput_bps /. 1e6);
   Format.printf "offered/confirmed %d/%d@." r.Core.Runner.offered r.Core.Runner.confirmed;
@@ -72,6 +89,48 @@ let leopard_run n load duration warmup alpha bft_size payload silent stop_leader
       r.Core.Runner.stage_seconds
   end;
   if r.Core.Runner.safety_ok then `Ok () else `Error (false, "safety violated")
+
+(* ---------------- local-cluster (real TCP) ---------------- *)
+
+let local_cluster_run n load duration drain alpha bft_size payload db_timeout prop_timeout
+    min_confirmed kill kill_at revive_at trace_out =
+  let cfg =
+    Core.Config.make ~n ~alpha ~bft_size ~payload
+      ~datablock_timeout:(span_of_sec db_timeout)
+      ~proposal_timeout:(span_of_sec prop_timeout) ()
+  in
+  let kill =
+    match kill with
+    | None -> None
+    | Some id ->
+      if id < 0 || id >= n then invalid_arg "--kill: no such replica";
+      Some (id, span_of_sec kill_at, Option.map span_of_sec revive_at)
+  in
+  let trace =
+    match trace_out with
+    | Some _ -> Some (Sim.Trace.create ~enabled:true ~capacity:1_000_000 ())
+    | None -> None
+  in
+  Format.printf
+    "local cluster over loopback TCP: n=%d, load %.0f req/s, %.0fs (+%.0fs drain)@." n load
+    duration drain;
+  (match kill with
+   | Some (id, _, revive) ->
+     Format.printf "fault: kill replica %d at %.1fs%s@." id kill_at
+       (match revive with Some _ -> Format.asprintf ", revive at %.1fs"
+                                      (Option.get revive_at)
+                        | None -> "")
+   | None -> ());
+  let r =
+    Transport.Cluster.run ~cfg ~load ~duration:(span_of_sec duration)
+      ~drain:(span_of_sec drain) ?min_confirmed ?kill ?trace ()
+  in
+  Format.printf "%a@." Transport.Cluster.pp_report r;
+  (match (trace, trace_out) with
+   | Some tr, Some file -> dump_trace tr file
+   | _ -> ());
+  if r.Transport.Cluster.ledgers_agree then `Ok ()
+  else `Error (false, "honest ledgers diverged")
 
 (* ---------------- hotstuff ---------------- *)
 
@@ -150,6 +209,9 @@ let payload_arg = Arg.(value & opt int 128 & info [ "payload" ] ~doc:"Request pa
 let seed_arg = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Simulation seed.")
 let bw_arg =
   Arg.(value & opt (some float) None & info [ "bandwidth" ] ~doc:"Per-replica bandwidth, Mbps.")
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~doc:"Record a protocol trace and write it to $(docv)." ~docv:"FILE")
 
 let run_cmd =
   let alpha = Arg.(value & opt (some int) None & info [ "alpha" ] ~doc:"Datablock size, requests.") in
@@ -181,7 +243,48 @@ let run_cmd =
       ret
         (const leopard_run $ n_arg $ load_arg $ duration_arg $ warmup_arg $ alpha $ bft_size
         $ payload_arg $ silent $ stop_leader $ resend $ gst $ seed_arg $ bw_arg $ db_timeout
-        $ prop_timeout $ verbose))
+        $ prop_timeout $ trace_out_arg $ verbose))
+
+let local_cluster_cmd =
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of replicas (3f+1).") in
+  let load = Arg.(value & opt float 2000. & info [ "load" ] ~doc:"Offered load, requests/s.") in
+  let duration = Arg.(value & opt float 5. & info [ "duration" ] ~doc:"Load window, wall seconds.") in
+  let drain =
+    Arg.(value & opt float 10.
+         & info [ "drain" ] ~doc:"Max settle time after the load stops, wall seconds.")
+  in
+  let alpha = Arg.(value & opt int 100 & info [ "alpha" ] ~doc:"Datablock size, requests.") in
+  let bft_size = Arg.(value & opt int 10 & info [ "bft-size" ] ~doc:"Datablocks per BFTblock.") in
+  let db_timeout =
+    Arg.(value & opt float 0.02
+         & info [ "datablock-timeout" ] ~doc:"Pack a partial datablock after this many seconds.")
+  in
+  let prop_timeout =
+    Arg.(value & opt float 0.02
+         & info [ "proposal-timeout" ] ~doc:"Propose a partial BFTblock after this many seconds.")
+  in
+  let min_confirmed =
+    Arg.(value & opt (some int) None
+         & info [ "min-confirmed" ] ~doc:"Stop the load early once this many requests confirmed.")
+  in
+  let kill =
+    Arg.(value & opt (some int) None & info [ "kill" ] ~doc:"Fail-stop this replica mid-run.")
+  in
+  let kill_at =
+    Arg.(value & opt float 2. & info [ "kill-at" ] ~doc:"When to kill, seconds into the run.")
+  in
+  let revive_at =
+    Arg.(value & opt (some float) None
+         & info [ "revive-at" ] ~doc:"Revive the killed replica at this second.")
+  in
+  Cmd.v
+    (Cmd.info "local-cluster"
+       ~doc:"Run replicas over real loopback TCP sockets (the deployable transport stack)")
+    Term.(
+      ret
+        (const local_cluster_run $ n $ load $ duration $ drain $ alpha $ bft_size $ payload_arg
+        $ db_timeout $ prop_timeout $ min_confirmed $ kill $ kill_at $ revive_at
+        $ trace_out_arg))
 
 let hotstuff_cmd =
   let batch = Arg.(value & opt int 800 & info [ "batch" ] ~doc:"Requests per block.") in
@@ -218,4 +321,7 @@ let () =
     Cmd.info "leopard" ~version:"1.0.0"
       ~doc:"Leopard BFT (ICDCS 2022) reproduction on a deterministic network simulator"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; hotstuff_cmd; pbft_cmd; shard_cmd; sf_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; local_cluster_cmd; hotstuff_cmd; pbft_cmd; shard_cmd; sf_cmd ]))

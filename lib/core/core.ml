@@ -41,6 +41,11 @@ module Codec = Codec
 module Byzantine = Byzantine
 (** Adversarial replica strategies. *)
 
+module Platform = Platform
+(** The runtime seam: clock, timers, messaging and CPU sink, with the
+    simulator implementation ({!Platform.of_sim}); the socket runtime
+    lives in [Transport.Runtime]. *)
+
 module Replica = Replica
 (** The Leopard replica state machine (§4), including checkpoints
     (Algorithm 3) and the view-change protocol. *)

@@ -33,7 +33,11 @@ type t = private {
   mutable verify_memo : verify_memo;
       (** first receiver's {!verify} verdict, reused by the others — a
           datablock is immutable and every replica checks it against the
-          same key set, so the outcome cannot differ across receivers *)
+          same key set, so the outcome cannot differ across receivers.
+          Stored in the value, not in a table: the memo is garbage-
+          collected with the datablock, so caching adds no unbounded
+          state (cf. [Replica.notar_cache_cap] for the one capped
+          side-table cache) *)
 }
 
 val create :

@@ -49,8 +49,7 @@ type instance = {
 }
 
 type t = {
-  engine : Engine.t;
-  network : Msg.t Net.Network.t;
+  platform : Platform.t;
   cfg : Config.t;
   id : Net.Node_id.t;
   sk : Sig.private_key;
@@ -60,7 +59,6 @@ type t = {
   strategy : Byzantine.t;
   hooks : hooks;
   trace : Trace.t;
-  cpu : Net.Cpu.t;
   mempool : Mempool.t;
   pool : Datablock_pool.t;
   instances : (int, instance) Hashtbl.t;
@@ -110,7 +108,6 @@ let mempool_pending t = Mempool.pending_requests t.mempool
 let pool t = t.pool
 let datablocks_created t = t.db_counter - 1
 let in_view_change t = t.in_view_change
-let cpu t = t.cpu
 let executed_payload_bytes t = t.executed_payload
 
 let punished t = Hashtbl.fold (fun id () acc -> id :: acc) t.punished []
@@ -132,7 +129,7 @@ let is_leader_of t v = Net.Node_id.equal (leader_of t v) t.id
 let is_leader t = is_leader_of t t.view
 let quorum_size t = Config.quorum t.cfg
 
-let now t = Engine.now t.engine
+let now t = t.platform.Platform.now ()
 let tracef t tag fmt = Trace.recordf t.trace ~at:(now t) ~tag fmt
 
 let active t =
@@ -140,12 +137,13 @@ let active t =
   (not t.crashed)
   && (match t.strategy with Byzantine.Silent -> false | _ -> true)
 
-let send t ~dst msg = Net.Network.send t.network ~src:t.id ~dst msg
-let multicast t msg = Net.Network.multicast t.network ~src:t.id msg
+let send t ~dst msg = t.platform.Platform.send ~dst msg
+let multicast t msg = t.platform.Platform.multicast msg
+let schedule t ~delay f = t.platform.Platform.schedule ~delay f
 
 (* Charge [cost] on the replica's CPU, then run [f]. *)
-let with_cpu t cost f = Net.Cpu.submit t.cpu ~cost f
-let with_cpu_ns t cost_ns f = Net.Cpu.submit_ns t.cpu ~cost_ns f
+let with_cpu t cost f = t.platform.Platform.submit ~cost f
+let with_cpu_ns t cost_ns f = t.platform.Platform.submit_ns ~cost_ns f
 
 let instance_of t sn =
   match Hashtbl.find_opt t.instances sn with
@@ -206,7 +204,7 @@ let equivocate_datablocks t batches_a batches_b =
   t.db_counter <- counter + 1;
   let da = Datablock.create ~sk:t.sk ~creator:t.id ~counter ~now:(now t) batches_a in
   let db = Datablock.create ~sk:t.sk ~creator:t.id ~counter ~now:(now t) batches_b in
-  let n = Net.Network.n t.network in
+  let n = t.platform.Platform.n in
   let leader = leader_of t t.view in
   for dst = 0 to n - 1 do
     if not (Net.Node_id.equal dst t.id) then
@@ -355,8 +353,7 @@ and try_execute t =
       (* One acknowledgment per batch back to its client (response to
          client, Fig. 5) — external egress, Table 4's "Miscellaneous". *)
       if !batch_count > 0 then
-        Net.Network.charge_egress t.network ~src:t.id ~size:(ack_wire_bytes * !batch_count)
-          ~category:"ack";
+        t.platform.Platform.charge_egress ~size:(ack_wire_bytes * !batch_count) ~category:"ack";
       t.hooks.on_execute ~id:t.id ~sn block dbs;
       tracef t "execute" "sn%d (%d datablocks)" sn (List.length dbs);
       if sn mod t.cfg.checkpoint_interval = 0 then send_checkpoint_vote t sn;
@@ -562,10 +559,9 @@ let try_vote_prepare t (msg : Msg.t) =
              grace must cover the multicast serialization spread so
              data already in flight is not re-requested. *)
           Hashtbl.replace t.waiting_propose sn msg;
-          ignore
-            (Engine.schedule t.engine ~delay:t.cfg.fetch_grace (fun () ->
-                 if active t && Hashtbl.mem t.waiting_propose sn then
-                   fetch_missing t (Datablock_pool.missing_links t.pool block.Bftblock.links)))
+          schedule t ~delay:t.cfg.fetch_grace (fun () ->
+              if active t && Hashtbl.mem t.waiting_propose sn then
+                fetch_missing t (Datablock_pool.missing_links t.pool block.Bftblock.links))
         end
       end
     end
@@ -664,10 +660,9 @@ let rec trigger_view_change t ~abandoned =
              can always outrun the escalation. *)
           let attempt = max 1 (target - t.view) in
           let backoff = Int64.mul t.cfg.view_timeout (Int64.of_int (1 lsl min 6 attempt)) in
-          ignore
-            (Engine.schedule t.engine ~delay:backoff (fun () ->
-                 if active t && t.in_view_change && t.view < target then
-                   vote_timeout t ~abandoned:target))
+          schedule t ~delay:backoff (fun () ->
+              if active t && t.in_view_change && t.view < target then
+                vote_timeout t ~abandoned:target)
         end)
   end
 
@@ -809,6 +804,22 @@ let enter_view t ~nv_view ~vcs =
     maybe_propose t
   end
 
+(* The verified-notarization memo must not grow for the lifetime of the
+   process: a socket-runtime replica runs for days, and every view change
+   adds (view, hash) keys that never expire. When the cap is hit the
+   whole table is dropped — re-verifying a proof is always correct (the
+   memo is a pure-function cache), and a clear only costs one redundant
+   verification per live proof. Both runs of a sim spec clear at the same
+   instant, so determinism is unaffected. *)
+let notar_cache_cap = 8192
+
+let notar_cache_len t = Notar_table.length t.verified_notarizations
+
+let note_verified_notarization t key =
+  if Notar_table.length t.verified_notarizations >= notar_cache_cap then
+    Notar_table.reset t.verified_notarizations;
+  Notar_table.replace t.verified_notarizations key ()
+
 (* Entries whose notarization proof has not been verified before; the
    verification *cost* is charged only for these. *)
 let fresh_entries t entries =
@@ -830,7 +841,7 @@ let verify_view_change t (vc : Msg.view_change) =
            Ts.verify t.tsetup proof
              (Msg.prepare_payload ~view:v ~block_hash:(Bftblock.hash block))
          in
-         if ok then Notar_table.replace t.verified_notarizations key ();
+         if ok then note_verified_notarization t key;
          ok)
        vc.Msg.vc_entries
 
@@ -1122,27 +1133,25 @@ let rec pack_tick t =
       if Int64.compare t.cfg.proposal_timeout 0L > 0 then Sim_time.min base t.cfg.proposal_timeout
       else base
     in
-    ignore (Engine.schedule t.engine ~delay:base (fun () -> pack_tick t))
+    schedule t ~delay:base (fun () -> pack_tick t)
   end
 
 let start t =
   (match t.strategy with
    | Byzantine.Crash_at at ->
-     ignore
-       (Engine.schedule_at t.engine ~at (fun () ->
-            t.crashed <- true;
-            Net.Network.set_down t.network t.id true;
-            Trace.recordf t.trace ~at:(now t) ~tag:"crash" "%a" Net.Node_id.pp t.id))
+     t.platform.Platform.schedule_at ~at (fun () ->
+         t.crashed <- true;
+         t.platform.Platform.set_down true;
+         Trace.recordf t.trace ~at:(now t) ~tag:"crash" "%a" Net.Node_id.pp t.id)
    | Byzantine.Honest | Byzantine.Silent | Byzantine.Equivocate_datablocks | Byzantine.Censor ->
      ());
   if active t then pack_tick t
 
-let create ~engine ~network ~cfg ~id ~sk ~pks ~tsetup ~tkey ?(strategy = Byzantine.Honest)
+let create ~platform ~cfg ~id ~sk ~pks ~tsetup ~tkey ?(strategy = Byzantine.Honest)
     ?(hooks = no_hooks) ?trace () =
   let trace = match trace with Some tr -> tr | None -> Trace.create ~enabled:false () in
   let t =
-    { engine;
-      network;
+    { platform;
       cfg;
       id;
       sk;
@@ -1152,7 +1161,6 @@ let create ~engine ~network ~cfg ~id ~sk ~pks ~tsetup ~tkey ?(strategy = Byzanti
       strategy;
       hooks;
       trace;
-      cpu = Net.Cpu.create engine ~cores:cfg.Config.cores;
       mempool = Mempool.create ();
       pool = Datablock_pool.create ();
       instances = Hashtbl.create 64;
@@ -1183,5 +1191,5 @@ let create ~engine ~network ~cfg ~id ~sk ~pks ~tsetup ~tkey ?(strategy = Byzanti
       last_partial_propose = Sim_time.zero;
       punished = Hashtbl.create 4 }
   in
-  Net.Network.set_handler network id (fun ~src msg -> handle t ~src msg);
+  platform.Platform.set_handler (fun ~src msg -> handle t ~src msg);
   t

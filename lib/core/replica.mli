@@ -1,7 +1,9 @@
 (** The Leopard replica state machine (§4).
 
     One value of {!t} per replica, driven entirely by network deliveries,
-    client submissions and timers on the simulation engine. It implements
+    client submissions and timers on its {!Platform} — the discrete-event
+    simulator for protocol studies, or the real-socket transport runtime
+    for deployment (the machine is host-agnostic). It implements
     datablock preparation (Algorithm 1), the parallel normal-case
     agreement (Algorithm 2), checkpoints (Algorithm 3) and the
     view-change protocol, with CPU costs charged to the replica's
@@ -34,8 +36,7 @@ type hooks = {
 val no_hooks : hooks
 
 val create :
-  engine:Sim.Engine.t ->
-  network:Msg.t Net.Network.t ->
+  platform:Platform.t ->
   cfg:Config.t ->
   id:Net.Node_id.t ->
   sk:Crypto.Signature.private_key ->
@@ -47,8 +48,9 @@ val create :
   ?trace:Sim.Trace.t ->
   unit ->
   t
-(** Builds the replica and registers its network handler. Views start
-    at 1; the initial leader is [Config.leader_of_view cfg 1]. *)
+(** Builds the replica and registers its delivery handler on the
+    platform. Views start at 1; the initial leader is
+    [Config.leader_of_view cfg 1]. *)
 
 val start : t -> unit
 (** Starts the periodic datablock-packing timer (honest non-leaders). *)
@@ -70,7 +72,6 @@ val mempool_pending : t -> int
 val pool : t -> Datablock_pool.t
 val datablocks_created : t -> int
 val in_view_change : t -> bool
-val cpu : t -> Net.Cpu.t
 val executed_payload_bytes : t -> int
 (** Total request payload bytes this replica has executed. *)
 
@@ -81,3 +82,14 @@ val punished : t -> Net.Node_id.t list
 val instance_debug : t -> int -> string
 (** One-line description of the agreement instance at a serial number
     (for tests and debugging). *)
+
+val notar_cache_cap : int
+(** Capacity bound of the verified-notarization memo: when the cache
+    holds this many (view, block-hash) verdicts it is cleared before the
+    next insert, so a long-running (socket-runtime) replica cannot grow
+    it without limit. Clearing is always safe — the memo caches a pure
+    verification function — and deterministic across identical runs. *)
+
+val notar_cache_len : t -> int
+(** Current verified-notarization memo size (always [<= notar_cache_cap];
+    introspection for the bound test). *)

@@ -305,7 +305,8 @@ let create sp =
   let hooks = make_hooks t_ref in
   let replicas =
     Array.init cfg.Config.n (fun id ->
-        Replica.create ~engine ~network ~cfg ~id ~sk:(snd keys.(id)) ~pks ~tsetup
+        let platform = Platform.of_sim ~engine ~network ~id ~cores:cfg.Config.cores in
+        Replica.create ~platform ~cfg ~id ~sk:(snd keys.(id)) ~pks ~tsetup
           ~tkey:tkeys.(id) ~strategy:strategies.(id) ~hooks ~trace ())
   in
   Array.iter Replica.start replicas;

@@ -65,7 +65,13 @@ val encode_digest : aggregate -> string
     every receiver of a notarization hashes the same immutable proof, so
     the digest is computed once per aggregate rather than once per
     receiver. The simulated hashing cost is charged by the cost model
-    regardless. *)
+    regardless.
+
+    Memory note: this memo (like [verify]'s) lives {e inside} the
+    aggregate value, so it is bounded by the lifetime of the aggregates
+    themselves — there is no growing side table. The one genuinely
+    table-shaped cache in the system, {!Core.Replica}'s verified-
+    notarization set, is capped (see [Replica.notar_cache_cap]). *)
 
 val forge_attempt : setup -> string -> aggregate
 (** An aggregate built without any share — guaranteed not to verify; used

@@ -20,11 +20,17 @@ let record t ~at ~tag detail =
 
 (* The disabled branch must not format: callers sit on per-message hot
    paths and pretty-printing the arguments would dominate their
-   allocation even when the trace is off. *)
+   allocation even when the trace is off. The formatter it threads is a
+   dedicated sink — [ikfprintf] never writes, but handing it the shared
+   [Format.str_formatter] would leak that global into every caller's
+   type and invite accidental interleaving with real [str_formatter]
+   users. *)
+let null_formatter = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
 let recordf t ~at ~tag fmt =
   if t.enabled then
     Format.kasprintf (fun detail -> record t ~at ~tag detail) fmt
-  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  else Format.ikfprintf (fun _ -> ()) null_formatter fmt
 
 let entries t = List.of_seq (Queue.to_seq t.buffer)
 

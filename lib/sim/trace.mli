@@ -2,7 +2,13 @@
 
     A bounded in-memory log of tagged events; protocol implementations
     record state transitions here so tests can assert on behaviour and
-    debugging runs can be replayed. Disabled traces cost one branch. *)
+    debugging runs can be replayed. Disabled traces cost one branch.
+
+    A trace is single-owner: one event loop (simulated or socket)
+    records into it and reads it back between events. Nothing here is
+    safe for concurrent use, and {!recordf} deliberately avoids global
+    formatter state so two traces never interleave through a shared
+    sink. *)
 
 type t
 

@@ -1,0 +1,327 @@
+type t = {
+  loop : Loop.t;
+  cfg : Core.Config.t;
+  nodes : Runtime.node array;
+  replicas : Core.Replica.t array;
+  trace : Sim.Trace.t;
+  (* f+1 execution accounting, as in [Core.Runner]: per-serial counters,
+     and batch-id dedup (decoded message copies do not share the
+     [counted] ref with the client's original, so the dedup is by id). *)
+  exec_counts : (int, int ref) Hashtbl.t;
+  counted_batches : (int, unit) Hashtbl.t;
+  latency : Stats.Histogram.t;
+  mutable executed_blocks : int;
+  mutable confirmed : int;
+  (* open-loop client *)
+  load : float;
+  mutable load_active : bool;
+  mutable offered : int;
+  mutable next_batch_id : int;
+  mutable carry : float; (* fractional requests owed from past ticks *)
+  mutable last_tick_ns : int;
+  mutable rr : int;
+  mutable load_started_ns : int;
+  mutable load_stopped_ns : int;
+}
+
+let loop t = t.loop
+let replicas t = t.replicas
+let nodes t = t.nodes
+let offered t = t.offered
+let confirmed t = t.confirmed
+
+let f_plus_1 t = Core.Config.max_faulty t.cfg + 1
+
+let on_f1_execution t (dbs : Core.Datablock.t list) =
+  let now = Loop.now t.loop in
+  t.executed_blocks <- t.executed_blocks + 1;
+  List.iter
+    (fun (db : Core.Datablock.t) ->
+      List.iter
+        (fun (b : Workload.Request.t) ->
+          let id = b.Workload.Request.id in
+          if not (Hashtbl.mem t.counted_batches id) then begin
+            Hashtbl.add t.counted_batches id ();
+            t.confirmed <- t.confirmed + b.Workload.Request.count;
+            Stats.Histogram.add t.latency Sim.Sim_time.(now - b.Workload.Request.born)
+          end)
+        db.Core.Datablock.batches)
+    dbs
+
+let make_hooks t_ref =
+  { Core.Replica.on_execute =
+      (fun ~id:_ ~sn _block dbs ->
+        match !t_ref with
+        | None -> ()
+        | Some t ->
+          let c =
+            match Hashtbl.find_opt t.exec_counts sn with
+            | Some c -> c
+            | None ->
+              let c = ref 0 in
+              Hashtbl.add t.exec_counts sn c;
+              c
+          in
+          incr c;
+          if !c = f_plus_1 t then on_f1_execution t dbs);
+    on_view_change = (fun ~id:_ ~view:_ -> ());
+    on_view_change_trigger = (fun ~id:_ ~abandoned:_ -> ());
+    on_propose = (fun ~id:_ ~sn:_ ~at:_ -> ());
+    on_checkpoint = (fun ~id:_ ~lw:_ -> ()) }
+
+(* -- client ------------------------------------------------------------- *)
+
+let client_tick_ns = 10_000_000 (* 10 ms *)
+
+let leader t = Core.Config.leader_of_view t.cfg 1
+
+let client_targets t =
+  let l = leader t in
+  let acc = ref [] in
+  for id = t.cfg.Core.Config.n - 1 downto 0 do
+    if (not (Net.Node_id.equal id l)) && not (Conn.is_down (Runtime.conn t.nodes.(id)))
+    then acc := id :: !acc
+  done;
+  !acc
+
+let offer_batch t ~target ~count =
+  let b =
+    Workload.Request.make ~id:t.next_batch_id ~count
+      ~size_each:t.cfg.Core.Config.payload ~born:(Loop.now t.loop) ()
+  in
+  t.next_batch_id <- t.next_batch_id + 1;
+  t.offered <- t.offered + count;
+  Core.Replica.submit t.replicas.(target) b
+
+let rec client_tick t =
+  if t.load_active then begin
+    let now_ns = Loop.now_ns t.loop in
+    let dt = float_of_int (now_ns - t.last_tick_ns) *. 1e-9 in
+    t.last_tick_ns <- now_ns;
+    t.carry <- t.carry +. (t.load *. dt);
+    let due = int_of_float t.carry in
+    t.carry <- t.carry -. float_of_int due;
+    (match client_targets t with
+    | [] -> () (* everyone down; requests owed stay in [carry]'s past *)
+    | targets ->
+      let targets = Array.of_list targets in
+      let m = Array.length targets in
+      let per = due / m and extra = due mod m in
+      for i = 0 to m - 1 do
+        (* rotate who gets the remainder so the load stays even *)
+        let count = per + (if (i + t.rr) mod m < extra then 1 else 0) in
+        if count > 0 then offer_batch t ~target:targets.(i) ~count
+      done;
+      t.rr <- t.rr + 1);
+    ignore
+      (Loop.schedule t.loop ~delay:(Int64.of_int client_tick_ns) (fun () ->
+           client_tick t)
+        : Loop.handle)
+  end
+
+let start_load t =
+  if not t.load_active then begin
+    t.load_active <- true;
+    t.last_tick_ns <- Loop.now_ns t.loop;
+    t.load_started_ns <- t.last_tick_ns;
+    t.carry <- 0.;
+    client_tick t
+  end
+
+let stop_load t =
+  if t.load_active then begin
+    t.load_active <- false;
+    t.load_stopped_ns <- Loop.now_ns t.loop
+  end
+
+(* -- construction ------------------------------------------------------- *)
+
+let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:false ())
+    () =
+  let n = cfg.Core.Config.n in
+  let loop = Loop.create () in
+  let nodes = Array.init n (fun id -> Runtime.node ~loop ~id ~n ?outbuf_hwm ()) in
+  let ports = Array.map (fun node -> Runtime.listen node ()) nodes in
+  Array.iteri
+    (fun id node ->
+      for dst = 0 to n - 1 do
+        if dst <> id then
+          Runtime.set_peer_addr node dst
+            (Unix.ADDR_INET (Unix.inet_addr_loopback, ports.(dst)))
+      done)
+    nodes;
+  let key_rng = Sim.Rng.create 42L in
+  let keys = Array.init n (fun _ -> Crypto.Signature.keygen key_rng) in
+  let pks = Array.map fst keys in
+  let tsetup, tkeys =
+    Crypto.Threshold.keygen key_rng ~threshold:(2 * cfg.Core.Config.f) ~parties:n
+  in
+  let t_ref = ref None in
+  let hooks = make_hooks t_ref in
+  let replicas =
+    Array.init n (fun id ->
+        Core.Replica.create
+          ~platform:(Runtime.platform nodes.(id))
+          ~cfg ~id ~sk:(snd keys.(id)) ~pks ~tsetup ~tkey:tkeys.(id) ~hooks ~trace ())
+  in
+  let t =
+    { loop;
+      cfg;
+      nodes;
+      replicas;
+      trace;
+      exec_counts = Hashtbl.create 256;
+      counted_batches = Hashtbl.create 1024;
+      latency = Stats.Histogram.create ();
+      executed_blocks = 0;
+      confirmed = 0;
+      load;
+      load_active = false;
+      offered = 0;
+      next_batch_id = 0;
+      carry = 0.;
+      last_tick_ns = 0;
+      rr = 0;
+      load_started_ns = 0;
+      load_stopped_ns = 0 }
+  in
+  t_ref := Some t;
+  Array.iter Core.Replica.start replicas;
+  t
+
+let set_replica_down t id down =
+  Runtime.set_down t.nodes.(id) down;
+  Sim.Trace.recordf t.trace ~at:(Loop.now t.loop)
+    ~tag:(if down then "cluster.kill" else "cluster.revive")
+    "%a" Net.Node_id.pp id
+
+let run_while t pred = Loop.run_while t.loop (fun () -> pred t)
+
+let up_ids t =
+  List.filter
+    (fun id -> not (Conn.is_down (Runtime.conn t.nodes.(id))))
+    (List.init t.cfg.Core.Config.n Fun.id)
+
+let state_converged t =
+  match up_ids t with
+  | [] -> true
+  | first :: rest ->
+    let reference = t.replicas.(first) in
+    let exec = Core.Ledger.executed_up_to (Core.Replica.ledger reference) in
+    let hash = Core.Replica.state_hash reference in
+    List.for_all
+      (fun id ->
+        let r = t.replicas.(id) in
+        Core.Ledger.executed_up_to (Core.Replica.ledger r) = exec
+        && Crypto.Hash.equal (Core.Replica.state_hash r) hash)
+      rest
+
+let ledgers_agree t =
+  match up_ids t with
+  | [] -> true
+  | first :: rest ->
+    let agree l1 l2 =
+      let upto =
+        min (Core.Ledger.executed_up_to l1) (Core.Ledger.executed_up_to l2)
+      in
+      let rec go sn =
+        if sn > upto then true
+        else
+          match (Core.Ledger.get l1 sn, Core.Ledger.get l2 sn) with
+          | Some a, Some b -> Core.Bftblock.equal_content a b && go (sn + 1)
+          | _ -> go (sn + 1) (* pruned below a checkpoint *)
+      in
+      go 1
+    in
+    let l1 = Core.Replica.ledger t.replicas.(first) in
+    List.for_all (fun id -> agree l1 (Core.Replica.ledger t.replicas.(id))) rest
+
+let close t =
+  stop_load t;
+  Loop.stop t.loop;
+  Array.iter (fun node -> Conn.close (Runtime.conn node)) t.nodes
+
+(* -- one-shot runs ------------------------------------------------------ *)
+
+type report = {
+  n : int;
+  offered : int;
+  confirmed : int;
+  throughput : float;
+  latency : Stats.Histogram.t;
+  executed_blocks : int;
+  wall_sec : float;
+  dropped_frames : int;
+  state_hashes : (Net.Node_id.t * Crypto.Hash.t) list;
+  converged : bool;
+  ledgers_agree : bool;
+}
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>local cluster: n=%d@,\
+     offered        %d@,\
+     confirmed      %d@,\
+     throughput     %.0f req/s@,\
+     latency p50    %.1f ms@,\
+     latency p99    %.1f ms@,\
+     executed blks  %d@,\
+     load window    %.2f s@,\
+     dropped frames %d@,\
+     converged      %b@,\
+     ledgers agree  %b@]"
+    r.n r.offered r.confirmed r.throughput
+    (Stats.Histogram.quantile r.latency 0.50 *. 1e3)
+    (Stats.Histogram.quantile r.latency 0.99 *. 1e3)
+    r.executed_blocks r.wall_sec r.dropped_frames r.converged r.ledgers_agree
+
+let report_of t =
+  let window_ns =
+    (if t.load_stopped_ns > t.load_started_ns then t.load_stopped_ns
+     else Loop.now_ns t.loop)
+    - t.load_started_ns
+  in
+  let wall_sec = float_of_int (max 1 window_ns) *. 1e-9 in
+  { n = t.cfg.Core.Config.n;
+    offered = t.offered;
+    confirmed = t.confirmed;
+    throughput = float_of_int t.confirmed /. wall_sec;
+    latency = t.latency;
+    executed_blocks = t.executed_blocks;
+    wall_sec;
+    dropped_frames =
+      Array.fold_left (fun acc node -> acc + Conn.dropped (Runtime.conn node)) 0 t.nodes;
+    state_hashes =
+      Array.to_list (Array.mapi (fun id r -> (id, Core.Replica.state_hash r)) t.replicas);
+    converged = state_converged t;
+    ledgers_agree = ledgers_agree t }
+
+let run ~cfg ?load ?(duration = Sim.Sim_time.s 5) ?(drain = Sim.Sim_time.s 10)
+    ?min_confirmed ?kill ?trace () =
+  let t = create ~cfg ?load ?trace () in
+  (match kill with
+  | None -> ()
+  | Some (id, at, revive) ->
+    ignore
+      (Loop.schedule t.loop ~delay:at (fun () -> set_replica_down t id true)
+        : Loop.handle);
+    (match revive with
+    | None -> ()
+    | Some at' ->
+      ignore
+        (Loop.schedule t.loop ~delay:at' (fun () -> set_replica_down t id false)
+          : Loop.handle)));
+  start_load t;
+  let deadline = Loop.now_ns t.loop + Int64.to_int duration in
+  run_while t (fun t ->
+      Loop.now_ns t.loop < deadline
+      && match min_confirmed with Some m -> t.confirmed < m | None -> true);
+  stop_load t;
+  (* Drain: let in-flight serials finish and laggards catch up so the
+     state hashes can be compared at a common execution frontier. *)
+  let drain_deadline = Loop.now_ns t.loop + Int64.to_int drain in
+  run_while t (fun t ->
+      Loop.now_ns t.loop < drain_deadline && not (state_converged t));
+  let r = report_of t in
+  close t;
+  r

@@ -1,0 +1,92 @@
+(** An in-process Leopard cluster over real loopback TCP.
+
+    [n] replicas, each with its own {!Conn} endpoint and
+    {!Core.Platform}, share one {!Loop} in one process; every message
+    between them is framed, written to a socket, read back and decoded —
+    the full deployable stack, minus process isolation. A built-in
+    open-loop client submits request batches round-robin to the
+    non-leader replicas and measures confirmation (the (f+1)-th
+    execution of a serial) exactly as the simulator's runner does.
+
+    Wall-clock time replaces simulated time, so reports are measurements
+    of this machine, not of the paper's testbed — the point is to
+    exercise the real transport, not to reproduce Figure 8. *)
+
+type t
+
+val create :
+  cfg:Core.Config.t ->
+  ?load:float ->
+  ?outbuf_hwm:int ->
+  ?trace:Sim.Trace.t ->
+  unit ->
+  t
+(** Builds the cluster: binds [n] ephemeral loopback listeners, wires
+    every pair, creates and starts the replicas. [load] is the client
+    request rate (default 2000 req/s) — not offered until
+    {!start_load}. *)
+
+val loop : t -> Loop.t
+val replicas : t -> Core.Replica.t array
+val nodes : t -> Runtime.node array
+
+val start_load : t -> unit
+val stop_load : t -> unit
+
+val offered : t -> int
+val confirmed : t -> int
+(** Requests confirmed: counted once, at the (f+1)-th execution of the
+    serial containing them. *)
+
+val set_replica_down : t -> Net.Node_id.t -> bool -> unit
+(** Fail-stop / revive a replica's transport (the state machine keeps
+    its state, as with the simulator's [set_down]). A down replica is
+    also dropped from the client's target rotation. *)
+
+val run_while : t -> (t -> bool) -> unit
+(** Drives the shared loop while the predicate holds. *)
+
+val state_converged : t -> bool
+(** Every up replica reports the same [executed_up_to] and the same
+    {!Core.Replica.state_hash}. *)
+
+val ledgers_agree : t -> bool
+(** Position-wise equality of the up replicas' executed ledgers (the
+    safety check, over however far each has executed). *)
+
+val close : t -> unit
+
+(** {2 One-shot runs} *)
+
+type report = {
+  n : int;
+  offered : int;
+  confirmed : int;
+  throughput : float;        (** confirmed req/s over the load window *)
+  latency : Stats.Histogram.t;   (** client-perceived confirmation latency *)
+  executed_blocks : int;
+  wall_sec : float;          (** load window, wall-clock seconds *)
+  dropped_frames : int;      (** {!Conn.dropped}, summed over nodes *)
+  state_hashes : (Net.Node_id.t * Crypto.Hash.t) list;
+  converged : bool;          (** {!state_converged} after the drain *)
+  ledgers_agree : bool;      (** position-wise honest-ledger equality *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run :
+  cfg:Core.Config.t ->
+  ?load:float ->
+  ?duration:Sim.Sim_time.span ->
+  ?drain:Sim.Sim_time.span ->
+  ?min_confirmed:int ->
+  ?kill:Net.Node_id.t * Sim.Sim_time.span * Sim.Sim_time.span option ->
+  ?trace:Sim.Trace.t ->
+  unit ->
+  report
+(** Creates a cluster, offers load for [duration] (default 5 s; stops
+    early once [min_confirmed] is reached, when given), then drains —
+    load off, loop running — until {!state_converged} or the [drain]
+    bound (default 10 s). [kill] fail-stops a replica at an offset into
+    the run and optionally revives it later. The cluster is closed
+    before returning. *)

@@ -1,0 +1,334 @@
+let default_outbuf_hwm = 4 * 1024 * 1024
+
+let backoff_base_ns = 50_000_000 (* 50 ms *)
+let backoff_cap_ns = 2_000_000_000 (* 2 s *)
+
+(* An outgoing (dialed) connection to one peer. The pending queue holds
+   whole frames; [head_off] tracks how much of the head frame the kernel
+   has taken so far. *)
+type out_state =
+  | Idle
+  | Waiting of Loop.handle (* backoff redial pending *)
+  | Connecting of Unix.file_descr
+  | Connected of Unix.file_descr
+
+type out_conn = {
+  dst : Net.Node_id.t;
+  mutable state : out_state;
+  q : string Queue.t;
+  mutable q_bytes : int;
+  mutable head_off : int;
+  mutable pre : string; (* unsent hello prefix on a fresh connection *)
+  mutable pre_off : int;
+  mutable backoff_ns : int;
+}
+
+(* An incoming (accepted) connection; [src] is unknown until the hello. *)
+type in_conn = {
+  in_fd : Unix.file_descr;
+  reader : Frame.reader;
+  mutable src : Net.Node_id.t option;
+}
+
+type t = {
+  loop : Loop.t;
+  id : Net.Node_id.t;
+  max_frame : int;
+  hwm : int;
+  on_msg : src:Net.Node_id.t -> Core.Msg.t -> unit;
+  outs : (Net.Node_id.t, out_conn) Hashtbl.t;
+  ins : (Unix.file_descr, in_conn) Hashtbl.t;
+  addrs : (Net.Node_id.t, Unix.sockaddr) Hashtbl.t;
+  mutable listener : Unix.file_descr option;
+  mutable down : bool;
+  mutable dropped : int;
+  rng : Random.State.t;
+  scratch : Bytes.t;
+}
+
+let create ~loop ~id ?(max_frame = Frame.default_max_frame)
+    ?(outbuf_hwm = default_outbuf_hwm) ~on_msg () =
+  { loop;
+    id;
+    max_frame;
+    hwm = outbuf_hwm;
+    on_msg;
+    outs = Hashtbl.create 16;
+    ins = Hashtbl.create 16;
+    addrs = Hashtbl.create 16;
+    listener = None;
+    down = false;
+    dropped = 0;
+    rng = Random.State.make [| 0x1e09a4d; id |];
+    scratch = Bytes.create 65536 }
+
+let is_down t = t.down
+let dropped t = t.dropped
+
+let set_peer_addr t dst addr = Hashtbl.replace t.addrs dst addr
+
+(* -- teardown helpers --------------------------------------------------- *)
+
+let close_fd t fd =
+  Loop.unwatch t.loop fd;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let close_in t (ic : in_conn) =
+  if Hashtbl.mem t.ins ic.in_fd then begin
+    Hashtbl.remove t.ins ic.in_fd;
+    close_fd t ic.in_fd
+  end
+
+let drop_queue oc =
+  Queue.clear oc.q;
+  oc.q_bytes <- 0;
+  oc.head_off <- 0;
+  oc.pre <- "";
+  oc.pre_off <- 0
+
+let reset_out t oc =
+  (match oc.state with
+  | Idle -> ()
+  | Waiting h -> Loop.cancel t.loop h
+  | Connecting fd | Connected fd -> close_fd t fd);
+  oc.state <- Idle
+
+(* -- outgoing: dial, flush, redial -------------------------------------- *)
+
+let rec connect_out t oc =
+  match Hashtbl.find_opt t.addrs oc.dst with
+  | None -> () (* counted at send time *)
+  | Some addr -> (
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock fd;
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    match Unix.connect fd addr with
+    | () -> on_connected t oc fd
+    | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) ->
+      oc.state <- Connecting fd;
+      Loop.watch_write t.loop fd (fun () ->
+          match Unix.getsockopt_error fd with
+          | None ->
+            Loop.unwatch_write t.loop fd;
+            on_connected t oc fd
+          | Some _ -> fail_out t oc)
+    | exception Unix.Unix_error (_, _, _) ->
+      close_fd t fd;
+      schedule_redial t oc)
+
+and on_connected t oc fd =
+  oc.state <- Connected fd;
+  oc.backoff_ns <- backoff_base_ns;
+  oc.pre <- Frame.encode_hello t.id;
+  oc.pre_off <- 0;
+  oc.head_off <- 0;
+  (* Watch for EOF/reset; the peer never sends frames back on a dialed
+     connection, so any bytes read are drained and ignored. *)
+  Loop.watch_read t.loop fd (fun () ->
+      match Unix.read fd t.scratch 0 (Bytes.length t.scratch) with
+      | 0 -> fail_out t oc
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+        -> ()
+      | exception Unix.Unix_error (_, _, _) -> fail_out t oc);
+  try_flush t oc
+
+and try_flush t oc =
+  match oc.state with
+  | Idle | Waiting _ | Connecting _ -> ()
+  | Connected fd -> (
+    let progress = ref true in
+    let blocked = ref false in
+    (try
+       while !progress && not !blocked do
+         if oc.pre_off < String.length oc.pre then begin
+           let n =
+             Unix.write_substring fd oc.pre oc.pre_off (String.length oc.pre - oc.pre_off)
+           in
+           oc.pre_off <- oc.pre_off + n;
+           if n = 0 then blocked := true
+         end
+         else if not (Queue.is_empty oc.q) then begin
+           let head = Queue.peek oc.q in
+           let n =
+             Unix.write_substring fd head oc.head_off (String.length head - oc.head_off)
+           in
+           oc.head_off <- oc.head_off + n;
+           if oc.head_off = String.length head then begin
+             ignore (Queue.pop oc.q);
+             oc.q_bytes <- oc.q_bytes - String.length head;
+             oc.head_off <- 0
+           end
+           else if n = 0 then blocked := true
+         end
+         else progress := false
+       done
+     with
+    | Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) ->
+      blocked := true
+    | Unix.Unix_error (_, _, _) ->
+      fail_out t oc;
+      progress := false);
+    match oc.state with
+    | Connected _ when !blocked -> Loop.watch_write t.loop fd (fun () -> try_flush t oc)
+    | Connected _ -> Loop.unwatch_write t.loop fd
+    | _ -> ())
+
+and fail_out t oc =
+  (match oc.state with
+  | Connecting fd | Connected fd -> close_fd t fd
+  | Idle | Waiting _ -> ());
+  oc.state <- Idle;
+  (* A frame cut mid-write is unrecoverable: the peer's stream ended
+     inside it, and a fresh connection must start on a frame boundary. *)
+  if oc.head_off > 0 then begin
+    (match Queue.take_opt oc.q with
+    | Some head -> oc.q_bytes <- oc.q_bytes - String.length head
+    | None -> ());
+    oc.head_off <- 0;
+    t.dropped <- t.dropped + 1
+  end;
+  oc.pre <- "";
+  oc.pre_off <- 0;
+  if not t.down then schedule_redial t oc
+
+and schedule_redial t oc =
+  let b = oc.backoff_ns in
+  let delay_ns = (b / 2) + Random.State.int t.rng (max 1 (b / 2)) in
+  oc.backoff_ns <- min backoff_cap_ns (b * 2);
+  let h =
+    Loop.schedule t.loop ~delay:(Int64.of_int delay_ns) (fun () ->
+        oc.state <- Idle;
+        if not t.down then connect_out t oc)
+  in
+  oc.state <- Waiting h
+
+let out_conn t dst =
+  match Hashtbl.find_opt t.outs dst with
+  | Some oc -> oc
+  | None ->
+    let oc =
+      { dst;
+        state = Idle;
+        q = Queue.create ();
+        q_bytes = 0;
+        head_off = 0;
+        pre = "";
+        pre_off = 0;
+        backoff_ns = backoff_base_ns }
+    in
+    Hashtbl.add t.outs dst oc;
+    oc
+
+let send t ~dst msg =
+  if not t.down then
+    if Net.Node_id.equal dst t.id then
+      (* Self-delivery through the loop, like the simulator's immediate
+         local hop: asynchronous, but ahead of any network arrival. *)
+      ignore
+        (Loop.schedule t.loop ~delay:0L (fun () ->
+             if not t.down then t.on_msg ~src:t.id msg))
+    else begin
+      let frame = Frame.encode_msg msg in
+      let oc = out_conn t dst in
+      if not (Hashtbl.mem t.addrs dst) then t.dropped <- t.dropped + 1
+      else if oc.q_bytes + String.length frame > t.hwm then t.dropped <- t.dropped + 1
+      else begin
+        Queue.push frame oc.q;
+        oc.q_bytes <- oc.q_bytes + String.length frame;
+        match oc.state with
+        | Idle -> connect_out t oc
+        | Connected _ -> try_flush t oc
+        | Waiting _ | Connecting _ -> ()
+      end
+    end
+
+(* -- incoming: accept and read ------------------------------------------ *)
+
+exception Protocol_violation
+
+let handle_frame t ic frame =
+  match (ic.src, frame) with
+  | None, Frame.Hello src -> ic.src <- Some src
+  | Some src, Frame.Msg m -> if not t.down then t.on_msg ~src m
+  | None, Frame.Msg _ | Some _, Frame.Hello _ -> raise Protocol_violation
+
+let read_in t ic =
+  match Unix.read ic.in_fd t.scratch 0 (Bytes.length t.scratch) with
+  | 0 -> close_in t ic
+  | n -> (
+    match Frame.feed ic.reader t.scratch ~off:0 ~len:n (handle_frame t ic) with
+    | Ok () -> ()
+    | Error _ -> close_in t ic
+    | exception Protocol_violation -> close_in t ic)
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> close_in t ic
+
+let accept_ready t lfd =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept lfd with
+    | fd, _addr ->
+      if t.down then (try Unix.close fd with Unix.Unix_error _ -> ())
+      else begin
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        let ic = { in_fd = fd; reader = Frame.reader ~max_frame:t.max_frame (); src = None } in
+        Hashtbl.add t.ins fd ic;
+        Loop.watch_read t.loop fd (fun () -> read_in t ic)
+      end
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (_, _, _) -> continue := false
+  done
+
+let listen t ?(port = 0) () =
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.set_nonblock lfd;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen lfd 64;
+  t.listener <- Some lfd;
+  Loop.watch_read t.loop lfd (fun () -> accept_ready t lfd);
+  match Unix.getsockname lfd with
+  | Unix.ADDR_INET (_, p) -> p
+  | Unix.ADDR_UNIX _ -> assert false
+
+(* -- lifecycle ---------------------------------------------------------- *)
+
+let set_down t down =
+  if down <> t.down then begin
+    t.down <- down;
+    if down then begin
+      Hashtbl.iter (fun _ ic -> close_fd t ic.in_fd) t.ins;
+      Hashtbl.reset t.ins;
+      Hashtbl.iter
+        (fun _ oc ->
+          reset_out t oc;
+          drop_queue oc;
+          oc.backoff_ns <- backoff_base_ns)
+        t.outs
+    end
+    (* On revival nothing is dialed eagerly: the node's own traffic and
+       the peers' backoff timers re-establish connectivity. *)
+  end
+
+let live_connections t =
+  let outs =
+    Hashtbl.fold
+      (fun _ oc acc -> match oc.state with Connected _ -> acc + 1 | _ -> acc)
+      t.outs 0
+  in
+  outs + Hashtbl.length t.ins
+
+let close t =
+  Hashtbl.iter (fun _ ic -> close_fd t ic.in_fd) t.ins;
+  Hashtbl.reset t.ins;
+  Hashtbl.iter (fun _ oc -> reset_out t oc) t.outs;
+  Hashtbl.reset t.outs;
+  (match t.listener with
+  | Some lfd ->
+    close_fd t lfd;
+    t.listener <- None
+  | None -> ());
+  t.down <- true

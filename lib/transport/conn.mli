@@ -1,0 +1,65 @@
+(** Connection management for one node: dial, accept, buffer, reconnect.
+
+    Each node owns one {!t}: a listening socket peers dial into, plus one
+    outgoing connection per peer it has sent to. Connections are
+    asymmetric — a node {e sends} on connections it dialed and
+    {e receives} on connections it accepted; the first frame on every
+    dialed connection is a [hello] naming the dialer, so the acceptor
+    can attribute everything that follows.
+
+    Sending never blocks the event loop. Bytes that do not fit in the
+    kernel buffer wait in a per-peer queue; once the queue passes the
+    high-water mark, further frames to that peer are {e dropped whole}
+    and counted ({!dropped}) — BFT protocols tolerate message loss, a
+    stalled peer must not wedge or balloon the sender. A frame cut mid-
+    write by a broken connection is likewise dropped, never resumed on
+    the next connection (resuming would corrupt the peer's framing).
+
+    Failed outgoing connections redial with capped exponential backoff
+    plus jitter. {!set_down} models a crashed host: every connection is
+    torn down and queued bytes discarded; on revival, peers' backoff
+    redials and the node's own lazy dials knit the mesh back together. *)
+
+type t
+
+val create :
+  loop:Loop.t ->
+  id:Net.Node_id.t ->
+  ?max_frame:int ->
+  ?outbuf_hwm:int ->
+  on_msg:(src:Net.Node_id.t -> Core.Msg.t -> unit) ->
+  unit ->
+  t
+(** [outbuf_hwm] is the per-peer queued-bytes bound (default 4 MiB). *)
+
+val default_outbuf_hwm : int
+
+val listen : t -> ?port:int -> unit -> int
+(** Binds a loopback listener (port [0] = ephemeral) and returns the
+    actual port. Call once, before peers dial. *)
+
+val set_peer_addr : t -> Net.Node_id.t -> Unix.sockaddr -> unit
+(** Where to dial peer [dst]. Sends to a peer with no known address are
+    dropped (and counted). *)
+
+val send : t -> dst:Net.Node_id.t -> Core.Msg.t -> unit
+(** Frames and queues the message; dials first if no connection is up.
+    [dst = id] loops back through the event loop (next round), matching
+    the simulator's self-delivery. Silently inert while down. *)
+
+val set_down : t -> bool -> unit
+(** See above. Listener stays bound while down (the port remains
+    reserved); newly accepted connections are closed immediately, which
+    peers observe as a dead host. *)
+
+val is_down : t -> bool
+
+val dropped : t -> int
+(** Frames dropped so far: backpressure overflow, unknown peer address,
+    or mid-frame disconnect. *)
+
+val live_connections : t -> int
+(** Established connections, both directions (diagnostics / tests). *)
+
+val close : t -> unit
+(** Tears everything down, listener included. The [t] is dead after. *)

@@ -1,0 +1,150 @@
+let magic = "LPRD"
+let version = 1
+let header_bytes = 11
+let default_max_frame = 16 * 1024 * 1024
+
+let kind_hello = 0
+let kind_msg = 1
+
+type frame =
+  | Hello of Net.Node_id.t
+  | Msg of Core.Msg.t
+
+type error =
+  | Bad_magic
+  | Bad_version of int
+  | Oversized of int
+  | Decode_failed
+  | Short_read
+
+let pp_error fmt = function
+  | Bad_magic -> Format.fprintf fmt "bad magic"
+  | Bad_version v -> Format.fprintf fmt "bad protocol version %d (speak %d)" v version
+  | Oversized n -> Format.fprintf fmt "oversized frame (%d bytes)" n
+  | Decode_failed -> Format.fprintf fmt "payload failed to decode"
+  | Short_read -> Format.fprintf fmt "stream ended mid-frame"
+
+(* -- encoding ----------------------------------------------------------- *)
+
+let add_header b ~kind ~len =
+  Buffer.add_string b magic;
+  Buffer.add_uint16_le b version;
+  Buffer.add_uint8 b kind;
+  Buffer.add_int32_le b (Int32.of_int len)
+
+let encode_hello id =
+  let b = Buffer.create (header_bytes + 4) in
+  add_header b ~kind:kind_hello ~len:4;
+  Buffer.add_int32_le b (Int32.of_int id);
+  Buffer.contents b
+
+let encode_msg msg =
+  let payload = Core.Codec.encode_msg msg in
+  let b = Buffer.create (header_bytes + String.length payload) in
+  add_header b ~kind:kind_msg ~len:(String.length payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* -- incremental decoding ----------------------------------------------- *)
+
+(* The reader accumulates into one growable bytes buffer with a consumed
+   prefix; complete frames are parsed out and the tail compacted to the
+   front. Simpler than a ring and plenty for per-connection rates — the
+   buffer holds at most one partial frame plus whatever one read(2)
+   appended. *)
+type reader = {
+  max_frame : int;
+  mutable buf : Bytes.t;
+  mutable start : int;    (* first unconsumed byte *)
+  mutable stop : int;     (* one past the last valid byte *)
+  mutable poisoned : error option;
+}
+
+let reader ?(max_frame = default_max_frame) () =
+  { max_frame; buf = Bytes.create 4096; start = 0; stop = 0; poisoned = None }
+
+let buffered r = r.stop - r.start
+
+let ensure_room r extra =
+  let live = buffered r in
+  if r.start > 0 && (live = 0 || Bytes.length r.buf - r.stop < extra) then begin
+    (* compact: slide the live region to offset 0 *)
+    Bytes.blit r.buf r.start r.buf 0 live;
+    r.start <- 0;
+    r.stop <- live
+  end;
+  if Bytes.length r.buf - r.stop < extra then begin
+    let need = live + extra in
+    let cap = ref (Bytes.length r.buf * 2) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let bigger = Bytes.create !cap in
+    Bytes.blit r.buf r.start bigger 0 live;
+    r.buf <- bigger;
+    r.start <- 0;
+    r.stop <- live
+  end
+
+(* Parse one frame at [r.start] if fully buffered. *)
+let parse_one r k =
+  let live = buffered r in
+  if live < header_bytes then `Need_more
+  else begin
+    let base = r.start in
+    let magic_ok =
+      Bytes.get r.buf base = 'L'
+      && Bytes.get r.buf (base + 1) = 'P'
+      && Bytes.get r.buf (base + 2) = 'R'
+      && Bytes.get r.buf (base + 3) = 'D'
+    in
+    if not magic_ok then `Error Bad_magic
+    else
+      let v = Bytes.get_uint16_le r.buf (base + 4) in
+      if v <> version then `Error (Bad_version v)
+      else
+        let kind = Bytes.get_uint8 r.buf (base + 6) in
+        let len = Int32.to_int (Bytes.get_int32_le r.buf (base + 7)) land 0xFFFFFFFF in
+        if len > r.max_frame then `Error (Oversized len)
+        else if live < header_bytes + len then `Need_more
+        else begin
+          let payload = Bytes.sub_string r.buf (base + header_bytes) len in
+          r.start <- base + header_bytes + len;
+          if kind = kind_hello then
+            if len = 4 then begin
+              let id = Int32.to_int (String.get_int32_le payload 0) land 0xFFFFFFFF in
+              k (Hello id);
+              `Parsed
+            end
+            else `Error Decode_failed
+          else if kind = kind_msg then (
+            match Core.Codec.decode_msg payload with
+            | Some msg ->
+              k (Msg msg);
+              `Parsed
+            | None -> `Error Decode_failed)
+          else `Error Decode_failed
+        end
+  end
+
+let feed r buf ~off ~len k =
+  match r.poisoned with
+  | Some e -> Error e
+  | None ->
+    ensure_room r len;
+    Bytes.blit buf off r.buf r.stop len;
+    r.stop <- r.stop + len;
+    let rec drain () =
+      match parse_one r k with
+      | `Parsed -> drain ()
+      | `Need_more -> Ok ()
+      | `Error e ->
+        r.poisoned <- Some e;
+        Error e
+    in
+    drain ()
+
+let check_eof r =
+  match r.poisoned with
+  | Some e -> Error e
+  | None -> if buffered r = 0 then Ok () else Error Short_read

@@ -1,0 +1,83 @@
+(** Length-prefixed message framing over the binary codec.
+
+    TCP is a byte stream; this layer turns it into a sequence of
+    self-delimiting frames. Every frame starts with an 11-byte header:
+
+    {v
+      offset  size  field
+      0       4     magic "LPRD"
+      4       2     protocol version, u16 LE (currently 1)
+      6       1     kind: 0 = hello, 1 = protocol message
+      7       4     payload length, u32 LE
+      11      len   payload
+    v}
+
+    A [hello] payload is the sender's node id as a u32 LE — the first
+    frame on every connection, identifying the peer. A [msg] payload is
+    {!Core.Codec.encode_msg} bytes: the frozen wire format pinned by the
+    golden-byte tests, so the version field only needs to move when that
+    format does.
+
+    Decoding is incremental ({!feed} accepts arbitrary byte slices) and
+    total: malformed input yields an {!error}, never an exception and
+    never a silent skip. A partial frame is not an error while the
+    connection lives — {!feed} just waits for more bytes — but a stream
+    that ends mid-frame is one ({!check_eof}). *)
+
+val magic : string
+(** ["LPRD"]. *)
+
+val version : int
+(** Protocol version this build speaks (1). Bump when the codec or the
+    frame layout changes incompatibly. *)
+
+val header_bytes : int
+(** 11. *)
+
+val default_max_frame : int
+(** Largest accepted payload (16 MiB): a length field beyond this is a
+    protocol violation (or garbage), not a request to allocate. *)
+
+type frame =
+  | Hello of Net.Node_id.t
+  | Msg of Core.Msg.t
+
+type error =
+  | Bad_magic
+  | Bad_version of int   (** the offered version *)
+  | Oversized of int     (** the declared payload length *)
+  | Decode_failed        (** well-framed payload the codec rejects *)
+  | Short_read           (** stream ended inside a frame *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** {2 Encoding} *)
+
+val encode_hello : Net.Node_id.t -> string
+(** A complete hello frame (header + payload). *)
+
+val encode_msg : Core.Msg.t -> string
+(** A complete message frame. Raises {!Core.Codec.Encode_error} on
+    unrepresentable values, as the codec does. *)
+
+(** {2 Incremental decoding} *)
+
+type reader
+
+val reader : ?max_frame:int -> unit -> reader
+(** A fresh stream decoder (one per connection direction). *)
+
+val feed :
+  reader -> bytes -> off:int -> len:int -> (frame -> unit) -> (unit, error) result
+(** [feed r buf ~off ~len k] appends the slice to the stream and calls
+    [k] on every frame completed by it, in order. On error the reader is
+    poisoned: subsequent feeds return the same error (the connection
+    must be dropped — after a framing error resynchronization is
+    impossible). *)
+
+val check_eof : reader -> (unit, error) result
+(** Call when the peer closes: [Error Short_read] if the stream ended
+    inside a frame, [Ok ()] on a frame boundary. *)
+
+val buffered : reader -> int
+(** Bytes held waiting for the rest of a frame (diagnostics). *)

@@ -1,0 +1,145 @@
+type handle = int
+
+type t = {
+  t0 : float;                              (* wall time at [create] *)
+  mutable clock_ns : int;                  (* monotone-clamped ns since t0 *)
+  timers : (unit -> unit) Sim.Heap.t;
+  mutable next_seq : int;
+  cancelled : (int, unit) Hashtbl.t;
+  readers : (Unix.file_descr, unit -> unit) Hashtbl.t;
+  writers : (Unix.file_descr, unit -> unit) Hashtbl.t;
+  mutable stopped : bool;
+}
+
+let create () =
+  (* A peer closing mid-write must surface as EPIPE on the write (handled
+     per-connection), not as a process-killing signal. *)
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  {
+    t0 = Unix.gettimeofday ();
+    clock_ns = 0;
+    timers = Sim.Heap.create ();
+    next_seq = 0;
+    cancelled = Hashtbl.create 16;
+    readers = Hashtbl.create 16;
+    writers = Hashtbl.create 16;
+    stopped = false;
+  }
+
+let refresh_clock t =
+  let raw = int_of_float ((Unix.gettimeofday () -. t.t0) *. 1e9) in
+  if raw > t.clock_ns then t.clock_ns <- raw;
+  t.clock_ns
+
+let now_ns t = refresh_clock t
+let now t = Int64.of_int (now_ns t)
+
+(* -- timers ------------------------------------------------------------- *)
+
+let schedule_ns t ~at_ns f =
+  let at_ns = if at_ns < t.clock_ns then t.clock_ns else at_ns in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Sim.Heap.add_ns t.timers ~key_ns:at_ns ~seq f;
+  seq
+
+let schedule t ~delay f =
+  let d = Int64.to_int delay in
+  let d = if d < 0 then 0 else d in
+  schedule_ns t ~at_ns:(refresh_clock t + d) f
+
+let schedule_at t ~at f =
+  schedule_ns t ~at_ns:(Int64.to_int (Int64.max at 0L)) f
+
+let cancel t h = Hashtbl.replace t.cancelled h ()
+
+(* A cancel of an already-fired handle parks one entry in [cancelled]
+   permanently (exactly as [Sim.Engine] accepts, see its .mli note);
+   clamp so such parked entries never show as negative pending work. *)
+let pending_timers t = max 0 (Sim.Heap.length t.timers - Hashtbl.length t.cancelled)
+
+let fire_due t =
+  let now = refresh_clock t in
+  let continue = ref true in
+  while !continue && not (Sim.Heap.is_empty t.timers) do
+    if Sim.Heap.peek_key_ns t.timers <= now then begin
+      let seq = Sim.Heap.peek_seq t.timers in
+      let f = Sim.Heap.pop_value t.timers in
+      if Hashtbl.mem t.cancelled seq then Hashtbl.remove t.cancelled seq
+      else f ()
+    end
+    else continue := false
+  done
+
+(* Seconds until the next live timer, within [0, cap]; [cap] when idle. *)
+let select_timeout t ~cap =
+  (* Skip cancelled heads so a pile of cancellations can't force a busy
+     poll at their stale deadlines. *)
+  let continue = ref true in
+  while !continue && not (Sim.Heap.is_empty t.timers) do
+    let seq = Sim.Heap.peek_seq t.timers in
+    if Hashtbl.mem t.cancelled seq then begin
+      Hashtbl.remove t.cancelled seq;
+      let (_ : unit -> unit) = Sim.Heap.pop_value t.timers in
+      ()
+    end
+    else continue := false
+  done;
+  if Sim.Heap.is_empty t.timers then cap
+  else
+    let gap_ns = Sim.Heap.peek_key_ns t.timers - t.clock_ns in
+    if gap_ns <= 0 then 0.
+    else Float.min cap (float_of_int gap_ns *. 1e-9)
+
+(* -- file descriptors --------------------------------------------------- *)
+
+let watch_read t fd f = Hashtbl.replace t.readers fd f
+let watch_write t fd f = Hashtbl.replace t.writers fd f
+let unwatch_write t fd = Hashtbl.remove t.writers fd
+
+let unwatch t fd =
+  Hashtbl.remove t.readers fd;
+  Hashtbl.remove t.writers fd
+
+let keys tbl = Hashtbl.fold (fun fd _ acc -> fd :: acc) tbl []
+
+(* -- driving ------------------------------------------------------------ *)
+
+let max_block = 0.05
+
+let round t =
+  fire_due t;
+  let timeout = select_timeout t ~cap:max_block in
+  let rds = keys t.readers and wrs = keys t.writers in
+  let ready_r, ready_w =
+    match Unix.select rds wrs [] timeout with
+    | r, w, _ -> (r, w)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+  in
+  (* A callback may unwatch (and close) fds that were also ready this
+     round; dispatch only to fds still watched at call time. *)
+  List.iter
+    (fun fd ->
+      match Hashtbl.find_opt t.readers fd with
+      | Some f -> f ()
+      | None -> ())
+    ready_r;
+  List.iter
+    (fun fd ->
+      match Hashtbl.find_opt t.writers fd with
+      | Some f -> f ()
+      | None -> ())
+    ready_w;
+  fire_due t
+
+let run_while t pred =
+  t.stopped <- false;
+  while (not t.stopped) && pred () do
+    round t
+  done
+
+let run_for t ~span =
+  let deadline = refresh_clock t + Int64.to_int span in
+  run_while t (fun () -> refresh_clock t < deadline)
+
+let stop t = t.stopped <- true

@@ -1,0 +1,73 @@
+(** Single-threaded [select]-based event loop with a timer wheel.
+
+    The socket runtime's engine: file-descriptor readiness callbacks
+    plus monotonic timers, dispatched from one thread — replica code
+    runs exactly as it does on {!Sim.Engine}, never concurrently with
+    itself. The timer API mirrors the engine's schedule/cancel shape
+    (same FIFO tie-break for equal instants, via the shared
+    {!Sim.Heap}), which is what lets {!Core.Platform} abstract over
+    both.
+
+    The clock is nanoseconds since {!create}, as a {!Sim.Sim_time.t}.
+    It is derived from the wall clock but clamped to never move
+    backwards, so timer order is stable under NTP steps ([Unix] exposes
+    no raw monotonic clock; the clamp gives local monotonicity, which
+    is all the timer wheel needs). *)
+
+type t
+
+type handle
+(** A scheduled timer, usable for cancellation. *)
+
+val create : unit -> t
+(** A fresh loop with clock at {!Sim.Sim_time.zero}. Also sets SIGPIPE
+    to ignore (process-wide): a peer closing mid-write must surface as
+    [EPIPE] on that write, not kill the process. *)
+
+val now : t -> Sim.Sim_time.t
+(** Current loop time (updated at each dispatch round, and on demand by
+    this call). *)
+
+val now_ns : t -> int
+
+val schedule : t -> delay:Sim.Sim_time.span -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] once [delay] has elapsed (negative
+    delays clamp to zero). Timers due at the same instant fire in
+    schedule order. *)
+
+val schedule_at : t -> at:Sim.Sim_time.t -> (unit -> unit) -> handle
+
+val cancel : t -> handle -> unit
+(** Cancels a pending timer; cancelling twice or after firing is a
+    no-op. *)
+
+val pending_timers : t -> int
+
+(** {2 File descriptors}
+
+    Callbacks are level-triggered: a readable [fd] fires its callback
+    every dispatch round until drained. Always {!unwatch} an [fd]
+    before closing it — a closed fd left in the watch set fails the
+    whole [select]. *)
+
+val watch_read : t -> Unix.file_descr -> (unit -> unit) -> unit
+val watch_write : t -> Unix.file_descr -> (unit -> unit) -> unit
+(** At most one callback per direction per fd (replaced on re-watch). *)
+
+val unwatch_write : t -> Unix.file_descr -> unit
+val unwatch : t -> Unix.file_descr -> unit
+(** Removes both directions. *)
+
+(** {2 Driving} *)
+
+val run_while : t -> (unit -> bool) -> unit
+(** Dispatches timers and fd events while the predicate holds (checked
+    once per round) and {!stop} has not been called. Rounds block in
+    [select] for at most the gap to the next timer (capped at 50 ms, so
+    the predicate stays responsive). *)
+
+val run_for : t -> span:Sim.Sim_time.span -> unit
+(** [run_while] until [span] of loop time has elapsed. *)
+
+val stop : t -> unit
+(** Makes the current [run_while] return after the round in progress. *)

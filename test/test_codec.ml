@@ -203,6 +203,63 @@ let test_golden_fetch () =
   checks "fetch bytes" "0b20000000ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
     (to_hex (Core.Codec.encode_msg (Core.Msg.Fetch { hash = Crypto.Hash.of_string "abc" })))
 
+(* The view-change family: deterministic values (fixed rng seed above),
+   hex captured once and frozen like the rest of the golden set. *)
+
+let golden_aggregate =
+  match
+    Crypto.Threshold.combine tsetup "golden"
+      (List.init 3 (fun i -> Crypto.Threshold.sign_share tkeys.(i) "golden"))
+  with
+  | Some a -> a
+  | None -> assert false
+
+let golden_timeout =
+  Core.Msg.Timeout
+    { view = 3; sender = 2; signature = Crypto.Signature.sign sk (Core.Msg.timeout_payload ~view:3) }
+
+let golden_view_change =
+  let entry_block = Core.Bftblock.create ~view:3 ~sn:17 ~links:[ Crypto.Hash.of_string "L" ] in
+  let vc =
+    { Core.Msg.vc_new_view = 4;
+      vc_sender = 1;
+      vc_checkpoint =
+        Some
+          { Core.Msg.cp_sn = 16;
+            cp_state = Crypto.Hash.of_string "state";
+            cp_proof = golden_aggregate };
+      vc_entries = [ (3, entry_block, golden_aggregate) ];
+      vc_signature = Crypto.Signature.sign sk "vc" }
+  in
+  { vc with Core.Msg.vc_signature = Crypto.Signature.sign sk (Core.Msg.view_change_payload vc) }
+
+let golden_new_view =
+  let nv =
+    { Core.Msg.nv_view = 4; nv_sender = 0; nv_vcs = [ golden_view_change ];
+      nv_signature = Crypto.Signature.sign sk "nv" }
+  in
+  { nv with Core.Msg.nv_signature = Crypto.Signature.sign sk (Core.Msg.new_view_payload nv) }
+
+let golden_timeout_hex =
+  "080300000002000000200000000381e97c53104c69e5ecd8ede16ae8f42337d6ba911a71ecd9a090902cdecadf"
+
+let golden_view_change_hex =
+  "0904000000010000000110000000200000004ba69735ca53765ed6a709edb56c6ea236b7193a3b29a6b390c346f0f4340e4ee0f4825d0100000003000000030000001100000000010000002000000072dfcfb0c470ac255cde83fb8fe38de8a128188e03ea5ba5b2a93adbea1062fae0f4825d20000000be99d4c7b1e30407624e06d23e6bf19ae9996ba5cd2f9146925683261362f77a"
+
+let golden_new_view_hex =
+  "0a04000000000000000100000004000000010000000110000000200000004ba69735ca53765ed6a709edb56c6ea236b7193a3b29a6b390c346f0f4340e4ee0f4825d0100000003000000030000001100000000010000002000000072dfcfb0c470ac255cde83fb8fe38de8a128188e03ea5ba5b2a93adbea1062fae0f4825d20000000be99d4c7b1e30407624e06d23e6bf19ae9996ba5cd2f9146925683261362f77a2000000005965dfda4eb71ccab0fe3dc471c6db43cf923fa28172f587a9c79949ad96914"
+
+let test_golden_timeout () =
+  checks "timeout bytes" golden_timeout_hex (to_hex (Core.Codec.encode_msg golden_timeout))
+
+let test_golden_view_change () =
+  checks "view-change bytes" golden_view_change_hex
+    (to_hex (Core.Codec.encode_msg (Core.Msg.View_change_msg golden_view_change)))
+
+let test_golden_new_view () =
+  checks "new-view bytes" golden_new_view_hex
+    (to_hex (Core.Codec.encode_msg (Core.Msg.New_view_msg golden_new_view)))
+
 (* -- integer boundaries -------------------------------------------------- *)
 
 let test_u32_boundaries () =
@@ -277,7 +334,10 @@ let () =
       ( "golden bytes",
         [ Alcotest.test_case "batch" `Quick test_golden_batch;
           Alcotest.test_case "bftblock" `Quick test_golden_bftblock;
-          Alcotest.test_case "fetch msg" `Quick test_golden_fetch ] );
+          Alcotest.test_case "fetch msg" `Quick test_golden_fetch;
+          Alcotest.test_case "timeout msg" `Quick test_golden_timeout;
+          Alcotest.test_case "view-change msg" `Quick test_golden_view_change;
+          Alcotest.test_case "new-view msg" `Quick test_golden_new_view ] );
       ( "edges",
         [ Alcotest.test_case "garbage rejected" `Quick test_decode_garbage;
           Alcotest.test_case "u32/i64 boundaries" `Quick test_u32_boundaries;

@@ -230,6 +230,25 @@ let test_checkpoints_advance_watermark () =
   let r = (Core.Runner.replicas t).(0) in
   checkb "lw advanced by checkpoints" true (Core.Replica.low_watermark r > 0)
 
+let test_notar_cache_bounded () =
+  (* The verified-notarization cache is the one table-shaped memo in the
+     replica; view changes feed it, and the cap must hold afterwards. *)
+  let cfg = small_cfg ~n:4 ~view_timeout:(Sim_time.s 1) () in
+  let t =
+    Core.Runner.create
+      (run_spec ~duration:20 ~load_until:8 ~stop_leader_at:(Sim_time.s 4)
+         ~client_resend_timeout:(Sim_time.s 1) cfg)
+  in
+  Core.Runner.run_until t (Sim_time.s 20);
+  let seen = ref 0 in
+  Array.iter
+    (fun r ->
+      let len = Core.Replica.notar_cache_len r in
+      seen := !seen + len;
+      checkb "notar cache within cap" true (len <= Core.Replica.notar_cache_cap))
+    (Core.Runner.replicas t);
+  checkb "view change exercised the cache" true (!seen > 0)
+
 let test_state_hash_agreement () =
   let cfg = small_cfg ~n:4 () in
   let t = Core.Runner.create (run_spec cfg) in
@@ -418,5 +437,6 @@ let () =
         [ Alcotest.test_case "watermarks bound parallelism" `Quick test_watermarks_bound_parallelism;
           Alcotest.test_case "checkpoints advance lw" `Quick test_checkpoints_advance_watermark;
           Alcotest.test_case "state hash agreement" `Quick test_state_hash_agreement;
+          Alcotest.test_case "notar cache bounded" `Quick test_notar_cache_bounded;
           Alcotest.test_case "leader excluded from datablocks" `Quick
             test_datablock_generation_excludes_leader ] ) ]

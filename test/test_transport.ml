@@ -1,0 +1,248 @@
+(* Transport stack tests: the frame layer bit-for-bit, the select loop's
+   timer semantics, and n = 4 clusters over real loopback TCP — including
+   the acceptance scenarios: >= 1000 requests confirmed with identical
+   state hashes, and a fail-stopped non-leader that the cluster survives
+   and that reconnects after revival. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let to_hex s =
+  String.concat "" (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+(* -- frame golden bytes -------------------------------------------------- *)
+
+let test_frame_hello_golden () =
+  (* magic "LPRD", version 1 (u16 LE), kind 0, len 4, node id 3 (u32 LE) *)
+  checks "hello frame" "4c5052440100000400000003000000" (to_hex (Transport.Frame.encode_hello 3))
+
+let test_frame_msg_golden () =
+  (* Header (kind 1, len 37) + the codec's frozen Fetch bytes: the frame
+     layer adds exactly 11 bytes and never rewrites the payload. *)
+  checks "msg frame"
+    ("4c50524401000125000000"
+    ^ "0b20000000ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad")
+    (to_hex (Transport.Frame.encode_msg (Core.Msg.Fetch { hash = Crypto.Hash.of_string "abc" })))
+
+(* -- frame incremental decoding ----------------------------------------- *)
+
+let feed_string r s k =
+  Transport.Frame.feed r (Bytes.of_string s) ~off:0 ~len:(String.length s) k
+
+let collect_frames feeds =
+  let r = Transport.Frame.reader () in
+  let acc = ref [] in
+  let res =
+    List.fold_left
+      (fun last s -> match last with Error _ -> last | Ok () -> feed_string r s (fun f -> acc := f :: !acc))
+      (Ok ()) feeds
+  in
+  (res, List.rev !acc, r)
+
+let test_frame_byte_at_a_time () =
+  let wire =
+    Transport.Frame.encode_hello 2
+    ^ Transport.Frame.encode_msg (Core.Msg.Fetch { hash = Crypto.Hash.of_string "x" })
+  in
+  let bytes = List.init (String.length wire) (fun i -> String.make 1 wire.[i]) in
+  let res, frames, r = collect_frames bytes in
+  checkb "no error" true (res = Ok ());
+  checki "two frames" 2 (List.length frames);
+  (match frames with
+  | [ Transport.Frame.Hello 2; Transport.Frame.Msg (Core.Msg.Fetch _) ] -> ()
+  | _ -> Alcotest.fail "wrong frames or order");
+  checkb "clean eof" true (Transport.Frame.check_eof r = Ok ())
+
+let test_frame_coalesced () =
+  let wire =
+    Transport.Frame.encode_hello 0
+    ^ Transport.Frame.encode_hello 1
+    ^ Transport.Frame.encode_hello 2
+  in
+  let res, frames, _ = collect_frames [ wire ] in
+  checkb "no error" true (res = Ok ());
+  checkb "three hellos in order" true
+    (frames = [ Transport.Frame.Hello 0; Transport.Frame.Hello 1; Transport.Frame.Hello 2 ])
+
+let test_frame_short_read () =
+  let wire = Transport.Frame.encode_hello 7 in
+  let partial = String.sub wire 0 (String.length wire - 1) in
+  let res, frames, r = collect_frames [ partial ] in
+  checkb "partial frame is not an error" true (res = Ok ());
+  checki "nothing parsed" 0 (List.length frames);
+  checkb "eof mid-frame is" true
+    (Transport.Frame.check_eof r = Error Transport.Frame.Short_read)
+
+let header ~version ~kind ~len =
+  let b = Buffer.create 11 in
+  Buffer.add_string b Transport.Frame.magic;
+  Buffer.add_uint16_le b version;
+  Buffer.add_uint8 b kind;
+  Buffer.add_int32_le b (Int32.of_int len);
+  Buffer.contents b
+
+let test_frame_errors () =
+  (* Bad magic. *)
+  let res, _, r = collect_frames [ "XXXXXXXXXXXXXXXX" ] in
+  checkb "bad magic" true (res = Error Transport.Frame.Bad_magic);
+  (* ... poisons the reader: the same error again, parsing never resumes. *)
+  checkb "poisoned" true
+    (feed_string r (Transport.Frame.encode_hello 1) (fun _ -> ())
+    = Error Transport.Frame.Bad_magic);
+  (* Wrong protocol version. *)
+  let res, _, _ = collect_frames [ header ~version:2 ~kind:0 ~len:4 ^ "aaaa" ] in
+  checkb "bad version" true (res = Error (Transport.Frame.Bad_version 2));
+  (* Declared length beyond the cap is rejected before buffering. *)
+  let r = Transport.Frame.reader ~max_frame:16 () in
+  checkb "oversized" true
+    (feed_string r (header ~version:1 ~kind:1 ~len:1000) (fun _ -> ())
+    = Error (Transport.Frame.Oversized 1000));
+  (* Well-framed payload the codec rejects. *)
+  let res, _, _ = collect_frames [ header ~version:1 ~kind:1 ~len:4 ^ "\xff\xff\xff\xff" ] in
+  checkb "undecodable msg" true (res = Error Transport.Frame.Decode_failed);
+  (* A hello payload must be exactly 4 bytes. *)
+  let res, _, _ = collect_frames [ header ~version:1 ~kind:0 ~len:5 ^ "aaaaa" ] in
+  checkb "malformed hello" true (res = Error Transport.Frame.Decode_failed);
+  (* Unknown frame kind. *)
+  let res, _, _ = collect_frames [ header ~version:1 ~kind:9 ~len:0 ] in
+  checkb "unknown kind" true (res = Error Transport.Frame.Decode_failed)
+
+(* -- event loop ---------------------------------------------------------- *)
+
+let test_loop_timer_fifo () =
+  let loop = Transport.Loop.create () in
+  let order = ref [] in
+  let note x = order := x :: !order in
+  ignore (Transport.Loop.schedule loop ~delay:0L (fun () -> note 1) : Transport.Loop.handle);
+  ignore (Transport.Loop.schedule loop ~delay:0L (fun () -> note 2) : Transport.Loop.handle);
+  ignore (Transport.Loop.schedule loop ~delay:0L (fun () -> note 3) : Transport.Loop.handle);
+  ignore
+    (Transport.Loop.schedule loop ~delay:(Sim.Sim_time.ms 2) (fun () -> note 4)
+      : Transport.Loop.handle);
+  Transport.Loop.run_for loop ~span:(Sim.Sim_time.ms 20);
+  checkb "same-instant timers fire in schedule order, later timers after" true
+    (List.rev !order = [ 1; 2; 3; 4 ])
+
+let test_loop_cancel () =
+  let loop = Transport.Loop.create () in
+  let fired = ref [] in
+  let h1 = Transport.Loop.schedule loop ~delay:(Sim.Sim_time.ms 1) (fun () -> fired := 1 :: !fired) in
+  let _h2 =
+    Transport.Loop.schedule loop ~delay:(Sim.Sim_time.ms 1) (fun () -> fired := 2 :: !fired)
+  in
+  Transport.Loop.cancel loop h1;
+  checki "cancelled timer leaves the pending count" 1 (Transport.Loop.pending_timers loop);
+  Transport.Loop.run_for loop ~span:(Sim.Sim_time.ms 20);
+  checkb "only the live timer fired" true (!fired = [ 2 ]);
+  checki "nothing pending" 0 (Transport.Loop.pending_timers loop);
+  (* Cancelling after the fact is a no-op (at worst a parked entry). *)
+  Transport.Loop.cancel loop h1;
+  checki "still nothing pending" 0 (Transport.Loop.pending_timers loop)
+
+let test_loop_schedule_from_callback () =
+  let loop = Transport.Loop.create () in
+  let hits = ref 0 in
+  ignore
+    (Transport.Loop.schedule loop ~delay:0L (fun () ->
+         incr hits;
+         ignore (Transport.Loop.schedule loop ~delay:0L (fun () -> incr hits)
+                  : Transport.Loop.handle))
+      : Transport.Loop.handle);
+  Transport.Loop.run_for loop ~span:(Sim.Sim_time.ms 20);
+  checki "chained zero-delay timers both ran" 2 !hits;
+  checkb "clock is monotone" true (Transport.Loop.now_ns loop >= 0)
+
+(* -- real-TCP clusters --------------------------------------------------- *)
+
+(* Small batches and snappy timers: commits every few tens of
+   milliseconds at modest load. The view timeout is set far beyond the
+   test's wall clock so view changes never race a short run (the leader
+   stays up in both scenarios; faults here target the transport, not the
+   view-change protocol, which the sim suite covers). *)
+let tcp_cfg () =
+  Core.Config.make ~n:4 ~alpha:10 ~bft_size:2 ~k:16 ~payload:64
+    ~datablock_timeout:(Sim.Sim_time.ms 20) ~proposal_timeout:(Sim.Sim_time.ms 20)
+    ~view_timeout:(Sim.Sim_time.s 120) ~fetch_grace:(Sim.Sim_time.ms 200)
+    ~cost:Crypto.Cost_model.free ()
+
+let test_tcp_cluster_commits_and_converges () =
+  let r =
+    Transport.Cluster.run ~cfg:(tcp_cfg ()) ~load:2000. ~duration:(Sim.Sim_time.s 25)
+      ~drain:(Sim.Sim_time.s 10) ~min_confirmed:1200 ()
+  in
+  checkb "confirmed >= 1000 requests" true (r.Transport.Cluster.confirmed >= 1000);
+  checkb "well within the 30 s budget" true (r.Transport.Cluster.wall_sec < 25.);
+  checkb "honest replicas reached one state hash" true r.Transport.Cluster.converged;
+  checkb "ledgers agree position-wise" true r.Transport.Cluster.ledgers_agree;
+  (match r.Transport.Cluster.state_hashes with
+  | (_, h) :: rest ->
+    checkb "state hashes literally equal" true
+      (List.for_all (fun (_, h') -> Crypto.Hash.equal h h') rest)
+  | [] -> Alcotest.fail "no state hashes")
+
+let run_until_or_deadline cluster ~deadline_ns pred =
+  Transport.Cluster.run_while cluster (fun c ->
+      Transport.Loop.now_ns (Transport.Cluster.loop c) < deadline_ns && not (pred c));
+  pred cluster
+
+let test_tcp_cluster_survives_fault_and_reconnects () =
+  let cfg = tcp_cfg () in
+  let cluster = Transport.Cluster.create ~cfg ~load:2000. () in
+  let loop = Transport.Cluster.loop cluster in
+  let leader = Core.Config.leader_of_view cfg 1 in
+  let victim = (leader + 1) mod 4 in
+  Transport.Cluster.start_load cluster;
+  let ok =
+    run_until_or_deadline cluster
+      ~deadline_ns:(Transport.Loop.now_ns loop + 15_000_000_000)
+      (fun c -> Transport.Cluster.confirmed c >= 300)
+  in
+  checkb "cluster commits before the fault" true ok;
+  (* Kill a non-leader mid-run: its sockets close, peers see EOF. *)
+  Transport.Cluster.set_replica_down cluster victim true;
+  let base = Transport.Cluster.confirmed cluster in
+  let ok =
+    run_until_or_deadline cluster
+      ~deadline_ns:(Transport.Loop.now_ns loop + 15_000_000_000)
+      (fun c -> Transport.Cluster.confirmed c >= base + 300)
+  in
+  checkb "cluster keeps committing with a replica down (n=4 tolerates f=1)" true ok;
+  (* Revive: peers' capped-backoff redials and the victim's own dials
+     must knit it back into the mesh. *)
+  Transport.Cluster.set_replica_down cluster victim false;
+  let victim_conn = Transport.Runtime.conn (Transport.Cluster.nodes cluster).(victim) in
+  let ok =
+    run_until_or_deadline cluster
+      ~deadline_ns:(Transport.Loop.now_ns loop + 15_000_000_000)
+      (fun _ -> Transport.Conn.live_connections victim_conn > 0)
+  in
+  checkb "revived replica reconnected via backoff" true ok;
+  Transport.Cluster.stop_load cluster;
+  let ok =
+    run_until_or_deadline cluster
+      ~deadline_ns:(Transport.Loop.now_ns loop + 20_000_000_000)
+      Transport.Cluster.state_converged
+  in
+  checkb "revived replica caught back up to the common state" true ok;
+  checkb "ledgers agree after the fault" true (Transport.Cluster.ledgers_agree cluster);
+  Transport.Cluster.close cluster
+
+let () =
+  Alcotest.run "transport"
+    [ ( "frame",
+        [ Alcotest.test_case "hello golden bytes" `Quick test_frame_hello_golden;
+          Alcotest.test_case "msg golden bytes" `Quick test_frame_msg_golden;
+          Alcotest.test_case "byte-at-a-time feed" `Quick test_frame_byte_at_a_time;
+          Alcotest.test_case "coalesced feed" `Quick test_frame_coalesced;
+          Alcotest.test_case "short read at eof" `Quick test_frame_short_read;
+          Alcotest.test_case "error taxonomy & poisoning" `Quick test_frame_errors ] );
+      ( "loop",
+        [ Alcotest.test_case "same-instant FIFO" `Quick test_loop_timer_fifo;
+          Alcotest.test_case "cancel" `Quick test_loop_cancel;
+          Alcotest.test_case "schedule from callback" `Quick test_loop_schedule_from_callback ] );
+      ( "tcp cluster",
+        [ Alcotest.test_case "commits & state-hash agreement" `Quick
+            test_tcp_cluster_commits_and_converges;
+          Alcotest.test_case "fault: kill, survive, reconnect" `Quick
+            test_tcp_cluster_survives_fault_and_reconnects ] ) ]
