@@ -1,16 +1,29 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: check ci build test bench bench-fast bench-micro bench-macro clean
+.PHONY: check ci fmt fmt-check chaos build test bench bench-fast bench-micro bench-macro clean
 
 check: ## build + full test suite (tier-1 gate)
 	dune build && dune runtest
 
-ci: ## the full gate: build, tests, perf regressions, TCP smoke test
-	dune build && dune runtest
-	dune exec bench/main.exe -- --only micro --fast --check-regressions
-	dune exec bench/main.exe -- --only macro --fast --check-regressions
-	dune exec bin/leopard_cli.exe -- local-cluster -n 4 --load 2000 --duration 3 \
-	  --min-confirmed 1000 --drain 10
+ci: ## the full gate: fmt, build, tests, perf regressions, TCP smoke, chaos corpus
+	bash scripts/ci.sh
+
+fmt: ## rewrite sources with the pinned ocamlformat (no-op if not installed)
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt --auto-promote; \
+	else \
+	  echo "ocamlformat not installed; skipping (CI enforces the pinned version)"; \
+	fi
+
+fmt-check: ## fail if sources disagree with the pinned ocamlformat
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping (CI enforces the pinned version)"; \
+	fi
+
+chaos: ## deterministic fault-injection corpus on both planes
+	dune exec bin/leopard_cli.exe -- chaos --trace-dir _chaos
 
 build:
 	dune build

@@ -110,6 +110,11 @@ let write_baseline path rows =
   output_string oc "  ]\n}\n";
   close_out oc
 
+(* Scanf.sscanf_opt is 5.0-only; the CI matrix still builds on 4.14. *)
+let sscanf_opt line fmt f =
+  try Some (Scanf.sscanf line fmt f)
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
 let read_baseline path =
   if not (Sys.file_exists path) then None
   else begin
@@ -124,7 +129,7 @@ let read_baseline path =
            else line
          in
          match
-           Scanf.sscanf_opt line
+           sscanf_opt line
              "{\"n\": %d, \"sim_s\": %f, \"wall_s\": %f, \"events\": %d, \
               \"events_per_s\": %f, \"minor_words_per_event\": %f, \
               \"delivered_msgs\": %d, \"minor_words_per_msg\": %f, \"confirmed\": %d}"
@@ -173,8 +178,9 @@ let check_regressions ~baseline rows =
         | Some b ->
           let gate what current base =
             if base > 0. && current > regression_factor *. base then
-              [ Printf.sprintf "n=%d %s: %.2f vs baseline %.2f (%.1fx)" r.n what current base
-                  (current /. base) ]
+              [ ( Printf.sprintf "n=%d %s: %.2f vs baseline %.2f (%.1fx)" r.n what current
+                    base (current /. base),
+                  (Printf.sprintf "n=%d %s" r.n what, current /. base) ) ]
             else []
           in
           gate "wall_s" r.wall_s b.wall_s
@@ -183,10 +189,17 @@ let check_regressions ~baseline rows =
   in
   match failures with
   | [] ->
-    Harness.say "no regressions > %.1fx against %s" regression_factor baseline_file;
+    Harness.say "macro: PASS no regressions > %.1fx against %s" regression_factor baseline_file;
     true
   | fs ->
-    List.iter (fun f -> Harness.say "REGRESSION %s" f) fs;
+    List.iter (fun (f, _) -> Harness.say "REGRESSION %s" f) fs;
+    let worst_name, worst_factor =
+      List.fold_left
+        (fun ((_, wf) as acc) (_, (name, f)) -> if f > wf then (name, f) else acc)
+        ("", 0.) fs
+    in
+    Harness.say "macro: FAIL %d gate(s) exceeded %.1fx vs %s (worst %s %.1fx)" (List.length fs)
+      regression_factor baseline_file worst_name worst_factor;
     false
 
 let run ~fast ~check =

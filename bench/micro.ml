@@ -143,6 +143,11 @@ let write_baseline path results =
 (* Reads exactly the shape [write_baseline] produces: one benchmark per
    line. Unparseable lines are skipped, so the file tolerates hand edits
    to the header fields. *)
+(* Scanf.sscanf_opt is 5.0-only; the CI matrix still builds on 4.14. *)
+let sscanf_opt line fmt f =
+  try Some (Scanf.sscanf line fmt f)
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
 let read_baseline path =
   if not (Sys.file_exists path) then None
   else begin
@@ -157,7 +162,7 @@ let read_baseline path =
            else line
          in
          match
-           Scanf.sscanf_opt line
+           sscanf_opt line
              "{\"name\": %S, \"ns_per_op\": %f, \"mb_per_s\": %f, \"minor_words_per_op\": %f}"
              (fun name ns mb words ->
                { name; ns_per_op = ns; mb_per_s = mb; minor_words_per_op = words })
@@ -192,18 +197,28 @@ let check_regressions ~baseline results =
       (fun r ->
         match List.find_opt (fun b -> b.name = r.name) baseline with
         | Some b when r.ns_per_op > regression_factor *. b.ns_per_op ->
+          let factor = r.ns_per_op /. b.ns_per_op in
           Some
-            (Printf.sprintf "%s: %.1f ns/op vs baseline %.1f ns/op (%.1fx)" r.name r.ns_per_op
-               b.ns_per_op (r.ns_per_op /. b.ns_per_op))
+            ( Printf.sprintf "%s: %.1f ns/op vs baseline %.1f ns/op (%.1fx)" r.name r.ns_per_op
+                b.ns_per_op factor,
+              (r.name, factor) )
         | _ -> None)
       results
   in
   match failures with
   | [] ->
-    Harness.say "no regressions > %.1fx against %s" regression_factor baseline_file;
+    Harness.say "micro: PASS no regressions > %.1fx against %s" regression_factor baseline_file;
     true
   | fs ->
-    List.iter (fun f -> Harness.say "REGRESSION %s" f) fs;
+    List.iter (fun (f, _) -> Harness.say "REGRESSION %s" f) fs;
+    let worst_name, worst_factor =
+      List.fold_left
+        (fun ((_, wf) as acc) (_, (name, f)) -> if f > wf then (name, f) else acc)
+        ("", 0.) fs
+    in
+    Harness.say "micro: FAIL %d/%d benchmarks regressed beyond %.1fx vs %s (worst %s %.1fx)"
+      (List.length fs) (List.length results) regression_factor baseline_file worst_name
+      worst_factor;
     false
 
 let run ~fast ~check =

@@ -132,6 +132,66 @@ let local_cluster_run n load duration drain alpha bft_size payload db_timeout pr
   if r.Transport.Cluster.ledgers_agree then `Ok ()
   else `Error (false, "honest ledgers diverged")
 
+(* ---------------- chaos (fault-injection corpus) ---------------- *)
+
+let write_chaos_trace dir (o : Faults.Oracle.outcome) =
+  (try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let file =
+    Filename.concat dir
+      (Printf.sprintf "%s-%s-n%d.trace" o.Faults.Oracle.plane
+         o.Faults.Oracle.scenario.Faults.Scenario.name
+         o.Faults.Oracle.scenario.Faults.Scenario.n)
+  in
+  let oc = open_out file in
+  output_string oc o.Faults.Oracle.trace;
+  close_out oc;
+  file
+
+let chaos_run list_only scenario plane sim_ns tcp_n seed trace_dir keep_traces fast =
+  if list_only then begin
+    List.iter
+      (fun b -> Format.printf "%a@." Faults.Scenario.pp (b ~n:4))
+      Faults.Corpus.all;
+    `Ok ()
+  end
+  else
+    match
+      match scenario with
+      | None -> Some Faults.Corpus.all
+      | Some name -> Option.map (fun b -> [ b ]) (Faults.Corpus.find name)
+    with
+    | None ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown scenario (try --list); known: %s"
+            (String.concat ", " Faults.Corpus.names) )
+    | Some builders ->
+      let sim_ns = if fast then [ 4 ] else sim_ns in
+      let outcomes = ref [] in
+      let record o =
+        outcomes := o :: !outcomes;
+        let failed = not (Faults.Oracle.outcome_ok o) in
+        (* failing runs always leave their trace behind as the repro
+           artifact; --keep-traces keeps the passing ones too *)
+        if failed || keep_traces then begin
+          let file = write_chaos_trace trace_dir o in
+          Format.printf "%a@.  trace -> %s@." Faults.Oracle.pp_outcome o file
+        end
+        else Format.printf "%a@." Faults.Oracle.pp_outcome o
+      in
+      if plane = "sim" || plane = "both" then
+        List.iter
+          (fun n ->
+            List.iter (fun b -> record (Faults.Sim_plane.run ~seed (b ~n))) builders)
+          sim_ns;
+      if plane = "tcp" || plane = "both" then
+        List.iter (fun b -> record (Faults.Tcp_plane.run ~seed (b ~n:tcp_n))) builders;
+      let outcomes = List.rev !outcomes in
+      Format.printf "@.%a@." Faults.Oracle.pp_outcomes outcomes;
+      if List.for_all Faults.Oracle.outcome_ok outcomes then `Ok ()
+      else `Error (false, "chaos scenario failed its oracle")
+
 (* ---------------- hotstuff ---------------- *)
 
 let hotstuff_run n load duration warmup batch payload seed bandwidth_mbps =
@@ -286,6 +346,45 @@ let local_cluster_cmd =
         $ db_timeout $ prop_timeout $ min_confirmed $ kill $ kill_at $ revive_at
         $ trace_out_arg))
 
+let chaos_cmd =
+  let list_only =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the scenario corpus and exit.")
+  in
+  let scenario =
+    Arg.(value & opt (some string) None
+         & info [ "scenario" ] ~doc:"Run a single scenario by name (default: whole corpus).")
+  in
+  let plane =
+    Arg.(value & opt (enum [ ("sim", "sim"); ("tcp", "tcp"); ("both", "both") ]) "both"
+         & info [ "plane" ] ~doc:"Which plane to run: $(b,sim), $(b,tcp) or $(b,both).")
+  in
+  let sim_ns =
+    Arg.(value & opt (list int) [ 4; 16; 64 ]
+         & info [ "sim-ns" ] ~doc:"Cluster sizes for the sim plane (comma-separated).")
+  in
+  let tcp_n =
+    Arg.(value & opt int 4 & info [ "tcp-n" ] ~doc:"Cluster size for the TCP plane.")
+  in
+  let trace_dir =
+    Arg.(value & opt string "_chaos"
+         & info [ "trace-dir" ] ~doc:"Where failing-scenario traces are written.")
+  in
+  let keep_traces =
+    Arg.(value & flag
+         & info [ "keep-traces" ] ~doc:"Also write traces of passing scenarios.")
+  in
+  let fast =
+    Arg.(value & flag & info [ "fast" ] ~doc:"Sim plane at n=4 only (quick gate).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the deterministic fault-injection corpus (crashes, partitions, slow/silent/equivocating leaders) and check the safety/liveness oracles")
+    Term.(
+      ret
+        (const chaos_run $ list_only $ scenario $ plane $ sim_ns $ tcp_n $ seed_arg
+        $ trace_dir $ keep_traces $ fast))
+
 let hotstuff_cmd =
   let batch = Arg.(value & opt int 800 & info [ "batch" ] ~doc:"Requests per block.") in
   Cmd.v
@@ -324,4 +423,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; local_cluster_cmd; hotstuff_cmd; pbft_cmd; shard_cmd; sf_cmd ]))
+          [ run_cmd; local_cluster_cmd; chaos_cmd; hotstuff_cmd; pbft_cmd; shard_cmd;
+            sf_cmd ]))

@@ -153,6 +153,58 @@ let wire_size = function
     header_bytes + sig_bytes + List.fold_left (fun acc vc -> acc + view_change_size vc) 0 nv.nv_vcs
   | Fetch _ -> header_bytes + hash_bytes
 
+type kind =
+  | K_datablock
+  | K_propose
+  | K_prepare_vote
+  | K_notarization
+  | K_commit_vote
+  | K_confirmation
+  | K_checkpoint_vote
+  | K_checkpoint_cert
+  | K_timeout
+  | K_view_change
+  | K_new_view
+  | K_fetch
+  | K_fetch_reply
+
+let kind = function
+  | Datablock_msg _ -> K_datablock
+  | Propose _ -> K_propose
+  | Prepare_vote _ -> K_prepare_vote
+  | Notarization _ -> K_notarization
+  | Commit_vote _ -> K_commit_vote
+  | Confirmation _ -> K_confirmation
+  | Checkpoint_vote _ -> K_checkpoint_vote
+  | Checkpoint_cert_msg _ -> K_checkpoint_cert
+  | Timeout _ -> K_timeout
+  | View_change_msg _ -> K_view_change
+  | New_view_msg _ -> K_new_view
+  | Fetch _ -> K_fetch
+  | Fetch_reply _ -> K_fetch_reply
+
+let kind_name = function
+  | K_datablock -> "datablock"
+  | K_propose -> "propose"
+  | K_prepare_vote -> "prepare-vote"
+  | K_notarization -> "notarization"
+  | K_commit_vote -> "commit-vote"
+  | K_confirmation -> "confirmation"
+  | K_checkpoint_vote -> "checkpoint-vote"
+  | K_checkpoint_cert -> "checkpoint-cert"
+  | K_timeout -> "timeout"
+  | K_view_change -> "view-change"
+  | K_new_view -> "new-view"
+  | K_fetch -> "fetch"
+  | K_fetch_reply -> "fetch-reply"
+
+let all_kinds =
+  [ K_datablock; K_propose; K_prepare_vote; K_notarization; K_commit_vote;
+    K_confirmation; K_checkpoint_vote; K_checkpoint_cert; K_timeout;
+    K_view_change; K_new_view; K_fetch; K_fetch_reply ]
+
+let kind_of_name name = List.find_opt (fun k -> kind_name k = name) all_kinds
+
 let category = function
   | Datablock_msg _ | Fetch_reply _ -> "datablock"
   | Propose _ -> "proposal"

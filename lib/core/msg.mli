@@ -89,6 +89,36 @@ val timeout_payload : view:int -> string
 val view_change_payload : view_change -> string
 val new_view_payload : new_view -> string
 
+(** {2 Message kinds}
+
+    A first-class enumeration of the constructors, for code that filters
+    messages without inspecting payloads (the fault injector's
+    drop/delay/duplicate rules select by kind). *)
+
+type kind =
+  | K_datablock
+  | K_propose
+  | K_prepare_vote
+  | K_notarization
+  | K_commit_vote
+  | K_confirmation
+  | K_checkpoint_vote
+  | K_checkpoint_cert
+  | K_timeout
+  | K_view_change
+  | K_new_view
+  | K_fetch
+  | K_fetch_reply
+
+val kind : t -> kind
+
+val kind_name : kind -> string
+(** Stable lowercase name (["prepare-vote"], ["new-view"], …), used in
+    traces and the chaos CLI. *)
+
+val kind_of_name : string -> kind option
+val all_kinds : kind list
+
 (** {2 Network metadata} *)
 
 val wire_size : t -> int

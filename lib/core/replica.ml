@@ -197,8 +197,12 @@ let sign_and_send_datablock t batches =
       end)
 
 (* The equivocation attack: two different datablocks under one counter.
-   Halves of the replica set receive different variants; the leader gets
-   both, so the duplicate-counter check catches it there. *)
+   Halves of the replica set receive different variants; one witness gets
+   both, so the duplicate-counter check catches it there. The witness is
+   the current leader (whose pool every datablock must reach to be
+   proposed) — unless the equivocator IS the leader, in which case both
+   variants go to its successor, the replica that would audit the pool
+   after a view change. *)
 let equivocate_datablocks t batches_a batches_b =
   let counter = t.db_counter in
   t.db_counter <- counter + 1;
@@ -206,9 +210,12 @@ let equivocate_datablocks t batches_a batches_b =
   let db = Datablock.create ~sk:t.sk ~creator:t.id ~counter ~now:(now t) batches_b in
   let n = t.platform.Platform.n in
   let leader = leader_of t t.view in
+  let witness =
+    if Net.Node_id.equal t.id leader then leader_of t (t.view + 1) else leader
+  in
   for dst = 0 to n - 1 do
     if not (Net.Node_id.equal dst t.id) then
-      if Net.Node_id.equal dst leader then begin
+      if Net.Node_id.equal dst witness then begin
         send t ~dst (Msg.Datablock_msg da);
         send t ~dst (Msg.Datablock_msg db)
       end

@@ -1,0 +1,111 @@
+open Scenario
+
+let leader : Net.Node_id.t = 1
+
+let fault_bound n = (n - 1) / 3
+
+(* Non-leader ids in ascending order: 0, 2, 3, … *)
+let non_leaders n =
+  List.filter (fun id -> id <> leader) (List.init n Fun.id)
+
+let s = Sim.Sim_time.s
+let ms = Sim.Sim_time.ms
+
+let expect_vc = { no_expect with view_change = true }
+
+let leader_crash ~n =
+  make ~name:"leader-crash"
+    ~summary:"fail-stop the leader mid-serial; a view change elects a successor"
+    ~n
+    ~events:[ ev (s 3) (Crash leader); ev (s 9) (Revive leader) ]
+    ~settle:(s 12) ~expect:expect_vc ()
+
+let leader_crash_checkpoint ~n =
+  make ~name:"leader-crash-checkpoint"
+    ~summary:"crash the leader while checkpoints are in flight (interval 2)"
+    ~n ~checkpoint_interval:2
+    ~events:[ ev (s 3) (Crash leader); ev (s 9) (Revive leader) ]
+    ~settle:(s 12) ~expect:expect_vc ()
+
+let f_crashes ~n =
+  let victims =
+    List.filteri (fun i _ -> i < fault_bound n) (non_leaders n)
+  in
+  make ~name:"f-crashes"
+    ~summary:"f simultaneous non-leader crashes; the quorum carries on"
+    ~n
+    ~events:(List.map (fun id -> ev (s 3) (Crash id)) victims)
+    ~settle:(s 10) ()
+
+(* Minority side of the split: the leader plus the f - 1 highest ids
+   (never the next leader, replica 2). The cut is asymmetric — the
+   minority's outbound messages are dropped, its inbound delivered — so
+   the majority (exactly 2f + 1 replicas) sees a mute leader, changes
+   view among itself, and the minority still learns the new view. *)
+let partition_quorum ~n =
+  let f = fault_bound n in
+  let minority =
+    leader :: List.filteri (fun i _ -> i < f - 1)
+                (List.rev (non_leaders n))
+  in
+  make ~name:"partition-quorum"
+    ~summary:"asymmetric partition across the quorum boundary, leader on the small side"
+    ~n
+    ~events:
+      (List.map (fun id -> ev (ms 2500) (Drop (rule ~src:id ()))) minority
+      @ [ ev (s 9) Heal ])
+    ~settle:(s 12) ~expect:expect_vc ()
+
+let slow_leader ~n =
+  make ~name:"slow-leader"
+    ~summary:"delay every leader message past the view timeout; progress stalls until a view change"
+    ~n
+    ~events:
+      [ ev (ms 2500) (Delay (rule ~src:leader (), ms 2500)); ev (s 9) Heal ]
+    ~settle:(s 12) ~expect:expect_vc ()
+
+let silence_leader ~n =
+  make ~name:"silence-leader"
+    ~summary:"Byzantine leader sends nothing at all; the watchdog votes it out"
+    ~n
+    ~byzantine:[ (leader, Core.Byzantine.Silent) ]
+    ~settle:(s 14) ~expect:expect_vc ()
+
+let equivocating_leader ~n =
+  make ~name:"equivocating-leader"
+    ~summary:"leader emits conflicting datablocks under one counter; evidence is collected, safety holds"
+    ~n
+    ~byzantine:[ (leader, Core.Byzantine.Equivocate_datablocks) ]
+    ~leader_generates:true ~settle:(s 12)
+    ~expect:{ no_expect with equivocation = true } ()
+
+let lagging_replica ~n =
+  let victim = 0 in
+  make ~name:"lagging-replica"
+    ~summary:"isolate one replica past the watermark window; it must state-sync back"
+    ~n
+    ~events:[ ev (s 2) (Partition [ [ victim ] ]); ev (s 7) Heal ]
+    ~settle:(s 12)
+    ~expect:{ no_expect with state_sync = Some victim } ()
+
+let duplicate_storm ~n =
+  make ~name:"duplicate-storm"
+    ~summary:"deliver every message twice; dedup keeps safety and throughput"
+    ~n
+    ~events:[ ev (s 1) (Duplicate (rule ())); ev (s 6) Heal ]
+    ~settle:(s 8) ()
+
+let all =
+  [ (fun ~n -> leader_crash ~n);
+    (fun ~n -> leader_crash_checkpoint ~n);
+    (fun ~n -> f_crashes ~n);
+    (fun ~n -> partition_quorum ~n);
+    (fun ~n -> slow_leader ~n);
+    (fun ~n -> silence_leader ~n);
+    (fun ~n -> equivocating_leader ~n);
+    (fun ~n -> lagging_replica ~n);
+    (fun ~n -> duplicate_storm ~n) ]
+
+let names = List.map (fun b -> (b ~n:4).name) all
+
+let find name = List.find_opt (fun b -> (b ~n:4).name = name) all

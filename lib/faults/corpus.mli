@@ -1,0 +1,35 @@
+(** The shipped chaos-scenario corpus.
+
+    Every builder takes [n] (so one schedule instantiates at any scale)
+    and yields a {!Scenario.t} with concrete replica ids: the initial
+    leader is replica [1] ([Config.leader_of_view] for view 1), and
+    [f = (n - 1) / 3].
+
+    The corpus covers the adversity classes the paper's liveness story
+    depends on: leader crash mid-serial and during checkpointing, [f]
+    simultaneous crashes, an asymmetric partition across the quorum
+    boundary, a slow leader tripping the timeout/view-change path, a
+    silent and an equivocating Byzantine leader, a lagging replica
+    forced through state synchronization, and a duplicate storm. *)
+
+val leader : Net.Node_id.t
+(** The initial leader (view 1): replica [1]. *)
+
+val all : (n:int -> Scenario.t) list
+
+val names : string list
+(** In corpus order. *)
+
+val find : string -> (n:int -> Scenario.t) option
+
+(** Individual builders, for targeted tests. *)
+
+val leader_crash : n:int -> Scenario.t
+val leader_crash_checkpoint : n:int -> Scenario.t
+val f_crashes : n:int -> Scenario.t
+val partition_quorum : n:int -> Scenario.t
+val slow_leader : n:int -> Scenario.t
+val silence_leader : n:int -> Scenario.t
+val equivocating_leader : n:int -> Scenario.t
+val lagging_replica : n:int -> Scenario.t
+val duplicate_storm : n:int -> Scenario.t

@@ -1,0 +1,93 @@
+type check = { label : string; ok : bool; detail : string }
+
+type verdict = check list
+
+let ok v = List.for_all (fun c -> c.ok) v
+
+type outcome = {
+  scenario : Scenario.t;
+  plane : string;
+  seed : int64;
+  verdict : verdict;
+  confirmed_at_heal : int;
+  confirmed : int;
+  final_view : int;
+  view_changes : int;
+  equivocations : int;
+  wall_sec : float;
+  trace : string;
+}
+
+let outcome_ok o = ok o.verdict
+
+let evaluate ~(scenario : Scenario.t) ~safety ~confirmed_at_heal ~confirmed
+    ~final_view ~equivocations ~state_sync =
+  let checks =
+    [ { label = "safety";
+        ok = safety;
+        detail = "honest executed ledgers agree position-wise" };
+      { label = "liveness";
+        ok = confirmed > confirmed_at_heal;
+        detail =
+          Printf.sprintf "confirmed %d -> %d within the settle bound"
+            confirmed_at_heal confirmed } ]
+  in
+  let checks =
+    if scenario.expect.view_change then
+      checks
+      @ [ { label = "view-change";
+            ok = final_view >= 2;
+            detail = Printf.sprintf "final view %d (expected >= 2)" final_view } ]
+    else checks
+  in
+  let checks =
+    if scenario.expect.equivocation then
+      checks
+      @ [ { label = "equivocation-detected";
+            ok = equivocations > 0;
+            detail = Printf.sprintf "%d equivocation pairs collected" equivocations } ]
+    else checks
+  in
+  match scenario.expect.state_sync with
+  | None -> checks
+  | Some id ->
+    checks
+    @ [ { label = "state-sync";
+          ok = state_sync id;
+          detail =
+            Format.asprintf "replica %a back at the honest execution frontier"
+              Net.Node_id.pp id } ]
+
+(* Deterministic rendering of a run's trace: entry per line via
+   [Trace.pp_entry]. For same-seed sim runs the result is byte-identical,
+   which is what the replay test pins. *)
+let render_trace trace =
+  let buf = Buffer.create 65536 in
+  let fmt = Format.formatter_of_buffer buf in
+  List.iter
+    (fun e -> Format.fprintf fmt "%a@." Sim.Trace.pp_entry e)
+    (Sim.Trace.entries trace);
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let pp_check fmt c =
+  Format.fprintf fmt "%s %-22s %s" (if c.ok then "ok  " else "FAIL") c.label c.detail
+
+let pp_verdict fmt v =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_check fmt v
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "%s %-3s %-24s n=%-3d seed=%-4Ld v%d vc=%d conf=%d->%d eq=%d %.1fs"
+    (if outcome_ok o then "PASS" else "FAIL")
+    o.plane o.scenario.Scenario.name o.scenario.Scenario.n o.seed o.final_view
+    o.view_changes o.confirmed_at_heal o.confirmed o.equivocations o.wall_sec;
+  if not (outcome_ok o) then
+    List.iter
+      (fun c -> if not c.ok then Format.fprintf fmt "@,  FAIL %s: %s" c.label c.detail)
+      o.verdict
+
+let pp_outcomes fmt outcomes =
+  let passed = List.length (List.filter outcome_ok outcomes) in
+  Format.fprintf fmt "@[<v>%a@,%d/%d scenarios passed@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_outcome)
+    outcomes passed (List.length outcomes)

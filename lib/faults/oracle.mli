@@ -1,0 +1,64 @@
+(** Post-run invariant checking for chaos scenarios.
+
+    Two invariants are asserted after every run, on every plane:
+
+    - {b safety}: no conflicting commits at any serial — the honest
+      replicas' executed ledgers agree position-wise wherever they
+      overlap (Theorem 5.3);
+    - {b liveness}: commit progress resumes within the scenario's
+      settle bound after the last fault event — the confirmed-request
+      count measured at the end strictly exceeds the count at
+      {!Scenario.last_event_at}.
+
+    Scenario expectations add one-sided checks on top: a required view
+    change, required equivocation evidence, a lagging replica required
+    to state-sync back to the honest frontier. *)
+
+type check = { label : string; ok : bool; detail : string }
+
+type verdict = check list
+
+val ok : verdict -> bool
+
+(** Everything a plane measured about one run; the oracle's verdict plus
+    the raw numbers and the rendered trace (byte-identical across
+    same-seed sim runs). *)
+type outcome = {
+  scenario : Scenario.t;
+  plane : string;  (** ["sim"] or ["tcp"] *)
+  seed : int64;
+  verdict : verdict;
+  confirmed_at_heal : int;  (** confirmed when the last event fired *)
+  confirmed : int;          (** confirmed at the end of the run *)
+  final_view : int;
+  view_changes : int;
+  equivocations : int;
+  wall_sec : float;
+  trace : string;
+}
+
+val outcome_ok : outcome -> bool
+
+val evaluate :
+  scenario:Scenario.t ->
+  safety:bool ->
+  confirmed_at_heal:int ->
+  confirmed:int ->
+  final_view:int ->
+  equivocations:int ->
+  state_sync:(Net.Node_id.t -> bool) ->
+  verdict
+(** Builds the verdict: the two standing invariants plus whichever
+    expectations the scenario declares. [state_sync id] must say whether
+    replica [id] has rejoined the honest execution frontier. *)
+
+val render_trace : Sim.Trace.t -> string
+(** One {!Sim.Trace.pp_entry} line per entry; the byte-identical-replay
+    artifact for sim runs. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+(** One line: [PASS sim leader-crash n=4 ...] plus failing checks. *)
+
+val pp_outcomes : Format.formatter -> outcome list -> unit
+(** The corpus summary table. *)

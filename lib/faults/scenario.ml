@@ -1,0 +1,92 @@
+type rule = {
+  src : Net.Node_id.t option;
+  dst : Net.Node_id.t option;
+  kinds : Core.Msg.kind list option;
+  prob : float;
+}
+
+let rule ?src ?dst ?kinds ?(prob = 1.0) () = { src; dst; kinds; prob }
+
+type action =
+  | Crash of Net.Node_id.t
+  | Revive of Net.Node_id.t
+  | Partition of Net.Node_id.t list list
+  | Heal
+  | Drop of rule
+  | Delay of rule * Sim.Sim_time.span
+  | Duplicate of rule
+
+type event = { at : Sim.Sim_time.span; action : action }
+
+let ev at action = { at; action }
+
+type expect = {
+  view_change : bool;
+  equivocation : bool;
+  state_sync : Net.Node_id.t option;
+}
+
+let no_expect = { view_change = false; equivocation = false; state_sync = None }
+
+type t = {
+  name : string;
+  summary : string;
+  n : int;
+  byzantine : (Net.Node_id.t * Core.Byzantine.t) list;
+  leader_generates : bool;
+  checkpoint_interval : int option;
+  events : event list;
+  settle : Sim.Sim_time.span;
+  expect : expect;
+}
+
+let make ~name ~summary ~n ?(byzantine = []) ?(leader_generates = false)
+    ?checkpoint_interval ?(events = []) ?(settle = Sim.Sim_time.s 12)
+    ?(expect = no_expect) () =
+  { name; summary; n; byzantine; leader_generates; checkpoint_interval; events;
+    settle; expect }
+
+let last_event_at t =
+  List.fold_left (fun acc e -> Int64.max acc e.at) 0L t.events
+
+let duration t = Sim.Sim_time.(last_event_at t + t.settle)
+
+let pp_ids fmt ids =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+       Net.Node_id.pp)
+    ids
+
+let pp_rule fmt r =
+  let pp_end fmt = function
+    | None -> Format.pp_print_string fmt "*"
+    | Some id -> Net.Node_id.pp fmt id
+  in
+  Format.fprintf fmt "%a->%a" pp_end r.src pp_end r.dst;
+  (match r.kinds with
+  | None -> ()
+  | Some ks ->
+    Format.fprintf fmt " kinds=%a"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+         (fun fmt k -> Format.pp_print_string fmt (Core.Msg.kind_name k)))
+      ks);
+  if r.prob < 1.0 then Format.fprintf fmt " p=%.2f" r.prob
+
+let pp_action fmt = function
+  | Crash id -> Format.fprintf fmt "crash %a" Net.Node_id.pp id
+  | Revive id -> Format.fprintf fmt "revive %a" Net.Node_id.pp id
+  | Partition groups ->
+    Format.fprintf fmt "partition %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "|")
+         pp_ids)
+      groups
+  | Heal -> Format.pp_print_string fmt "heal"
+  | Drop r -> Format.fprintf fmt "drop %a" pp_rule r
+  | Delay (r, d) ->
+    Format.fprintf fmt "delay %a by %.3fs" pp_rule r (Sim.Sim_time.to_sec d)
+  | Duplicate r -> Format.fprintf fmt "duplicate %a" pp_rule r
+
+let pp fmt t = Format.fprintf fmt "%s @ n=%d: %s" t.name t.n t.summary

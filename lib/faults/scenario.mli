@@ -1,0 +1,107 @@
+(** The declarative fault-schedule DSL.
+
+    A scenario is a named, fixed-size ([n]) schedule of timed fault
+    events plus the invariants the run must uphold ({!expect}); together
+    with an RNG seed it fully determines a chaos run on either plane —
+    re-running [(seed, scenario)] in the simulator yields a
+    byte-identical trace (see [Sim_plane]).
+
+    Grammar (see DESIGN.md §9):
+    {v
+      scenario := name summary n byzantine* tweak* event* settle expect
+      event    := at action
+      action   := Crash id | Revive id
+                | Partition [[ids];[ids];…] | Heal
+                | Drop rule | Delay (rule, span) | Duplicate rule
+      rule     := src? dst? kinds? prob?
+    v}
+
+    [Crash]/[Revive] are process faults (the node's transport goes
+    down, state survives — {!Net.Network.set_down} / cluster
+    [set_replica_down]). Everything else is a link fault evaluated
+    per wire crossing by [Injector]. *)
+
+(** A message predicate for link faults. [None] fields match anything;
+    [prob] applies the fault to each matching message independently with
+    that probability (drawn from the injector's seeded RNG). *)
+type rule = {
+  src : Net.Node_id.t option;
+  dst : Net.Node_id.t option;
+  kinds : Core.Msg.kind list option;
+  prob : float;
+}
+
+val rule :
+  ?src:Net.Node_id.t -> ?dst:Net.Node_id.t -> ?kinds:Core.Msg.kind list ->
+  ?prob:float -> unit -> rule
+(** Defaults: match every message, probability 1. *)
+
+type action =
+  | Crash of Net.Node_id.t
+  | Revive of Net.Node_id.t
+  | Partition of Net.Node_id.t list list
+      (** disjoint groups; unlisted replicas form one implicit further
+          group. Messages crossing a group boundary are dropped (both
+          directions) — [Partition [[v]]] isolates [v]. *)
+  | Heal  (** clears the partition and every installed link rule *)
+  | Drop of rule
+  | Delay of rule * Sim.Sim_time.span
+  | Duplicate of rule
+
+type event = { at : Sim.Sim_time.span; action : action }
+
+val ev : Sim.Sim_time.span -> action -> event
+
+(** What the oracle must additionally assert (safety and liveness are
+    always checked). Expectations are one-sided requirements: an
+    unexpected-but-harmless view change does not fail a run. *)
+type expect = {
+  view_change : bool;     (** some honest replica must reach view >= 2 *)
+  equivocation : bool;    (** equivocation evidence must be collected *)
+  state_sync : Net.Node_id.t option;
+      (** this replica must catch back up to the honest execution
+          frontier (within one watermark window) *)
+}
+
+val no_expect : expect
+
+type t = {
+  name : string;
+  summary : string;
+  n : int;
+  byzantine : (Net.Node_id.t * Core.Byzantine.t) list;
+  leader_generates : bool;
+      (** config tweak: let the leader generate datablocks (needed for
+          the equivocating-leader scenario) *)
+  checkpoint_interval : int option;  (** config tweak *)
+  events : event list;
+  settle : Sim.Sim_time.span;
+      (** extra run time after the last event; the liveness bound *)
+  expect : expect;
+}
+
+val make :
+  name:string ->
+  summary:string ->
+  n:int ->
+  ?byzantine:(Net.Node_id.t * Core.Byzantine.t) list ->
+  ?leader_generates:bool ->
+  ?checkpoint_interval:int ->
+  ?events:event list ->
+  ?settle:Sim.Sim_time.span ->
+  ?expect:expect ->
+  unit ->
+  t
+
+val last_event_at : t -> Sim.Sim_time.t
+(** Instant of the last scheduled event (0 with no events) — the point
+    liveness is measured from: commit progress must resume between here
+    and {!duration}. *)
+
+val duration : t -> Sim.Sim_time.span
+(** [last_event_at + settle]: total run time. *)
+
+val pp_rule : Format.formatter -> rule -> unit
+val pp_action : Format.formatter -> action -> unit
+val pp : Format.formatter -> t -> unit
+(** One-line [name @ n: summary]. *)

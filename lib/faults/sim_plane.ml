@@ -1,0 +1,79 @@
+open Sim
+
+let default_load n = if n >= 64 then 1200. else if n >= 16 then 800. else 400.
+
+let cfg_of (sc : Scenario.t) =
+  Core.Config.make ~n:sc.Scenario.n ~alpha:10 ~bft_size:2 ~k:16
+    ?checkpoint_interval:sc.Scenario.checkpoint_interval ~payload:64
+    ~datablock_timeout:(Sim_time.ms 200) ~proposal_timeout:(Sim_time.ms 300)
+    ~view_timeout:(Sim_time.s 1) ~fetch_grace:(Sim_time.ms 200)
+    ~cost:Crypto.Cost_model.free
+    ~leader_generates_datablocks:sc.Scenario.leader_generates ()
+
+let run ?(seed = 42L) ?load (sc : Scenario.t) =
+  let t0 = Unix.gettimeofday () in
+  let cfg = cfg_of sc in
+  let n = sc.Scenario.n in
+  let load = match load with Some l -> l | None -> default_load n in
+  let heal = Scenario.last_event_at sc in
+  let duration = Scenario.duration sc in
+  let load_until = Sim_time.(heal + Int64.div sc.Scenario.settle 2L) in
+  let spec =
+    Core.Runner.spec ~cfg ~seed ~load ~duration ~warmup:(Sim_time.s 1)
+      ~load_until ~byzantine:sc.Scenario.byzantine
+      ~client_resend_timeout:(Sim_time.s 1) ~trace:true ()
+  in
+  let t = Core.Runner.create spec in
+  let engine = Core.Runner.engine t in
+  let network = Core.Runner.network t in
+  let trace = Core.Runner.trace t in
+  let inj = Injector.create ~n ~rng:(Rng.split (Engine.rng engine)) in
+  Net.Network.set_fault_hook network (fun ~now:_ ~src ~dst msg ->
+      match Injector.decide inj ~src ~dst msg with
+      | Injector.Pass -> Net.Network.Pass
+      | Injector.Drop -> Net.Network.Drop
+      | Injector.Delay d ->
+        Net.Network.Divert { delay_ns = Int64.to_int d; copies = 1 }
+      | Injector.Duplicate -> Net.Network.Divert { delay_ns = 0; copies = 2 });
+  List.iter
+    (fun (e : Scenario.event) ->
+      ignore
+        (Engine.schedule_at engine ~at:e.Scenario.at (fun () ->
+             Trace.recordf trace ~at:(Engine.now engine) ~tag:"chaos" "%a"
+               Scenario.pp_action e.Scenario.action;
+             match e.Scenario.action with
+             | Scenario.Crash id -> Net.Network.set_down network id true
+             | Scenario.Revive id -> Net.Network.set_down network id false
+             | link_fault -> ignore (Injector.apply inj link_fault : bool))
+          : Engine.handle))
+    sc.Scenario.events;
+  Core.Runner.run_until t heal;
+  let confirmed_at_heal = (Core.Runner.report t).Core.Runner.confirmed in
+  Core.Runner.run_until t duration;
+  Net.Network.clear_fault_hook network;
+  let r = Core.Runner.report t in
+  let replicas = Core.Runner.replicas t in
+  let exec id = Core.Ledger.executed_up_to (Core.Replica.ledger replicas.(id)) in
+  let honest_frontier =
+    List.fold_left (fun acc id -> max acc (exec id)) 0 (Core.Runner.honest_ids t)
+  in
+  let state_sync id =
+    exec id > 0 && exec id + cfg.Core.Config.k >= honest_frontier
+  in
+  let verdict =
+    Oracle.evaluate ~scenario:sc ~safety:r.Core.Runner.safety_ok
+      ~confirmed_at_heal ~confirmed:r.Core.Runner.confirmed
+      ~final_view:r.Core.Runner.final_view
+      ~equivocations:r.Core.Runner.equivocations_detected ~state_sync
+  in
+  { Oracle.scenario = sc;
+    plane = "sim";
+    seed;
+    verdict;
+    confirmed_at_heal;
+    confirmed = r.Core.Runner.confirmed;
+    final_view = r.Core.Runner.final_view;
+    view_changes = r.Core.Runner.view_changes;
+    equivocations = r.Core.Runner.equivocations_detected;
+    wall_sec = Unix.gettimeofday () -. t0;
+    trace = Oracle.render_trace trace }

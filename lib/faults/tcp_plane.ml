@@ -1,0 +1,111 @@
+open Sim
+
+let cfg_of (sc : Scenario.t) =
+  Core.Config.make ~n:sc.Scenario.n ~alpha:10 ~bft_size:2 ~k:16
+    ?checkpoint_interval:sc.Scenario.checkpoint_interval ~payload:64
+    ~datablock_timeout:(Sim_time.ms 20) ~proposal_timeout:(Sim_time.ms 30)
+    ~view_timeout:(Sim_time.ms 1500) ~fetch_grace:(Sim_time.ms 200)
+    ~cost:Crypto.Cost_model.free
+    ~leader_generates_datablocks:sc.Scenario.leader_generates ()
+
+let run ?(seed = 42L) ?(load = 800.) (sc : Scenario.t) =
+  let t0 = Unix.gettimeofday () in
+  let cfg = cfg_of sc in
+  let n = sc.Scenario.n in
+  let trace = Trace.create ~enabled:true () in
+  let cl =
+    Transport.Cluster.create ~cfg ~load ~trace ~byzantine:sc.Scenario.byzantine
+      ~client_resend:(Sim_time.ms 500) ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Transport.Cluster.close cl)
+    (fun () ->
+      let loop = Transport.Cluster.loop cl in
+      let replicas = Transport.Cluster.replicas cl in
+      let inj = Injector.create ~n ~rng:(Rng.create seed) in
+      for src = 0 to n - 1 do
+        Transport.Cluster.set_fault_filter cl src
+          (Some
+             (fun ~dst msg ->
+               match Injector.decide inj ~src ~dst msg with
+               | Injector.Pass -> Transport.Conn.Pass
+               | Injector.Drop -> Transport.Conn.Fault_drop
+               | Injector.Delay d -> Transport.Conn.Fault_delay d
+               | Injector.Duplicate -> Transport.Conn.Fault_duplicate))
+      done;
+      List.iter
+        (fun (e : Scenario.event) ->
+          ignore
+            (Transport.Loop.schedule loop ~delay:e.Scenario.at (fun () ->
+                 Trace.recordf trace ~at:(Transport.Loop.now loop) ~tag:"chaos"
+                   "%a" Scenario.pp_action e.Scenario.action;
+                 match e.Scenario.action with
+                 | Scenario.Crash id -> Transport.Cluster.set_replica_down cl id true
+                 | Scenario.Revive id ->
+                   Transport.Cluster.set_replica_down cl id false
+                 | link_fault -> ignore (Injector.apply inj link_fault : bool))
+              : Transport.Loop.handle))
+        sc.Scenario.events;
+      Transport.Cluster.start_load cl;
+      let start_ns = Transport.Loop.now_ns loop in
+      let heal_ns = start_ns + Int64.to_int (Scenario.last_event_at sc) in
+      Transport.Cluster.run_while cl (fun _ -> Transport.Loop.now_ns loop < heal_ns);
+      let confirmed_at_heal = Transport.Cluster.confirmed cl in
+      let exec id =
+        Core.Ledger.executed_up_to (Core.Replica.ledger replicas.(id))
+      in
+      let byz id = List.mem_assoc id sc.Scenario.byzantine in
+      let honest_frontier () =
+        let acc = ref 0 in
+        for id = 0 to n - 1 do
+          if not (byz id) then acc := max !acc (exec id)
+        done;
+        !acc
+      in
+      let state_sync id =
+        exec id > 0 && exec id + cfg.Core.Config.k >= honest_frontier ()
+      in
+      let equivocations () =
+        Array.fold_left
+          (fun acc r ->
+            acc + List.length (Core.Datablock_pool.equivocations (Core.Replica.pool r)))
+          0 replicas
+      in
+      (* Wall-clock is expensive: once every obligation the oracle will
+         check is already satisfied, stop burning real seconds. *)
+      let obligations_met () =
+        Transport.Cluster.confirmed cl > confirmed_at_heal + 100
+        && ((not sc.Scenario.expect.Scenario.view_change)
+           || Transport.Cluster.max_view cl >= 2)
+        && ((not sc.Scenario.expect.Scenario.equivocation) || equivocations () > 0)
+        && match sc.Scenario.expect.Scenario.state_sync with
+           | None -> true
+           | Some id -> state_sync id
+      in
+      let deadline_ns = start_ns + Int64.to_int (Scenario.duration sc) in
+      Transport.Cluster.run_while cl (fun _ ->
+          Transport.Loop.now_ns loop < deadline_ns && not (obligations_met ()));
+      Transport.Cluster.stop_load cl;
+      let drain_ns = Transport.Loop.now_ns loop + Int64.to_int (Sim_time.s 5) in
+      Transport.Cluster.run_while cl (fun cl ->
+          Transport.Loop.now_ns loop < drain_ns
+          && not (Transport.Cluster.state_converged cl));
+      let verdict =
+        Oracle.evaluate ~scenario:sc
+          ~safety:(Transport.Cluster.ledgers_agree cl)
+          ~confirmed_at_heal
+          ~confirmed:(Transport.Cluster.confirmed cl)
+          ~final_view:(Transport.Cluster.max_view cl)
+          ~equivocations:(equivocations ()) ~state_sync
+      in
+      { Oracle.scenario = sc;
+        plane = "tcp";
+        seed;
+        verdict;
+        confirmed_at_heal;
+        confirmed = Transport.Cluster.confirmed cl;
+        final_view = Transport.Cluster.max_view cl;
+        view_changes = Transport.Cluster.view_changes cl;
+        equivocations = equivocations ();
+        wall_sec = Unix.gettimeofday () -. t0;
+        trace = Oracle.render_trace trace })

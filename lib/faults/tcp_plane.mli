@@ -1,0 +1,17 @@
+(** Run a scenario on the real-socket loopback-TCP cluster.
+
+    Same scenario, same injector, same oracle as [Sim_plane] — but event
+    times are wall-clock offsets, the fault filters sit on each node's
+    {!Transport.Conn} (outbound, pre-framing), and crash/revive use the
+    cluster's [set_replica_down]. Wall-clock runs are not byte-for-byte
+    reproducible (the trace records real timings); determinism claims
+    belong to the sim plane, the TCP plane demonstrates the same faults
+    against real sockets.
+
+    The run ends early once the oracle's obligations are already met
+    (progress resumed after heal, any expected view change observed, up
+    replicas converged), bounded by [Scenario.duration] plus a drain. *)
+
+val run : ?seed:int64 -> ?load:float -> Scenario.t -> Oracle.outcome
+(** [load] defaults to 800 req/s. The cluster always runs with client
+    re-sends (500 ms) and a 1.5 s view timeout. *)

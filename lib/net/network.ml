@@ -62,6 +62,11 @@ type 'msg node = {
   mutable down : bool;
 }
 
+type fault_verdict =
+  | Pass
+  | Drop
+  | Divert of { delay_ns : int; copies : int }
+
 type 'msg t = {
   engine : Engine.t;
   meta : 'msg meta;
@@ -70,6 +75,8 @@ type 'msg t = {
   rng : Rng.t;
   mutable extra_delay :
     (now:Sim_time.t -> src:Node_id.t -> dst:Node_id.t -> Sim_time.span) option;
+  mutable fault :
+    (now:Sim_time.t -> src:Node_id.t -> dst:Node_id.t -> 'msg -> fault_verdict) option;
   mutable delivered : int;
 }
 
@@ -107,11 +114,31 @@ let wire_delay_ns t ~src ~dst =
    actually left the NIC — so a backlogged egress queue cannot inflate a
    measurement window's utilization. *)
 let cross_wire t ~src ~dst ~priority ~size packet =
-  let dt = wire_delay_ns t ~src ~dst in
-  ignore
-    (Engine.schedule_ns t.engine ~delay_ns:dt (fun () ->
-         let node = t.nodes.(dst) in
-         if not node.down then Nic.submit node.ingress ~priority ~size packet))
+  let deliver_after dt =
+    ignore
+      (Engine.schedule_ns t.engine ~delay_ns:dt (fun () ->
+           let node = t.nodes.(dst) in
+           if not node.down then Nic.submit node.ingress ~priority ~size packet))
+  in
+  let verdict =
+    match t.fault with
+    | None -> Pass
+    | Some f -> (
+      match packet with
+      | Proto { msg; _ } | Fanout { msg; _ } ->
+        f ~now:(Engine.now t.engine) ~src ~dst msg
+      | External _ -> Pass)
+  in
+  match verdict with
+  | Drop -> ()
+  | Pass -> deliver_after (wire_delay_ns t ~src ~dst)
+  | Divert { delay_ns; copies } ->
+    (* All copies share one base wire delay so a duplicate pair arrives
+       back-to-back, the adversary's best reordering position. *)
+    let base = wire_delay_ns t ~src ~dst in
+    for _ = 1 to copies do
+      deliver_after (base + max 0 delay_ns)
+    done
 
 let on_egress_done t packet =
   match packet with
@@ -152,7 +179,7 @@ let create engine ~n ~meta ~link =
   in
   let t =
     { engine; meta; link; nodes = Array.init n make_node; rng; extra_delay = None;
-      delivered = 0 }
+      fault = None; delivered = 0 }
   in
   t_ref := Some t;
   t
@@ -198,6 +225,8 @@ let set_down t id v = t.nodes.(id).down <- v
 let is_down t id = t.nodes.(id).down
 
 let set_extra_delay t f = t.extra_delay <- Some f
+let set_fault_hook t f = t.fault <- Some f
+let clear_fault_hook t = t.fault <- None
 
 let set_rates t ~out_bps ~in_bps =
   t.link <- { t.link with out_bps; in_bps };

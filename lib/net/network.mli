@@ -80,6 +80,28 @@ val set_extra_delay :
 (** Installs an adversarial scheduler hook adding wire delay per message
     (see {!Partial_sync}). *)
 
+(** Per-delivery fault verdict, consulted as each protocol message
+    crosses the wire (post-egress, per destination — a multicast can be
+    faulted towards some receivers and not others). [Divert] re-delivers
+    [copies] copies, each [delay_ns] later than the normal arrival;
+    [Divert { delay_ns = 0; copies = 2 }] is a duplication,
+    [Divert { delay_ns; copies = 1 }] a pure delay. Self-deliveries and
+    client {!inject} traffic are not subject to faults (partitions cut
+    wires, not processes — use {!set_down} for crashes). *)
+type fault_verdict =
+  | Pass
+  | Drop
+  | Divert of { delay_ns : int; copies : int }
+
+val set_fault_hook :
+  'msg t ->
+  (now:Sim.Sim_time.t -> src:Node_id.t -> dst:Node_id.t -> 'msg -> fault_verdict) ->
+  unit
+(** Installs the fault injector (see [Faults.Injector]). At most one hook
+    is active; installing replaces the previous one. *)
+
+val clear_fault_hook : 'msg t -> unit
+
 val set_rates : 'msg t -> out_bps:float -> in_bps:float -> unit
 (** Re-throttles every replica's NICs (the NetEm sweep of §6.2.3). *)
 

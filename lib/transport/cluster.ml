@@ -1,3 +1,9 @@
+(* An unconfirmed client batch eligible for re-sending. *)
+type pending_req = {
+  batch : Workload.Request.t;
+  mutable last_sent_ns : int;
+}
+
 type t = {
   loop : Loop.t;
   cfg : Core.Config.t;
@@ -22,6 +28,15 @@ type t = {
   mutable rr : int;
   mutable load_started_ns : int;
   mutable load_stopped_ns : int;
+  (* client re-sends (needed to arm the replica watchdog: only
+     resend-tagged batches are watched for view-change triggering) *)
+  client_resend : Sim.Sim_time.span option;
+  pending : (int, pending_req) Hashtbl.t;
+  mutable resends : int;
+  (* view-change observability *)
+  mutable view_changes : int;
+  mutable vc_triggers : int;
+  mutable closed : bool;
 }
 
 let loop t = t.loop
@@ -29,6 +44,10 @@ let replicas t = t.replicas
 let nodes t = t.nodes
 let offered t = t.offered
 let confirmed t = t.confirmed
+let trace t = t.trace
+let view_changes t = t.view_changes
+let vc_triggers t = t.vc_triggers
+let resends t = t.resends
 
 let f_plus_1 t = Core.Config.max_faulty t.cfg + 1
 
@@ -42,6 +61,7 @@ let on_f1_execution t (dbs : Core.Datablock.t list) =
           let id = b.Workload.Request.id in
           if not (Hashtbl.mem t.counted_batches id) then begin
             Hashtbl.add t.counted_batches id ();
+            Hashtbl.remove t.pending id;
             t.confirmed <- t.confirmed + b.Workload.Request.count;
             Stats.Histogram.add t.latency Sim.Sim_time.(now - b.Workload.Request.born)
           end)
@@ -64,8 +84,12 @@ let make_hooks t_ref =
           in
           incr c;
           if !c = f_plus_1 t then on_f1_execution t dbs);
-    on_view_change = (fun ~id:_ ~view:_ -> ());
-    on_view_change_trigger = (fun ~id:_ ~abandoned:_ -> ());
+    on_view_change =
+      (fun ~id:_ ~view:_ ->
+        match !t_ref with None -> () | Some t -> t.view_changes <- t.view_changes + 1);
+    on_view_change_trigger =
+      (fun ~id:_ ~abandoned:_ ->
+        match !t_ref with None -> () | Some t -> t.vc_triggers <- t.vc_triggers + 1);
     on_propose = (fun ~id:_ ~sn:_ ~at:_ -> ());
     on_checkpoint = (fun ~id:_ ~lw:_ -> ()) }
 
@@ -77,9 +101,14 @@ let leader t = Core.Config.leader_of_view t.cfg 1
 
 let client_targets t =
   let l = leader t in
+  (* The leader is skipped to keep its NIC free for proposals — unless
+     the leader-generates ablation is on, in which case it packs
+     datablocks like everyone else and needs requests to pack. *)
+  let skip_leader = not t.cfg.Core.Config.leader_generates_datablocks in
   let acc = ref [] in
   for id = t.cfg.Core.Config.n - 1 downto 0 do
-    if (not (Net.Node_id.equal id l)) && not (Conn.is_down (Runtime.conn t.nodes.(id)))
+    if ((not skip_leader) || not (Net.Node_id.equal id l))
+       && not (Conn.is_down (Runtime.conn t.nodes.(id)))
     then acc := id :: !acc
   done;
   !acc
@@ -91,7 +120,53 @@ let offer_batch t ~target ~count =
   in
   t.next_batch_id <- t.next_batch_id + 1;
   t.offered <- t.offered + count;
+  if t.client_resend <> None then
+    Hashtbl.replace t.pending b.Workload.Request.id
+      { batch = b; last_sent_ns = Loop.now_ns t.loop };
   Core.Replica.submit t.replicas.(target) b
+
+(* Re-send unconfirmed batches, round-robin over the up replicas. The
+   copies carry the resend tag, so receivers watch them and vote to
+   change the view if they stay unconfirmed for a full view timeout —
+   without this no TCP-plane fault can ever trigger a view change. *)
+let resend_tick t =
+  match t.client_resend with
+  | None -> ()
+  | Some period ->
+    let period_ns = Int64.to_int period in
+    let now_ns = Loop.now_ns t.loop in
+    (match client_targets t with
+    | [] -> ()
+    | targets ->
+      let targets = Array.of_list targets in
+      let m = Array.length targets in
+      (* collect first: a submit must not mutate [pending] mid-iteration *)
+      let due = ref [] in
+      Hashtbl.iter
+        (fun _ p ->
+          if now_ns - p.last_sent_ns >= period_ns then begin
+            p.last_sent_ns <- now_ns;
+            due := p.batch :: !due
+          end)
+        t.pending;
+      List.iter
+        (fun batch ->
+          t.resends <- t.resends + 1;
+          t.rr <- t.rr + 1;
+          let copy = Workload.Request.resend_of batch in
+          Core.Replica.submit t.replicas.(targets.(t.rr mod m)) copy)
+        !due)
+
+let rec resend_loop t =
+  match t.client_resend with
+  | None -> ()
+  | Some period ->
+    if not t.closed then begin
+      resend_tick t;
+      ignore
+        (Loop.schedule t.loop ~delay:(Int64.div period 2L) (fun () -> resend_loop t)
+          : Loop.handle)
+    end
 
 let rec client_tick t =
   if t.load_active then begin
@@ -137,7 +212,7 @@ let stop_load t =
 (* -- construction ------------------------------------------------------- *)
 
 let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:false ())
-    () =
+    ?(byzantine = []) ?client_resend () =
   let n = cfg.Core.Config.n in
   let loop = Loop.create () in
   let nodes = Array.init n (fun id -> Runtime.node ~loop ~id ~n ?outbuf_hwm ()) in
@@ -160,9 +235,13 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
   let hooks = make_hooks t_ref in
   let replicas =
     Array.init n (fun id ->
+        let strategy =
+          Option.value ~default:Core.Byzantine.Honest (List.assoc_opt id byzantine)
+        in
         Core.Replica.create
           ~platform:(Runtime.platform nodes.(id))
-          ~cfg ~id ~sk:(snd keys.(id)) ~pks ~tsetup ~tkey:tkeys.(id) ~hooks ~trace ())
+          ~cfg ~id ~sk:(snd keys.(id)) ~pks ~tsetup ~tkey:tkeys.(id) ~strategy ~hooks
+          ~trace ())
   in
   let t =
     { loop;
@@ -183,10 +262,17 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
       last_tick_ns = 0;
       rr = 0;
       load_started_ns = 0;
-      load_stopped_ns = 0 }
+      load_stopped_ns = 0;
+      client_resend;
+      pending = Hashtbl.create 1024;
+      resends = 0;
+      view_changes = 0;
+      vc_triggers = 0;
+      closed = false }
   in
   t_ref := Some t;
   Array.iter Core.Replica.start replicas;
+  resend_loop t;
   t
 
 let set_replica_down t id down =
@@ -194,6 +280,11 @@ let set_replica_down t id down =
   Sim.Trace.recordf t.trace ~at:(Loop.now t.loop)
     ~tag:(if down then "cluster.kill" else "cluster.revive")
     "%a" Net.Node_id.pp id
+
+let set_fault_filter t id f = Conn.set_fault (Runtime.conn t.nodes.(id)) f
+
+let faulted t =
+  Array.fold_left (fun acc node -> acc + Conn.faulted (Runtime.conn node)) 0 t.nodes
 
 let run_while t pred = Loop.run_while t.loop (fun () -> pred t)
 
@@ -236,10 +327,24 @@ let ledgers_agree t =
     let l1 = Core.Replica.ledger t.replicas.(first) in
     List.for_all (fun id -> agree l1 (Core.Replica.ledger t.replicas.(id))) rest
 
+let max_view t =
+  List.fold_left
+    (fun acc id -> max acc (Core.Replica.view t.replicas.(id)))
+    1 (up_ids t)
+
 let close t =
-  stop_load t;
-  Loop.stop t.loop;
-  Array.iter (fun node -> Conn.close (Runtime.conn node)) t.nodes
+  if not t.closed then begin
+    t.closed <- true;
+    stop_load t;
+    Loop.stop t.loop;
+    Array.iter (fun node -> Conn.close (Runtime.conn node)) t.nodes;
+    (* Reap the joined accounting state too, so a harness that builds
+       clusters in a loop (the chaos corpus) cannot accrete per-run
+       tables behind a still-reachable [t]. *)
+    Hashtbl.reset t.exec_counts;
+    Hashtbl.reset t.counted_batches;
+    Hashtbl.reset t.pending
+  end
 
 (* -- one-shot runs ------------------------------------------------------ *)
 
@@ -299,29 +404,34 @@ let report_of t =
 let run ~cfg ?load ?(duration = Sim.Sim_time.s 5) ?(drain = Sim.Sim_time.s 10)
     ?min_confirmed ?kill ?trace () =
   let t = create ~cfg ?load ?trace () in
-  (match kill with
-  | None -> ()
-  | Some (id, at, revive) ->
-    ignore
-      (Loop.schedule t.loop ~delay:at (fun () -> set_replica_down t id true)
-        : Loop.handle);
-    (match revive with
-    | None -> ()
-    | Some at' ->
-      ignore
-        (Loop.schedule t.loop ~delay:at' (fun () -> set_replica_down t id false)
-          : Loop.handle)));
-  start_load t;
-  let deadline = Loop.now_ns t.loop + Int64.to_int duration in
-  run_while t (fun t ->
-      Loop.now_ns t.loop < deadline
-      && match min_confirmed with Some m -> t.confirmed < m | None -> true);
-  stop_load t;
-  (* Drain: let in-flight serials finish and laggards catch up so the
-     state hashes can be compared at a common execution frontier. *)
-  let drain_deadline = Loop.now_ns t.loop + Int64.to_int drain in
-  run_while t (fun t ->
-      Loop.now_ns t.loop < drain_deadline && not (state_converged t));
-  let r = report_of t in
-  close t;
-  r
+  (* [close] on every exit path, normal or not: an exception mid-run must
+     not leak n listeners plus O(n^2) connection fds into the process
+     (repeated in-process runs — the chaos corpus — would exhaust the fd
+     table). [close] is idempotent, so the normal path costs nothing. *)
+  Fun.protect
+    ~finally:(fun () -> close t)
+    (fun () ->
+      (match kill with
+      | None -> ()
+      | Some (id, at, revive) ->
+        ignore
+          (Loop.schedule t.loop ~delay:at (fun () -> set_replica_down t id true)
+            : Loop.handle);
+        (match revive with
+        | None -> ()
+        | Some at' ->
+          ignore
+            (Loop.schedule t.loop ~delay:at' (fun () -> set_replica_down t id false)
+              : Loop.handle)));
+      start_load t;
+      let deadline = Loop.now_ns t.loop + Int64.to_int duration in
+      run_while t (fun t ->
+          Loop.now_ns t.loop < deadline
+          && match min_confirmed with Some m -> t.confirmed < m | None -> true);
+      stop_load t;
+      (* Drain: let in-flight serials finish and laggards catch up so the
+         state hashes can be compared at a common execution frontier. *)
+      let drain_deadline = Loop.now_ns t.loop + Int64.to_int drain in
+      run_while t (fun t ->
+          Loop.now_ns t.loop < drain_deadline && not (state_converged t));
+      report_of t)

@@ -19,16 +19,23 @@ val create :
   ?load:float ->
   ?outbuf_hwm:int ->
   ?trace:Sim.Trace.t ->
+  ?byzantine:(Net.Node_id.t * Core.Byzantine.t) list ->
+  ?client_resend:Sim.Sim_time.span ->
   unit ->
   t
 (** Builds the cluster: binds [n] ephemeral loopback listeners, wires
     every pair, creates and starts the replicas. [load] is the client
     request rate (default 2000 req/s) — not offered until
-    {!start_load}. *)
+    {!start_load}. [byzantine] assigns adversarial strategies by id
+    (default: all honest). [client_resend] makes the built-in client
+    re-send unconfirmed batches after that span (resend-tagged, so
+    receivers arm the view-change watchdog — required for any TCP-plane
+    view change, exactly as in [Core.Runner]). *)
 
 val loop : t -> Loop.t
 val replicas : t -> Core.Replica.t array
 val nodes : t -> Runtime.node array
+val trace : t -> Sim.Trace.t
 
 val start_load : t -> unit
 val stop_load : t -> unit
@@ -42,6 +49,27 @@ val set_replica_down : t -> Net.Node_id.t -> bool -> unit
 (** Fail-stop / revive a replica's transport (the state machine keeps
     its state, as with the simulator's [set_down]). A down replica is
     also dropped from the client's target rotation. *)
+
+val set_fault_filter :
+  t -> Net.Node_id.t -> (dst:Net.Node_id.t -> Core.Msg.t -> Conn.fault_verdict) option -> unit
+(** Installs (or removes) replica [id]'s outbound link-fault filter (see
+    {!Conn.set_fault}); the chaos harness builds partitions and
+    drop/delay/duplicate rules out of these. *)
+
+val faulted : t -> int
+(** {!Conn.faulted}, summed over nodes. *)
+
+val resends : t -> int
+(** Client re-send copies submitted so far. *)
+
+val view_changes : t -> int
+(** Replica view entries beyond view 1, summed over replicas. *)
+
+val vc_triggers : t -> int
+(** View-change triggers fired (replicas giving up on a view). *)
+
+val max_view : t -> int
+(** Highest view any up replica is in (1 = no view change yet). *)
 
 val run_while : t -> (t -> bool) -> unit
 (** Drives the shared loop while the predicate holds. *)

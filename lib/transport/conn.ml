@@ -30,6 +30,12 @@ type in_conn = {
   mutable src : Net.Node_id.t option;
 }
 
+type fault_verdict =
+  | Pass
+  | Fault_drop
+  | Fault_delay of Sim.Sim_time.span
+  | Fault_duplicate
+
 type t = {
   loop : Loop.t;
   id : Net.Node_id.t;
@@ -42,6 +48,8 @@ type t = {
   mutable listener : Unix.file_descr option;
   mutable down : bool;
   mutable dropped : int;
+  mutable fault : (dst:Net.Node_id.t -> Core.Msg.t -> fault_verdict) option;
+  mutable faulted : int;
   rng : Random.State.t;
   scratch : Bytes.t;
 }
@@ -59,11 +67,15 @@ let create ~loop ~id ?(max_frame = Frame.default_max_frame)
     listener = None;
     down = false;
     dropped = 0;
+    fault = None;
+    faulted = 0;
     rng = Random.State.make [| 0x1e09a4d; id |];
     scratch = Bytes.create 65536 }
 
 let is_down t = t.down
 let dropped t = t.dropped
+let set_fault t f = t.fault <- f
+let faulted t = t.faulted
 
 let set_peer_addr t dst addr = Hashtbl.replace t.addrs dst addr
 
@@ -220,7 +232,7 @@ let out_conn t dst =
     Hashtbl.add t.outs dst oc;
     oc
 
-let send t ~dst msg =
+let enqueue t ~dst msg =
   if not t.down then
     if Net.Node_id.equal dst t.id then
       (* Self-delivery through the loop, like the simulator's immediate
@@ -242,6 +254,27 @@ let send t ~dst msg =
         | Waiting _ | Connecting _ -> ()
       end
     end
+
+let send t ~dst msg =
+  if not t.down then
+    match t.fault with
+    | None -> enqueue t ~dst msg
+    (* Self-sends never cross a wire: the fault surface models link
+       faults (partitions, lossy paths), not process faults. *)
+    | Some _ when Net.Node_id.equal dst t.id -> enqueue t ~dst msg
+    | Some f -> (
+      match f ~dst msg with
+      | Pass -> enqueue t ~dst msg
+      | Fault_drop -> t.faulted <- t.faulted + 1
+      | Fault_delay d ->
+        t.faulted <- t.faulted + 1;
+        ignore
+          (Loop.schedule t.loop ~delay:d (fun () -> enqueue t ~dst msg)
+            : Loop.handle)
+      | Fault_duplicate ->
+        t.faulted <- t.faulted + 1;
+        enqueue t ~dst msg;
+        enqueue t ~dst msg)
 
 (* -- incoming: accept and read ------------------------------------------ *)
 

@@ -47,6 +47,27 @@ val send : t -> dst:Net.Node_id.t -> Core.Msg.t -> unit
     [dst = id] loops back through the event loop (next round), matching
     the simulator's self-delivery. Silently inert while down. *)
 
+(** {2 Fault surface}
+
+    {!set_down} models a crashed host; the verdict filter below models a
+    faulty {e link}: installed by the chaos harness, it is consulted for
+    every outbound message before framing (self-sends excluded) and can
+    drop the message, hold it back for a span, or send it twice. Dropped,
+    delayed and duplicated messages are counted in {!faulted}
+    (separately from {!dropped}, which counts capacity losses). *)
+
+type fault_verdict =
+  | Pass
+  | Fault_drop
+  | Fault_delay of Sim.Sim_time.span
+  | Fault_duplicate
+
+val set_fault : t -> (dst:Net.Node_id.t -> Core.Msg.t -> fault_verdict) option -> unit
+(** Installs (or with [None] removes) the outbound fault filter. *)
+
+val faulted : t -> int
+(** Messages the fault filter dropped, delayed or duplicated so far. *)
+
 val set_down : t -> bool -> unit
 (** See above. Listener stays bound while down (the port remains
     reserved); newly accepted connections are closed immediately, which

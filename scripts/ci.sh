@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# The CI gate. Runs every step even after a failure so a single run
+# reports everything, then prints a machine-readable PASS/FAIL table
+# (one `ci-step|name|status|seconds` line per step) and exits non-zero
+# if any step failed.
+set -u
+cd "$(dirname "$0")/.."
+
+declare -a STEPS=() STATUSES=() TIMES=()
+
+run_step() {
+  local name="$1"
+  shift
+  local t0=$SECONDS
+  echo "==> $name: $*"
+  local status
+  if "$@"; then status=PASS; else status=FAIL; fi
+  STEPS+=("$name")
+  STATUSES+=("$status")
+  TIMES+=("$((SECONDS - t0))")
+}
+
+# fmt is enforced wherever ocamlformat exists (CI installs the pinned
+# version); a machine without it records SKIP instead of a spurious FAIL.
+if command -v ocamlformat >/dev/null 2>&1; then
+  run_step fmt dune build @fmt
+else
+  echo "==> fmt: ocamlformat not installed, skipping"
+  STEPS+=(fmt)
+  STATUSES+=(SKIP)
+  TIMES+=(0)
+fi
+
+run_step build dune build
+run_step tier1-tests dune runtest
+run_step bench-micro dune exec bench/main.exe -- --only micro --fast --check-regressions
+run_step bench-macro dune exec bench/main.exe -- --only macro --fast --check-regressions
+run_step tcp-smoke dune exec bin/leopard_cli.exe -- local-cluster -n 4 --load 2000 \
+  --duration 3 --min-confirmed 1000 --drain 10
+run_step chaos dune exec bin/leopard_cli.exe -- chaos --fast --trace-dir _chaos
+
+echo
+fail=0
+for i in "${!STEPS[@]}"; do
+  printf 'ci-step|%s|%s|%ss\n' "${STEPS[$i]}" "${STATUSES[$i]}" "${TIMES[$i]}"
+  [ "${STATUSES[$i]}" = FAIL ] && fail=1
+done
+exit $fail
