@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: check ci fmt fmt-check chaos build test bench bench-fast bench-micro bench-macro clean
+.PHONY: check ci fmt fmt-check chaos build test bench bench-fast bench-micro bench-macro bench-net clean
 
 check: ## build + full test suite (tier-1 gate)
 	dune build && dune runtest
@@ -42,6 +42,9 @@ bench-micro: ## full micro benches, rewrite BENCH_micro.json
 
 bench-macro: ## full-protocol simulator scaling bench, rewrite BENCH_sim.json
 	dune exec bench/main.exe -- --only macro
+
+bench-net: ## transport data-plane bench over loopback TCP, rewrite BENCH_net.json
+	dune exec bench/main.exe -- --only net
 
 clean:
 	dune clean

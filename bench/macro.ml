@@ -23,7 +23,7 @@
    The run writes [BENCH_sim.json]; with [--check-regressions] it
    compares against the checked-in baseline instead and exits nonzero
    when any n got more than 2x slower (wall-clock) or more than 2x more
-   allocation-hungry (minor words/event). *)
+   allocation-hungry (minor words/event, minor words/message). *)
 
 type row = {
   n : int;
@@ -184,7 +184,13 @@ let check_regressions ~baseline rows =
             else []
           in
           gate "wall_s" r.wall_s b.wall_s
-          @ gate "minor_words_per_event" r.minor_words_per_event b.minor_words_per_event)
+          @ gate "minor_words_per_event" r.minor_words_per_event b.minor_words_per_event
+          (* Gated since the n=300 anomaly: words/msg had crept superlinear
+             in n through [retry_waiting_proposals] allocating a snapshot
+             per datablock arrival; it is flat (~186 at n=128 and n=300)
+             now that the retry pre-scans without allocating, and this
+             gate keeps it that way. *)
+          @ gate "minor_words_per_msg" r.minor_words_per_msg b.minor_words_per_msg)
       rows
   in
   match failures with

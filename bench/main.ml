@@ -643,6 +643,11 @@ let macro () =
     ~paper:"the substrate cost of scaling the reproductions toward n=600";
   Macro.run ~fast:!fast_mode ~check:!check_regressions
 
+let net () =
+  header ~id:"net" ~title:"Transport benchmark: zero-copy TCP data plane, with JSON baseline"
+    ~paper:"the leader's multicast fan-out cost over real sockets (§2, §5 data plane)";
+  Net_bench.run ~fast:!fast_mode ~check:!check_regressions
+
 (* ------------------------------------------------------------------ *)
 (* Registry and entry point                                            *)
 (* ------------------------------------------------------------------ *)
@@ -670,7 +675,8 @@ let experiments =
     ("extension-chained", extension_chained);
     ("extension-lanes", extension_lanes);
     ("micro", micro);
-    ("macro", macro) ]
+    ("macro", macro);
+    ("net", net) ]
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -1,0 +1,283 @@
+(* Transport benchmark: the zero-copy TCP data plane under multicast
+   load, with a JSON baseline and per-n regression gates.
+
+   (The module is [Net_bench] rather than [Net] only because the bench
+   executable already links the [net] library under that name.)
+
+   One sender node multicasts protocol messages over real loopback TCP
+   to n-1 receiver nodes sharing one event loop — the leader's fan-out,
+   isolated from consensus logic so the numbers are the transport's own:
+
+     - frames/s delivered end-to-end (framed, written, read, decoded),
+     - write(2) and read(2) syscalls per frame (the gather-write and
+       bulk-read coalescing factors),
+     - GC minor words per frame: the whole steady-state cost of queueing,
+       flushing, reading and in-place decoding, encode included once per
+       multicast. With pooled buffers and ring queues the transport
+       itself allocates nothing per frame; what remains is the shared
+       encode (amortized over n-1 peers) and the decoded message.
+
+   A star, not a full mesh: n=64 needs 63 connections (~130 fds), while a
+   mesh would need ~8000 — past FD_SETSIZE for the select(2) loop. The
+   full protocol over a (small) mesh is exercised by the cluster tests
+   and the CLI's local-cluster; this bench pins the data-plane costs.
+
+     dune exec bench/main.exe -- --only net
+     dune exec bench/main.exe -- --only net --check-regressions
+
+   The run writes [BENCH_net.json]; with [--check-regressions] it
+   compares against the checked-in baseline and exits nonzero when any n
+   got more than 2x worse: slower (frames/s), more syscalls per frame,
+   or more allocation per frame. *)
+
+type row = {
+  n : int;
+  wall_s : float;
+  frames : int; (* frames delivered to receivers during the window *)
+  frames_per_s : float;
+  writes_per_frame : float;
+  reads_per_frame : float;
+  minor_words_per_frame : float;
+}
+
+let baseline_file = "BENCH_net.json"
+let regression_factor = 2.0
+let chunk = 256 (* multicasts per batch; bounded well below the HWM *)
+
+(* ------------------------------------------------------------------ *)
+(* One measured run                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_one ~fast n =
+  let loop = Transport.Loop.create () in
+  let pool = Transport.Pool.create () in
+  let received = ref 0 in
+  let sender =
+    Transport.Conn.create ~loop ~id:0 ~pool ~on_msg:(fun ~src:_ _ -> ()) ()
+  in
+  let receivers =
+    Array.init (n - 1) (fun i ->
+        Transport.Conn.create ~loop ~id:(i + 1) ~pool
+          ~on_msg:(fun ~src:_ _ -> incr received)
+          ())
+  in
+  Array.iteri
+    (fun i r ->
+      let port = Transport.Conn.listen r () in
+      Transport.Conn.set_peer_addr sender (i + 1)
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, port)))
+    receivers;
+  (* Protocol-shaped small frames (a Fetch: 48 wire bytes) — the size
+     class where syscalls/frame and words/frame are won or lost. *)
+  let msgs =
+    Array.init chunk (fun i ->
+        Core.Msg.Fetch { hash = Crypto.Hash.of_string (string_of_int i) })
+  in
+  let deadline_spin target =
+    let limit = Transport.Loop.now_ns loop + 20_000_000_000 in
+    Transport.Loop.run_while loop (fun () ->
+        !received < target && Transport.Loop.now_ns loop < limit);
+    if !received < target then failwith "net bench: delivery stalled"
+  in
+  let batch () =
+    let target = !received + (chunk * (n - 1)) in
+    Array.iter (fun m -> Transport.Conn.multicast sender ~n m) msgs;
+    deadline_spin target
+  in
+  (* Warmup: connections dialed, rings sized, pool warm, buffers grown. *)
+  for _ = 1 to 4 do
+    batch ()
+  done;
+  let window = if fast then 0.3 else 1.0 in
+  let stats0 =
+    let s = Transport.Conn.stats sender in
+    (s.Transport.Conn.write_syscalls, s.Transport.Conn.frames_sent)
+  in
+  let reads0 =
+    Array.fold_left
+      (fun acc r -> acc + (Transport.Conn.stats r).Transport.Conn.read_syscalls)
+      0 receivers
+  in
+  let recv0 = !received in
+  Gc.full_major ();
+  let minor0 = Gc.minor_words () in
+  let wall0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. wall0 < window do
+    batch ()
+  done;
+  let wall_s = Unix.gettimeofday () -. wall0 in
+  let minor = Gc.minor_words () -. minor0 in
+  let frames = !received - recv0 in
+  let writes, sent =
+    let s = Transport.Conn.stats sender in
+    ( s.Transport.Conn.write_syscalls - fst stats0,
+      s.Transport.Conn.frames_sent - snd stats0 )
+  in
+  let reads =
+    Array.fold_left
+      (fun acc r -> acc + (Transport.Conn.stats r).Transport.Conn.read_syscalls)
+      0 receivers
+    - reads0
+  in
+  Transport.Conn.close sender;
+  Array.iter Transport.Conn.close receivers;
+  assert (sent = frames);
+  let per x = if frames = 0 then 0. else float_of_int x /. float_of_int frames in
+  { n;
+    wall_s;
+    frames;
+    frames_per_s = (if wall_s <= 0. then 0. else float_of_int frames /. wall_s);
+    writes_per_frame = per writes;
+    reads_per_frame = per reads;
+    minor_words_per_frame = (if frames = 0 then 0. else minor /. float_of_int frames) }
+
+let ns = [ 4; 16; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON baseline (same line-per-entry shape as BENCH_sim.json)          *)
+(* ------------------------------------------------------------------ *)
+
+let write_baseline path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  output_string oc "  \"generated_by\": \"dune exec bench/main.exe -- --only net\",\n";
+  output_string oc "  \"benchmarks\": [\n";
+  let count = List.length rows in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"n\": %d, \"wall_s\": %.2f, \"frames\": %d, \"frames_per_s\": %.0f, \
+         \"writes_per_frame\": %.4f, \"reads_per_frame\": %.4f, \
+         \"minor_words_per_frame\": %.1f}%s\n"
+        r.n r.wall_s r.frames r.frames_per_s r.writes_per_frame r.reads_per_frame
+        r.minor_words_per_frame
+        (if i = count - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc
+
+let sscanf_opt line fmt f =
+  try Some (Scanf.sscanf line fmt f)
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let read_baseline path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let entries = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         let line =
+           if String.length line > 0 && line.[String.length line - 1] = ',' then
+             String.sub line 0 (String.length line - 1)
+           else line
+         in
+         match
+           sscanf_opt line
+             "{\"n\": %d, \"wall_s\": %f, \"frames\": %d, \"frames_per_s\": %f, \
+              \"writes_per_frame\": %f, \"reads_per_frame\": %f, \
+              \"minor_words_per_frame\": %f}"
+             (fun n wall_s frames frames_per_s writes_per_frame reads_per_frame
+                  minor_words_per_frame ->
+               { n; wall_s; frames; frames_per_s; writes_per_frame; reads_per_frame;
+                 minor_words_per_frame })
+         with
+         | Some r -> entries := r :: !entries
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Some (List.rev !entries)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Rendering and gates                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let render rows =
+  let fmt_rows =
+    List.map
+      (fun r ->
+        [ string_of_int r.n;
+          Printf.sprintf "%.2f" r.wall_s;
+          string_of_int r.frames;
+          Printf.sprintf "%.0fk" (r.frames_per_s /. 1e3);
+          Printf.sprintf "%.4f" r.writes_per_frame;
+          Printf.sprintf "%.4f" r.reads_per_frame;
+          Printf.sprintf "%.1f" r.minor_words_per_frame ])
+      rows
+  in
+  Stats.Text_table.render
+    ~headers:
+      [ "n"; "wall s"; "frames"; "frames/s"; "writes/frame"; "reads/frame"; "words/frame" ]
+    fmt_rows
+
+let check_regressions ~baseline rows =
+  let failures =
+    List.concat_map
+      (fun r ->
+        match List.find_opt (fun b -> b.n = r.n) baseline with
+        | None -> []
+        | Some b ->
+          (* higher-is-worse metrics gate on current > 2x base; the
+             throughput gates on current < base / 2. *)
+          let worse what current base =
+            if base > 0. && current > regression_factor *. base then
+              [ ( Printf.sprintf "n=%d %s: %.4f vs baseline %.4f (%.1fx)" r.n what current
+                    base (current /. base),
+                  (Printf.sprintf "n=%d %s" r.n what, current /. base) ) ]
+            else []
+          in
+          let slower what current base =
+            if current > 0. && base > regression_factor *. current then
+              [ ( Printf.sprintf "n=%d %s: %.0f vs baseline %.0f (%.1fx slower)" r.n what
+                    current base (base /. current),
+                  (Printf.sprintf "n=%d %s" r.n what, base /. current) ) ]
+            else []
+          in
+          slower "frames_per_s" r.frames_per_s b.frames_per_s
+          @ worse "writes_per_frame" r.writes_per_frame b.writes_per_frame
+          @ worse "reads_per_frame" r.reads_per_frame b.reads_per_frame
+          @ worse "minor_words_per_frame" r.minor_words_per_frame b.minor_words_per_frame)
+      rows
+  in
+  match failures with
+  | [] ->
+    Harness.say "net: PASS no regressions > %.1fx against %s" regression_factor baseline_file;
+    true
+  | fs ->
+    List.iter (fun (f, _) -> Harness.say "REGRESSION %s" f) fs;
+    let worst_name, worst_factor =
+      List.fold_left
+        (fun ((_, wf) as acc) (_, (name, f)) -> if f > wf then (name, f) else acc)
+        ("", 0.) fs
+    in
+    Harness.say "net: FAIL %d gate(s) exceeded %.1fx vs %s (worst %s %.1fx)" (List.length fs)
+      regression_factor baseline_file worst_name worst_factor;
+    false
+
+let run ~fast ~check =
+  let rows =
+    List.map
+      (fun n ->
+        let r = run_one ~fast n in
+        Harness.say "  n=%-3d %7d frames in %.2fs (%.0fk frames/s, %.4f writes/frame)" n
+          r.frames r.wall_s (r.frames_per_s /. 1e3) r.writes_per_frame;
+        r)
+      ns
+  in
+  Harness.say "";
+  Harness.say "%s" (render rows);
+  Harness.say "";
+  if check then begin
+    match read_baseline baseline_file with
+    | None | Some [] ->
+      Harness.say "no baseline %s found; writing a fresh one" baseline_file;
+      write_baseline baseline_file rows
+    | Some baseline -> if not (check_regressions ~baseline rows) then exit 1
+  end
+  else begin
+    write_baseline baseline_file rows;
+    Harness.say "baseline written to %s" baseline_file
+  end

@@ -35,31 +35,38 @@ module W = struct
 end
 
 module R = struct
-  type reader = { src : string; mutable pos : int }
+  (* [limit] bounds the readable region so a decoder can run over a slice
+     of a larger buffer (the transport's frame reader) without a
+     [String.sub] of the payload first. *)
+  type reader = { src : string; mutable pos : int; limit : int }
 
-  let create src = { src; pos = 0 }
+  let create src = { src; pos = 0; limit = String.length src }
+
+  let create_sub src ~off ~len =
+    if off < 0 || len < 0 || off + len > String.length src then raise Decode_error;
+    { src; pos = off; limit = off + len }
 
   let take r n =
-    if n < 0 || r.pos + n > String.length r.src then raise Decode_error;
+    if n < 0 || r.pos + n > r.limit then raise Decode_error;
     let s = String.sub r.src r.pos n in
     r.pos <- r.pos + n;
     s
 
   let u8 r =
     let p = r.pos in
-    if p >= String.length r.src then raise Decode_error;
+    if p >= r.limit then raise Decode_error;
     r.pos <- p + 1;
     Char.code (String.unsafe_get r.src p)
 
   let u32 r =
     let p = r.pos in
-    if p + 4 > String.length r.src then raise Decode_error;
+    if p + 4 > r.limit then raise Decode_error;
     r.pos <- p + 4;
     Int32.to_int (String.get_int32_le r.src p) land max_u32
 
   let i64 r =
     let p = r.pos in
-    if p + 8 > String.length r.src then raise Decode_error;
+    if p + 8 > r.limit then raise Decode_error;
     r.pos <- p + 8;
     String.get_int64_le r.src p
 
@@ -73,13 +80,21 @@ module R = struct
     let n = u32 r in
     List.init n (fun _ -> f r)
 
-  let at_end r = r.pos = String.length r.src
+  let at_end r = r.pos = r.limit
 end
 
 let guard f s =
   let r = R.create s in
   match f r with
   | v -> if R.at_end r then Some v else None
+  | exception Decode_error -> None
+
+let guard_sub f s ~off ~len =
+  match R.create_sub s ~off ~len with
+  | r -> (
+    match f r with
+    | v -> if R.at_end r then Some v else None
+    | exception Decode_error -> None)
   | exception Decode_error -> None
 
 (* -- leaves ------------------------------------------------------------ *)
@@ -351,6 +366,7 @@ let encode_bftblock = run_encoder w_bftblock
 let decode_bftblock = guard r_bftblock
 let encode_msg = run_encoder w_msg
 let decode_msg = guard r_msg
+let decode_msg_sub s ~off ~len = guard_sub r_msg s ~off ~len
 
 (* -- structural equality -------------------------------------------------- *)
 

@@ -35,6 +35,12 @@ val decode_bftblock : string -> Bftblock.t option
 val encode_msg : Msg.t -> string
 val decode_msg : string -> Msg.t option
 
+val decode_msg_sub : string -> off:int -> len:int -> Msg.t option
+(** [decode_msg_sub s ~off ~len] decodes the message occupying exactly
+    [s.[off .. off+len-1]], without copying the slice out first — the
+    transport's frame reader decodes payloads in place with this. [None]
+    on malformed input, out-of-range slices included. *)
+
 (** {2 Structural equality for round-trip checks}
 
     Runtime-only state (a batch's confirmation ref identity) is ignored;

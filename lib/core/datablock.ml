@@ -13,13 +13,16 @@ type t = {
   payload_bytes : int;
   signature : Crypto.Signature.t;
   created_at : Sim.Sim_time.t;
-  (* memoized at construction: recomputing the Merkle digest and wire
-     size at each of the n-1 receivers dominates simulation wallclock at
-     scale, and the simulated CPU cost is charged separately anyway *)
-  true_digest : Crypto.Hash.t;
+  (* memoized on first use, not at construction: the decode path
+     ([Codec.decode_datablock] -> [of_wire]) is pure parsing, and a
+     receiver that drops or dedups a datablock never pays for digests it
+     did not need. [verify]/[hash] force and cache them, so each value
+     still computes its Merkle digest at most once; the simulated CPU
+     cost is charged separately via the cost model either way. *)
+  mutable true_digest : Crypto.Hash.t option;
   wire_bytes : int;
-  hash_memo : Crypto.Hash.t;
-  header_enc : string;
+  mutable hash_memo : Crypto.Hash.t option;
+  mutable header_enc : string; (* "" = not yet encoded *)
   (* the signature + digest check is a pure function of the (immutable)
      datablock, and every replica holds the same key set, so the first
      receiver's verdict is memoized for the other n-2 *)
@@ -36,20 +39,31 @@ let header_encoding h =
 let of_wire ~creator ~counter ~digest ~created_at ~signature batches =
   assert (batches <> []);
   let header = { creator; counter; digest } in
-  let header_enc = header_encoding header in
   { header;
     batches;
     req_count = List.fold_left (fun acc b -> acc + b.Workload.Request.count) 0 batches;
     payload_bytes = List.fold_left (fun acc b -> acc + Workload.Request.payload_bytes b) 0 batches;
     signature;
     created_at;
-    true_digest = digest_of_batches batches;
+    true_digest = None;
     wire_bytes =
       header_overhead_bytes + Crypto.Signature.size_bytes
       + List.fold_left (fun acc b -> acc + Workload.Request.wire_bytes b) 0 batches;
-    hash_memo = Crypto.Hash.of_string header_enc;
-    header_enc;
+    hash_memo = None;
+    header_enc = "";
     verify_memo = Unverified }
+
+let forced_header_enc t =
+  if String.length t.header_enc = 0 then t.header_enc <- header_encoding t.header;
+  t.header_enc
+
+let forced_true_digest t =
+  match t.true_digest with
+  | Some d -> d
+  | None ->
+    let d = digest_of_batches t.batches in
+    t.true_digest <- Some d;
+    d
 
 let make_with_digest ~sk ~creator ~counter ~now ~digest batches =
   let header = { creator; counter; digest } in
@@ -75,13 +89,19 @@ let verify ~pks t =
     let ok =
       h.creator >= 0
       && h.creator < Array.length pks
-      && Crypto.Hash.equal h.digest t.true_digest
-      && Crypto.Signature.verify pks.(h.creator) t.signature t.header_enc
+      && Crypto.Hash.equal h.digest (forced_true_digest t)
+      && Crypto.Signature.verify pks.(h.creator) t.signature (forced_header_enc t)
     in
     t.verify_memo <- (if ok then Valid else Invalid);
     ok
 
-let hash t = t.hash_memo
+let hash t =
+  match t.hash_memo with
+  | Some h -> h
+  | None ->
+    let h = Crypto.Hash.of_string (forced_header_enc t) in
+    t.hash_memo <- Some h;
+    h
 let wire_size t = t.wire_bytes
 
 let pp fmt t =

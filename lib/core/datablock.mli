@@ -23,13 +23,19 @@ type t = private {
   created_at : Sim.Sim_time.t;
       (** creation instant; not part of the signed header — measurement
           metadata for the latency breakdown of Table 3 *)
-  true_digest : Crypto.Hash.t;
-      (** Merkle digest of the carried batches, memoized at construction
-          (the simulated CPU cost of recomputation is charged via the
-          cost model; memoizing keeps simulation wallclock linear) *)
+  mutable true_digest : Crypto.Hash.t option;
+      (** Merkle digest of the carried batches, memoized on first
+          {!verify} rather than at construction so the codec's decode
+          path stays pure parsing (the simulated CPU cost of the digest
+          is charged via the cost model; the memo keeps simulation
+          wallclock linear). [None] = not yet forced — use {!verify},
+          never read this field directly. *)
   wire_bytes : int;       (** memoized {!wire_size} *)
-  hash_memo : Crypto.Hash.t;  (** memoized {!hash} *)
-  header_enc : string;    (** memoized signed-header encoding *)
+  mutable hash_memo : Crypto.Hash.t option;
+      (** memoized {!hash}; [None] = not yet forced *)
+  mutable header_enc : string;
+      (** memoized signed-header encoding; [""] = not yet forced — use
+          {!header_encoding} on [header] for the canonical bytes *)
   mutable verify_memo : verify_memo;
       (** first receiver's {!verify} verdict, reused by the others — a
           datablock is immutable and every replica checks it against the

@@ -50,6 +50,10 @@ let add t db =
 
 let missing_links t links = List.filter (fun h -> not (mem t h)) links
 
+let rec has_all_links t = function
+  | [] -> true
+  | h :: rest -> mem t h && has_all_links t rest
+
 let rec drop_linked_head t =
   match Queue.peek_opt t.pending with
   | Some h ->

@@ -30,6 +30,11 @@ val missing_links : t -> Crypto.Hash.t list -> Crypto.Hash.t list
 (** The links not present in the pool (empty = BFTblock fully backed,
     Algorithm 2 line 16). *)
 
+val has_all_links : t -> Crypto.Hash.t list -> bool
+(** [missing_links t links = []] without allocating the missing list —
+    the readiness probe runs once per waiting proposal on every datablock
+    arrival, the hottest path in the replica at large n. *)
+
 val pending : t -> int
 (** Number of unlinked datablocks (leader's proposal trigger). *)
 

@@ -574,8 +574,31 @@ let try_vote_prepare t (msg : Msg.t) =
     end
   | _ -> assert false
 
+(* Would [retry_waiting_proposals] act on this entry right now? Must stay
+   in lockstep with the retry body below; pulled out so the hot no-op scan
+   can run without building the snapshot list. *)
+let waiting_actionable t (m : Msg.t) =
+  match m with
+  | Msg.Propose { block; justification; _ } ->
+    let sn = block.Bftblock.sn in
+    let in_window = t.lw < sn && sn <= t.lw + t.cfg.k in
+    let view_ready = block.Bftblock.view <= t.view && not t.in_view_change in
+    let data_ready =
+      justification <> None || Datablock_pool.has_all_links t.pool block.Bftblock.links
+    in
+    (in_window && view_ready && data_ready) || sn <= t.lw
+  | _ -> false
+
 let retry_waiting_proposals t =
-  if Hashtbl.length t.waiting_propose > 0 then begin
+  (* This runs once per receiver of every datablock multicast. The common
+     case at large n is "entries exist, none ready yet" (proposals wait on
+     datablocks still spreading through the multicast); probe for that
+     without allocating, and only snapshot the table when something is
+     actually ready to retry or drop. *)
+  if
+    Hashtbl.length t.waiting_propose > 0
+    && Hashtbl.fold (fun _ m any -> any || waiting_actionable t m) t.waiting_propose false
+  then begin
     let pending = Hashtbl.fold (fun _ m acc -> m :: acc) t.waiting_propose [] in
     List.iter
       (fun m ->
@@ -586,7 +609,7 @@ let retry_waiting_proposals t =
           let view_ready = block.Bftblock.view <= t.view && not t.in_view_change in
           let data_ready =
             justification <> None
-            || Datablock_pool.missing_links t.pool block.Bftblock.links = []
+            || Datablock_pool.has_all_links t.pool block.Bftblock.links
           in
           if in_window && view_ready && data_ready then begin
             (* Re-run validation now that the prerequisite is met; the

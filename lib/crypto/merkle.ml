@@ -3,23 +3,54 @@ type proof = step list
 
 let parent l r = Hash.combine [ l; r ]
 
-let rec level_up nodes =
-  match nodes with
-  | [] | [ _ ] -> nodes
-  | _ ->
-    let rec pair = function
-      | l :: r :: rest -> parent l r :: pair rest
-      | [ odd ] -> [ odd ]
-      | [] -> []
-    in
-    level_up (pair nodes)
+(* [root] is the hot path: it runs once per datablock creation and once
+   per receiver-side verification, over alpha leaves. The list-based
+   [level_up] allocates a fresh list per level (~33 words per inner node);
+   instead the levels are computed into two module-level ping-pong scratch
+   buffers with [Sha256.digest_pair_into], so a root costs exactly one
+   32-byte string allocation (the result) regardless of width. The scratch
+   grows to the widest leaf set seen and is reused; single-domain use only,
+   like the rest of the crypto layer. *)
+let scratch_a = ref (Bytes.create (256 * Hash.size_bytes))
+let scratch_b = ref (Bytes.create (256 * Hash.size_bytes))
+
+let ensure_scratch need =
+  if Bytes.length !scratch_a < need then begin
+    let cap = ref (Bytes.length !scratch_a) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    scratch_a := Bytes.create !cap;
+    scratch_b := Bytes.create !cap
+  end
 
 let root = function
   | [] -> Hash.of_string ""
+  | [ x ] -> x
   | leaves ->
-    (match level_up leaves with
-     | [ r ] -> r
-     | _ -> assert false)
+    let n = List.length leaves in
+    ensure_scratch (n * Hash.size_bytes);
+    let src = ref !scratch_a and dst = ref !scratch_b in
+    List.iteri (fun i h -> Bytes.blit_string (Hash.raw h) 0 !src (i * Hash.size_bytes) Hash.size_bytes) leaves;
+    let width = ref n in
+    while !width > 1 do
+      let pairs = !width / 2 in
+      for i = 0 to pairs - 1 do
+        Sha256.digest_pair_into ~src:!src ~src_off:(i * 64) ~dst:!dst
+          ~dst_off:(i * Hash.size_bytes)
+      done;
+      (* odd tail promoted unchanged, as in [level_up] *)
+      if !width land 1 = 1 then begin
+        Bytes.blit !src ((!width - 1) * Hash.size_bytes) !dst (pairs * Hash.size_bytes)
+          Hash.size_bytes;
+        width := pairs + 1
+      end
+      else width := pairs;
+      let t = !src in
+      src := !dst;
+      dst := t
+    done;
+    Hash.of_raw (Bytes.sub_string !src 0 Hash.size_bytes)
 
 let prove leaves i =
   let n = List.length leaves in

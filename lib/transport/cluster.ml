@@ -215,7 +215,10 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
     ?(byzantine = []) ?client_resend () =
   let n = cfg.Core.Config.n in
   let loop = Loop.create () in
-  let nodes = Array.init n (fun id -> Runtime.node ~loop ~id ~n ?outbuf_hwm ()) in
+  (* One buffer pool for the whole in-process cluster: a redialing node
+     reuses buffers any node released. *)
+  let pool = Pool.create () in
+  let nodes = Array.init n (fun id -> Runtime.node ~loop ~id ~n ?outbuf_hwm ~pool ()) in
   let ports = Array.map (fun node -> Runtime.listen node ()) nodes in
   Array.iteri
     (fun id node ->
@@ -285,6 +288,28 @@ let set_fault_filter t id f = Conn.set_fault (Runtime.conn t.nodes.(id)) f
 
 let faulted t =
   Array.fold_left (fun acc node -> acc + Conn.faulted (Runtime.conn node)) 0 t.nodes
+
+(* Cluster-wide data-plane counters: per-node [Conn.stats] summed. *)
+let transport_stats t =
+  let acc =
+    { Conn.write_syscalls = 0;
+      read_syscalls = 0;
+      frames_sent = 0;
+      frames_recvd = 0;
+      bytes_sent = 0;
+      bytes_recvd = 0 }
+  in
+  Array.iter
+    (fun node ->
+      let s = Conn.stats (Runtime.conn node) in
+      acc.Conn.write_syscalls <- acc.Conn.write_syscalls + s.Conn.write_syscalls;
+      acc.Conn.read_syscalls <- acc.Conn.read_syscalls + s.Conn.read_syscalls;
+      acc.Conn.frames_sent <- acc.Conn.frames_sent + s.Conn.frames_sent;
+      acc.Conn.frames_recvd <- acc.Conn.frames_recvd + s.Conn.frames_recvd;
+      acc.Conn.bytes_sent <- acc.Conn.bytes_sent + s.Conn.bytes_sent;
+      acc.Conn.bytes_recvd <- acc.Conn.bytes_recvd + s.Conn.bytes_recvd)
+    t.nodes;
+  acc
 
 let run_while t pred = Loop.run_while t.loop (fun () -> pred t)
 
@@ -357,6 +382,7 @@ type report = {
   executed_blocks : int;
   wall_sec : float;
   dropped_frames : int;
+  transport : Conn.stats; (* data-plane counters summed over nodes *)
   state_hashes : (Net.Node_id.t * Crypto.Hash.t) list;
   converged : bool;
   ledgers_agree : bool;
@@ -373,12 +399,23 @@ let pp_report fmt r =
      executed blks  %d@,\
      load window    %.2f s@,\
      dropped frames %d@,\
+     frames sent    %d (%.3f write syscalls/frame)@,\
+     frames recvd   %d (%.3f read syscalls/frame)@,\
+     bytes moved    %d out / %d in@,\
      converged      %b@,\
      ledgers agree  %b@]"
     r.n r.offered r.confirmed r.throughput
     (Stats.Histogram.quantile r.latency 0.50 *. 1e3)
     (Stats.Histogram.quantile r.latency 0.99 *. 1e3)
-    r.executed_blocks r.wall_sec r.dropped_frames r.converged r.ledgers_agree
+    r.executed_blocks r.wall_sec r.dropped_frames r.transport.Conn.frames_sent
+    (let f = r.transport.Conn.frames_sent in
+     if f = 0 then 0.
+     else float_of_int r.transport.Conn.write_syscalls /. float_of_int f)
+    r.transport.Conn.frames_recvd
+    (let f = r.transport.Conn.frames_recvd in
+     if f = 0 then 0.
+     else float_of_int r.transport.Conn.read_syscalls /. float_of_int f)
+    r.transport.Conn.bytes_sent r.transport.Conn.bytes_recvd r.converged r.ledgers_agree
 
 let report_of t =
   let window_ns =
@@ -396,6 +433,7 @@ let report_of t =
     wall_sec;
     dropped_frames =
       Array.fold_left (fun acc node -> acc + Conn.dropped (Runtime.conn node)) 0 t.nodes;
+    transport = transport_stats t;
     state_hashes =
       Array.to_list (Array.mapi (fun id r -> (id, Core.Replica.state_hash r)) t.replicas);
     converged = state_converged t;

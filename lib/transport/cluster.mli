@@ -59,6 +59,10 @@ val set_fault_filter :
 val faulted : t -> int
 (** {!Conn.faulted}, summed over nodes. *)
 
+val transport_stats : t -> Conn.stats
+(** Data-plane counters ({!Conn.stats}) summed over nodes — a fresh
+    snapshot record each call. *)
+
 val resends : t -> int
 (** Client re-send copies submitted so far. *)
 
@@ -95,6 +99,7 @@ type report = {
   executed_blocks : int;
   wall_sec : float;          (** load window, wall-clock seconds *)
   dropped_frames : int;      (** {!Conn.dropped}, summed over nodes *)
+  transport : Conn.stats;    (** {!transport_stats} snapshot at run end *)
   state_hashes : (Net.Node_id.t * Crypto.Hash.t) list;
   converged : bool;          (** {!state_converged} after the drain *)
   ledgers_agree : bool;      (** position-wise honest-ledger equality *)

@@ -3,9 +3,59 @@ let default_outbuf_hwm = 4 * 1024 * 1024
 let backoff_base_ns = 50_000_000 (* 50 ms *)
 let backoff_cap_ns = 2_000_000_000 (* 2 s *)
 
-(* An outgoing (dialed) connection to one peer. The pending queue holds
-   whole frames; [head_off] tracks how much of the head frame the kernel
-   has taken so far. *)
+let read_chunk = 65536
+let gather_bytes = 65536
+
+(* Per-peer pending-frame queue: a power-of-two ring of frame strings.
+   Pushing to a [Queue.t] allocates a cell per frame; the ring's steady
+   state allocates nothing (slots are reused, popped slots cleared so
+   frames are not kept live by the queue). *)
+module Ring = struct
+  type t = {
+    mutable buf : string array;
+    mutable head : int;
+    mutable len : int;
+  }
+
+  let create () = { buf = Array.make 16 ""; head = 0; len = 0 }
+  let length r = r.len
+
+  let grow r =
+    let cap = Array.length r.buf in
+    let nbuf = Array.make (cap * 2) "" in
+    for i = 0 to r.len - 1 do
+      nbuf.(i) <- r.buf.((r.head + i) land (cap - 1))
+    done;
+    r.buf <- nbuf;
+    r.head <- 0
+
+  let push r s =
+    if r.len = Array.length r.buf then grow r;
+    r.buf.((r.head + r.len) land (Array.length r.buf - 1)) <- s;
+    r.len <- r.len + 1
+
+  (* [peek]/[get] assume [i < len]; callers guard. *)
+  let peek r = r.buf.(r.head)
+  let get r i = r.buf.((r.head + i) land (Array.length r.buf - 1))
+
+  let pop r =
+    let s = r.buf.(r.head) in
+    r.buf.(r.head) <- "";
+    r.head <- (r.head + 1) land (Array.length r.buf - 1);
+    r.len <- r.len - 1;
+    s
+
+  let clear r =
+    Array.fill r.buf 0 (Array.length r.buf) "";
+    r.head <- 0;
+    r.len <- 0
+end
+
+(* An outgoing (dialed) connection to one peer. The pending ring holds
+   whole frames — possibly the same string as other peers' rings, for
+   multicast — and [head_off] tracks how much of the head frame the
+   kernel has taken so far; that per-peer offset is what makes sharing
+   safe under partial writes. *)
 type out_state =
   | Idle
   | Waiting of Loop.handle (* backoff redial pending *)
@@ -15,12 +65,14 @@ type out_state =
 type out_conn = {
   dst : Net.Node_id.t;
   mutable state : out_state;
-  q : string Queue.t;
+  q : Ring.t;
   mutable q_bytes : int;
   mutable head_off : int;
   mutable pre : string; (* unsent hello prefix on a fresh connection *)
   mutable pre_off : int;
   mutable backoff_ns : int;
+  mutable flush_queued : bool; (* already on the loop-tick flush list *)
+  wbuf : Bytes.t; (* pooled gather buffer for coalesced writes *)
 }
 
 (* An incoming (accepted) connection; [src] is unknown until the hello. *)
@@ -36,6 +88,15 @@ type fault_verdict =
   | Fault_delay of Sim.Sim_time.span
   | Fault_duplicate
 
+type stats = {
+  mutable write_syscalls : int;
+  mutable read_syscalls : int;
+  mutable frames_sent : int;  (* fully handed to the kernel *)
+  mutable frames_recvd : int; (* parsed, hellos included *)
+  mutable bytes_sent : int;
+  mutable bytes_recvd : int;
+}
+
 type t = {
   loop : Loop.t;
   id : Net.Node_id.t;
@@ -50,32 +111,21 @@ type t = {
   mutable dropped : int;
   mutable fault : (dst:Net.Node_id.t -> Core.Msg.t -> fault_verdict) option;
   mutable faulted : int;
+  mutable max_write : int; (* debug clamp on bytes per write(2) *)
+  mutable flushq : out_conn list; (* peers with frames queued this tick *)
   rng : Random.State.t;
-  scratch : Bytes.t;
+  pool : Pool.t;
+  scratch : Bytes.t; (* drain buffer for dialed-connection reads *)
+  stats : stats;
 }
-
-let create ~loop ~id ?(max_frame = Frame.default_max_frame)
-    ?(outbuf_hwm = default_outbuf_hwm) ~on_msg () =
-  { loop;
-    id;
-    max_frame;
-    hwm = outbuf_hwm;
-    on_msg;
-    outs = Hashtbl.create 16;
-    ins = Hashtbl.create 16;
-    addrs = Hashtbl.create 16;
-    listener = None;
-    down = false;
-    dropped = 0;
-    fault = None;
-    faulted = 0;
-    rng = Random.State.make [| 0x1e09a4d; id |];
-    scratch = Bytes.create 65536 }
 
 let is_down t = t.down
 let dropped t = t.dropped
 let set_fault t f = t.fault <- f
 let faulted t = t.faulted
+let stats t = t.stats
+let pool t = t.pool
+let set_max_write t n = t.max_write <- (if n <= 0 then max_int else n)
 
 let set_peer_addr t dst addr = Hashtbl.replace t.addrs dst addr
 
@@ -88,11 +138,12 @@ let close_fd t fd =
 let close_in t (ic : in_conn) =
   if Hashtbl.mem t.ins ic.in_fd then begin
     Hashtbl.remove t.ins ic.in_fd;
+    Frame.release ic.reader;
     close_fd t ic.in_fd
   end
 
 let drop_queue oc =
-  Queue.clear oc.q;
+  Ring.clear oc.q;
   oc.q_bytes <- 0;
   oc.head_off <- 0;
   oc.pre <- "";
@@ -106,6 +157,46 @@ let reset_out t oc =
   oc.state <- Idle
 
 (* -- outgoing: dial, flush, redial -------------------------------------- *)
+
+(* Advance the queue past [n] kernel-accepted bytes: whole frames pop
+   (and count as sent), a trailing partial just moves [head_off]. *)
+let queue_advance t oc n =
+  let rem = ref n in
+  while !rem > 0 do
+    let head = Ring.peek oc.q in
+    let head_rem = String.length head - oc.head_off in
+    if !rem >= head_rem then begin
+      ignore (Ring.pop oc.q : string);
+      oc.q_bytes <- oc.q_bytes - String.length head;
+      oc.head_off <- 0;
+      t.stats.frames_sent <- t.stats.frames_sent + 1;
+      rem := !rem - head_rem
+    end
+    else begin
+      oc.head_off <- oc.head_off + !rem;
+      rem := 0
+    end
+  done
+
+(* Pack frames from the queue head into [oc.wbuf] (starting at the head
+   frame's unwritten tail) until the buffer is full or the queue runs
+   out; returns the fill. Bytes packed but not accepted by the kernel are
+   simply re-packed next round — [queue_advance] only trusts write(2)'s
+   return. *)
+let gather oc =
+  let cap = Bytes.length oc.wbuf in
+  let filled = ref 0 in
+  let i = ref 0 in
+  let off = ref oc.head_off in
+  while !filled < cap && !i < Ring.length oc.q do
+    let fr = Ring.get oc.q !i in
+    let take = min (cap - !filled) (String.length fr - !off) in
+    Bytes.blit_string fr !off oc.wbuf !filled take;
+    filled := !filled + take;
+    off := 0;
+    incr i
+  done;
+  !filled
 
 let rec connect_out t oc =
   match Hashtbl.find_opt t.addrs oc.dst with
@@ -151,27 +242,42 @@ and try_flush t oc =
   | Connected fd -> (
     let progress = ref true in
     let blocked = ref false in
+    (* One write(2) per iteration, each offered as many bytes as we have
+       (clamped by [max_write]): the hello tail, then either the head
+       frame written directly from its own string — zero copy, when it is
+       large or alone — or a gather of many small frames coalesced
+       through [oc.wbuf] so one syscall drains them all. A short write
+       means the kernel buffer is full: stop and wait for writability. *)
     (try
        while !progress && not !blocked do
          if oc.pre_off < String.length oc.pre then begin
-           let n =
-             Unix.write_substring fd oc.pre oc.pre_off (String.length oc.pre - oc.pre_off)
-           in
+           let want = min (String.length oc.pre - oc.pre_off) t.max_write in
+           let n = Unix.write_substring fd oc.pre oc.pre_off want in
+           t.stats.write_syscalls <- t.stats.write_syscalls + 1;
+           t.stats.bytes_sent <- t.stats.bytes_sent + n;
            oc.pre_off <- oc.pre_off + n;
-           if n = 0 then blocked := true
+           if n < want then blocked := true
          end
-         else if not (Queue.is_empty oc.q) then begin
-           let head = Queue.peek oc.q in
-           let n =
-             Unix.write_substring fd head oc.head_off (String.length head - oc.head_off)
-           in
-           oc.head_off <- oc.head_off + n;
-           if oc.head_off = String.length head then begin
-             ignore (Queue.pop oc.q);
-             oc.q_bytes <- oc.q_bytes - String.length head;
-             oc.head_off <- 0
+         else if Ring.length oc.q > 0 then begin
+           let head = Ring.peek oc.q in
+           let head_rem = String.length head - oc.head_off in
+           if head_rem >= Bytes.length oc.wbuf || Ring.length oc.q = 1 then begin
+             let want = min head_rem t.max_write in
+             let n = Unix.write_substring fd head oc.head_off want in
+             t.stats.write_syscalls <- t.stats.write_syscalls + 1;
+             t.stats.bytes_sent <- t.stats.bytes_sent + n;
+             queue_advance t oc n;
+             if n < want then blocked := true
            end
-           else if n = 0 then blocked := true
+           else begin
+             let filled = gather oc in
+             let want = min filled t.max_write in
+             let n = Unix.write fd oc.wbuf 0 want in
+             t.stats.write_syscalls <- t.stats.write_syscalls + 1;
+             t.stats.bytes_sent <- t.stats.bytes_sent + n;
+             queue_advance t oc n;
+             if n < want then blocked := true
+           end
          end
          else progress := false
        done
@@ -194,9 +300,10 @@ and fail_out t oc =
   (* A frame cut mid-write is unrecoverable: the peer's stream ended
      inside it, and a fresh connection must start on a frame boundary. *)
   if oc.head_off > 0 then begin
-    (match Queue.take_opt oc.q with
-    | Some head -> oc.q_bytes <- oc.q_bytes - String.length head
-    | None -> ());
+    if Ring.length oc.q > 0 then begin
+      let head = Ring.pop oc.q in
+      oc.q_bytes <- oc.q_bytes - String.length head
+    end;
     oc.head_off <- 0;
     t.dropped <- t.dropped + 1
   end;
@@ -215,22 +322,92 @@ and schedule_redial t oc =
   in
   oc.state <- Waiting h
 
+(* Flush every peer that queued frames since the last loop tick: the
+   frames a whole batch of work produced coalesce into one write(2) per
+   peer (see [Loop.on_tick]) instead of one per frame. *)
+let flush_pending t =
+  match t.flushq with
+  | [] -> ()
+  | ocs ->
+    t.flushq <- [];
+    List.iter
+      (fun oc ->
+        oc.flush_queued <- false;
+        try_flush t oc)
+      ocs
+
+let create ~loop ~id ?(max_frame = Frame.default_max_frame)
+    ?(outbuf_hwm = default_outbuf_hwm) ?pool ~on_msg () =
+  let pool = match pool with Some p -> p | None -> Pool.create () in
+  let t =
+    { loop;
+      id;
+      max_frame;
+      hwm = outbuf_hwm;
+      on_msg;
+      outs = Hashtbl.create 16;
+      ins = Hashtbl.create 16;
+      addrs = Hashtbl.create 16;
+      listener = None;
+      down = false;
+      dropped = 0;
+      fault = None;
+      faulted = 0;
+      max_write = max_int;
+      flushq = [];
+      rng = Random.State.make [| 0x1e09a4d; id |];
+      pool;
+      scratch = Pool.acquire pool read_chunk;
+      stats =
+        { write_syscalls = 0;
+          read_syscalls = 0;
+          frames_sent = 0;
+          frames_recvd = 0;
+          bytes_sent = 0;
+          bytes_recvd = 0 } }
+  in
+  Loop.on_tick loop (fun () -> flush_pending t);
+  t
+
 let out_conn t dst =
-  match Hashtbl.find_opt t.outs dst with
-  | Some oc -> oc
-  | None ->
+  match Hashtbl.find t.outs dst with
+  | oc -> oc
+  | exception Not_found ->
     let oc =
       { dst;
         state = Idle;
-        q = Queue.create ();
+        q = Ring.create ();
         q_bytes = 0;
         head_off = 0;
         pre = "";
         pre_off = 0;
-        backoff_ns = backoff_base_ns }
+        backoff_ns = backoff_base_ns;
+        flush_queued = false;
+        wbuf = Pool.acquire t.pool gather_bytes }
     in
     Hashtbl.add t.outs dst oc;
     oc
+
+(* Queue an already-encoded frame to one peer. The frame string may be
+   shared with other peers' queues (multicast); nothing here writes into
+   it. The actual write happens at the next loop tick, so frames batch. *)
+let enqueue_frame t ~dst frame =
+  if not t.down then begin
+    let oc = out_conn t dst in
+    if not (Hashtbl.mem t.addrs dst) then t.dropped <- t.dropped + 1
+    else if oc.q_bytes + String.length frame > t.hwm then t.dropped <- t.dropped + 1
+    else begin
+      Ring.push oc.q frame;
+      oc.q_bytes <- oc.q_bytes + String.length frame;
+      (match oc.state with
+      | Idle -> connect_out t oc
+      | Connected _ | Waiting _ | Connecting _ -> ());
+      if not oc.flush_queued then begin
+        oc.flush_queued <- true;
+        t.flushq <- oc :: t.flushq
+      end
+    end
+  end
 
 let enqueue t ~dst msg =
   if not t.down then
@@ -240,20 +417,7 @@ let enqueue t ~dst msg =
       ignore
         (Loop.schedule t.loop ~delay:0L (fun () ->
              if not t.down then t.on_msg ~src:t.id msg))
-    else begin
-      let frame = Frame.encode_msg msg in
-      let oc = out_conn t dst in
-      if not (Hashtbl.mem t.addrs dst) then t.dropped <- t.dropped + 1
-      else if oc.q_bytes + String.length frame > t.hwm then t.dropped <- t.dropped + 1
-      else begin
-        Queue.push frame oc.q;
-        oc.q_bytes <- oc.q_bytes + String.length frame;
-        match oc.state with
-        | Idle -> connect_out t oc
-        | Connected _ -> try_flush t oc
-        | Waiting _ | Connecting _ -> ()
-      end
-    end
+    else enqueue_frame t ~dst (Frame.encode_msg msg)
 
 let send t ~dst msg =
   if not t.down then
@@ -276,21 +440,58 @@ let send t ~dst msg =
         enqueue t ~dst msg;
         enqueue t ~dst msg)
 
+let multicast t ~n msg =
+  if not t.down then begin
+    (* Encode once; every peer's queue references the same frame string.
+       Per-peer fault verdicts still apply — a delayed or duplicated copy
+       reuses the shared frame rather than re-encoding. *)
+    let frame = Frame.encode_shared msg in
+    for dst = 0 to n - 1 do
+      if not (Net.Node_id.equal dst t.id) then begin
+        match t.fault with
+        | None -> enqueue_frame t ~dst frame
+        | Some f -> (
+          match f ~dst msg with
+          | Pass -> enqueue_frame t ~dst frame
+          | Fault_drop -> t.faulted <- t.faulted + 1
+          | Fault_delay d ->
+            t.faulted <- t.faulted + 1;
+            ignore
+              (Loop.schedule t.loop ~delay:d (fun () -> enqueue_frame t ~dst frame)
+                : Loop.handle)
+          | Fault_duplicate ->
+            t.faulted <- t.faulted + 1;
+            enqueue_frame t ~dst frame;
+            enqueue_frame t ~dst frame)
+      end
+    done
+  end
+
 (* -- incoming: accept and read ------------------------------------------ *)
 
 exception Protocol_violation
 
 let handle_frame t ic frame =
+  t.stats.frames_recvd <- t.stats.frames_recvd + 1;
   match (ic.src, frame) with
   | None, Frame.Hello src -> ic.src <- Some src
   | Some src, Frame.Msg m -> if not t.down then t.on_msg ~src m
   | None, Frame.Msg _ | Some _, Frame.Hello _ -> raise Protocol_violation
 
+(* read(2) lands directly in the reader's buffer (reserve/commit), so a
+   frame's bytes are touched once on the way in: kernel -> reader ->
+   in-place decode. *)
 let read_in t ic =
-  match Unix.read ic.in_fd t.scratch 0 (Bytes.length t.scratch) with
+  Frame.reserve ic.reader read_chunk;
+  match
+    Unix.read ic.in_fd (Frame.fill_buf ic.reader) (Frame.fill_off ic.reader)
+      (Frame.fill_capacity ic.reader)
+  with
   | 0 -> close_in t ic
   | n -> (
-    match Frame.feed ic.reader t.scratch ~off:0 ~len:n (handle_frame t ic) with
+    t.stats.read_syscalls <- t.stats.read_syscalls + 1;
+    t.stats.bytes_recvd <- t.stats.bytes_recvd + n;
+    match Frame.commit ic.reader n (handle_frame t ic) with
     | Ok () -> ()
     | Error _ -> close_in t ic
     | exception Protocol_violation -> close_in t ic)
@@ -306,7 +507,11 @@ let accept_ready t lfd =
       else begin
         Unix.set_nonblock fd;
         (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-        let ic = { in_fd = fd; reader = Frame.reader ~max_frame:t.max_frame (); src = None } in
+        let ic =
+          { in_fd = fd;
+            reader = Frame.reader ~max_frame:t.max_frame ~pool:t.pool ();
+            src = None }
+        in
         Hashtbl.add t.ins fd ic;
         Loop.watch_read t.loop fd (fun () -> read_in t ic)
       end
@@ -333,7 +538,11 @@ let set_down t down =
   if down <> t.down then begin
     t.down <- down;
     if down then begin
-      Hashtbl.iter (fun _ ic -> close_fd t ic.in_fd) t.ins;
+      Hashtbl.iter
+        (fun _ ic ->
+          Frame.release ic.reader;
+          close_fd t ic.in_fd)
+        t.ins;
       Hashtbl.reset t.ins;
       Hashtbl.iter
         (fun _ oc ->
@@ -355,13 +564,22 @@ let live_connections t =
   outs + Hashtbl.length t.ins
 
 let close t =
-  Hashtbl.iter (fun _ ic -> close_fd t ic.in_fd) t.ins;
+  Hashtbl.iter
+    (fun _ ic ->
+      Frame.release ic.reader;
+      close_fd t ic.in_fd)
+    t.ins;
   Hashtbl.reset t.ins;
-  Hashtbl.iter (fun _ oc -> reset_out t oc) t.outs;
+  Hashtbl.iter
+    (fun _ oc ->
+      reset_out t oc;
+      Pool.release t.pool oc.wbuf)
+    t.outs;
   Hashtbl.reset t.outs;
   (match t.listener with
   | Some lfd ->
     close_fd t lfd;
     t.listener <- None
   | None -> ());
+  Pool.release t.pool t.scratch;
   t.down <- true

@@ -18,7 +18,15 @@
     Failed outgoing connections redial with capped exponential backoff
     plus jitter. {!set_down} models a crashed host: every connection is
     torn down and queued bytes discarded; on revival, peers' backoff
-    redials and the node's own lazy dials knit the mesh back together. *)
+    redials and the node's own lazy dials knit the mesh back together.
+
+    The data plane is zero-copy where it counts: {!multicast} encodes a
+    frame once and queues the same immutable string to every peer
+    (per-peer write offsets make partial writes safe on shared frames);
+    small queued frames are coalesced into one [write(2)] through a
+    pooled gather buffer; reads land directly in the frame reader's
+    buffer and payloads decode in place. Steady-state sends and receives
+    allocate nothing beyond the frame itself and the decoded message. *)
 
 type t
 
@@ -27,10 +35,14 @@ val create :
   id:Net.Node_id.t ->
   ?max_frame:int ->
   ?outbuf_hwm:int ->
+  ?pool:Pool.t ->
   on_msg:(src:Net.Node_id.t -> Core.Msg.t -> unit) ->
   unit ->
   t
-(** [outbuf_hwm] is the per-peer queued-bytes bound (default 4 MiB). *)
+(** [outbuf_hwm] is the per-peer queued-bytes bound (default 4 MiB).
+    [pool] supplies reader/scratch/gather buffers (default: a private
+    pool; pass one explicitly to share across nodes or to enable debug
+    poisoning). *)
 
 val default_outbuf_hwm : int
 
@@ -46,6 +58,13 @@ val send : t -> dst:Net.Node_id.t -> Core.Msg.t -> unit
 (** Frames and queues the message; dials first if no connection is up.
     [dst = id] loops back through the event loop (next round), matching
     the simulator's self-delivery. Silently inert while down. *)
+
+val multicast : t -> n:int -> Core.Msg.t -> unit
+(** Sends [msg] to every peer in [0, n) except this node, encoding the
+    frame {e exactly once}: all [n - 1] queues reference the same
+    immutable frame string. Per-destination fault verdicts are applied
+    as in {!send} (delayed and duplicated copies reuse the shared
+    frame). Silently inert while down. *)
 
 (** {2 Fault surface}
 
@@ -81,6 +100,30 @@ val dropped : t -> int
 
 val live_connections : t -> int
 (** Established connections, both directions (diagnostics / tests). *)
+
+(** {2 Instrumentation} *)
+
+type stats = {
+  mutable write_syscalls : int;
+  mutable read_syscalls : int;
+  mutable frames_sent : int;  (** frames fully handed to the kernel *)
+  mutable frames_recvd : int; (** frames parsed, hellos included *)
+  mutable bytes_sent : int;
+  mutable bytes_recvd : int;
+}
+
+val stats : t -> stats
+(** Live counters (mutated in place as the node runs). [write_syscalls]
+    vs [frames_sent] is the coalescing ratio the net benchmark gates. *)
+
+val pool : t -> Pool.t
+(** The buffer pool behind this node's readers and scratch. *)
+
+val set_max_write : t -> int -> unit
+(** Debug clamp: offer at most [n] bytes per [write(2)] ([n <= 0]
+    restores unlimited). Forces partial-write paths — the torture tests
+    drive a multicast through a 1-byte clamp to prove shared frames
+    survive arbitrarily sliced writes. *)
 
 val close : t -> unit
 (** Tears everything down, listener included. The [t] is dead after. *)

@@ -26,24 +26,38 @@ let pp_error fmt = function
 
 (* -- encoding ----------------------------------------------------------- *)
 
-let add_header b ~kind ~len =
-  Buffer.add_string b magic;
-  Buffer.add_uint16_le b version;
-  Buffer.add_uint8 b kind;
-  Buffer.add_int32_le b (Int32.of_int len)
+(* Counts every message-frame encode since process start. The encode-once
+   multicast property is asserted by diffing this around a multicast: one
+   frame to k peers must bump it by exactly 1. *)
+let encodes = ref 0
+let encode_count () = !encodes
+
+let set_header b ~kind ~len =
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_uint16_le b 4 version;
+  Bytes.set_uint8 b 6 kind;
+  Bytes.set_int32_le b 7 (Int32.of_int len)
 
 let encode_hello id =
-  let b = Buffer.create (header_bytes + 4) in
-  add_header b ~kind:kind_hello ~len:4;
-  Buffer.add_int32_le b (Int32.of_int id);
-  Buffer.contents b
+  let b = Bytes.create (header_bytes + 4) in
+  set_header b ~kind:kind_hello ~len:4;
+  Bytes.set_int32_le b header_bytes (Int32.of_int id);
+  Bytes.unsafe_to_string b
 
-let encode_msg msg =
+(* Header and payload land in one exact-size buffer. The result is an
+   immutable string, so sharing it by reference into every peer's write
+   queue is safe: per-peer progress lives in the queues (head offsets),
+   never in the frame. *)
+let encode_shared msg =
   let payload = Core.Codec.encode_msg msg in
-  let b = Buffer.create (header_bytes + String.length payload) in
-  add_header b ~kind:kind_msg ~len:(String.length payload);
-  Buffer.add_string b payload;
-  Buffer.contents b
+  let len = String.length payload in
+  let b = Bytes.create (header_bytes + len) in
+  set_header b ~kind:kind_msg ~len;
+  Bytes.blit_string payload 0 b header_bytes len;
+  incr encodes;
+  Bytes.unsafe_to_string b
+
+let encode_msg = encode_shared
 
 (* -- incremental decoding ----------------------------------------------- *)
 
@@ -51,17 +65,42 @@ let encode_msg msg =
    prefix; complete frames are parsed out and the tail compacted to the
    front. Simpler than a ring and plenty for per-connection rates — the
    buffer holds at most one partial frame plus whatever one read(2)
-   appended. *)
+   appended. Buffers come from the connection's [Pool] when one is given,
+   so redial churn recycles them. *)
 type reader = {
   max_frame : int;
+  pool : Pool.t option;
   mutable buf : Bytes.t;
   mutable start : int;    (* first unconsumed byte *)
   mutable stop : int;     (* one past the last valid byte *)
   mutable poisoned : error option;
 }
 
-let reader ?(max_frame = default_max_frame) () =
-  { max_frame; buf = Bytes.create 4096; start = 0; stop = 0; poisoned = None }
+let alloc r n =
+  match r.pool with
+  | Some p -> Pool.acquire p n
+  | None -> Bytes.create n
+
+let free_buf r b =
+  match r.pool with
+  | Some p -> Pool.release p b
+  | None -> ()
+
+let reader ?(max_frame = default_max_frame) ?pool () =
+  let buf =
+    match pool with
+    | Some p -> Pool.acquire p 4096
+    | None -> Bytes.create 4096
+  in
+  { max_frame; pool; buf; start = 0; stop = 0; poisoned = None }
+
+let release r =
+  free_buf r r.buf;
+  (* Leave the reader unusable rather than aliasing a recycled buffer. *)
+  r.buf <- Bytes.empty;
+  r.start <- 0;
+  r.stop <- 0;
+  if r.poisoned = None then r.poisoned <- Some Short_read
 
 let buffered r = r.stop - r.start
 
@@ -79,8 +118,9 @@ let ensure_room r extra =
     while !cap < need do
       cap := !cap * 2
     done;
-    let bigger = Bytes.create !cap in
+    let bigger = alloc r !cap in
     Bytes.blit r.buf r.start bigger 0 live;
+    free_buf r r.buf;
     r.buf <- bigger;
     r.start <- 0;
     r.stop <- live
@@ -108,17 +148,24 @@ let parse_one r k =
         if len > r.max_frame then `Error (Oversized len)
         else if live < header_bytes + len then `Need_more
         else begin
-          let payload = Bytes.sub_string r.buf (base + header_bytes) len in
-          r.start <- base + header_bytes + len;
+          let pbase = base + header_bytes in
+          r.start <- pbase + len;
           if kind = kind_hello then
             if len = 4 then begin
-              let id = Int32.to_int (String.get_int32_le payload 0) land 0xFFFFFFFF in
+              let id = Int32.to_int (Bytes.get_int32_le r.buf pbase) land 0xFFFFFFFF in
               k (Hello id);
               `Parsed
             end
             else `Error Decode_failed
           else if kind = kind_msg then (
-            match Core.Codec.decode_msg payload with
+            (* Decode the payload where it sits instead of [Bytes.sub_string]
+               first. The string view of [r.buf] is only read inside
+               [decode_msg_sub], which returns before the buffer can be
+               compacted, grown or refilled, and everything the decoded
+               message keeps is copied out by the codec. *)
+            match
+              Core.Codec.decode_msg_sub (Bytes.unsafe_to_string r.buf) ~off:pbase ~len
+            with
             | Some msg ->
               k (Msg msg);
               `Parsed
@@ -127,6 +174,17 @@ let parse_one r k =
         end
   end
 
+let drain r k =
+  let rec go () =
+    match parse_one r k with
+    | `Parsed -> go ()
+    | `Need_more -> Ok ()
+    | `Error e ->
+      r.poisoned <- Some e;
+      Error e
+  in
+  go ()
+
 let feed r buf ~off ~len k =
   match r.poisoned with
   | Some e -> Error e
@@ -134,15 +192,27 @@ let feed r buf ~off ~len k =
     ensure_room r len;
     Bytes.blit buf off r.buf r.stop len;
     r.stop <- r.stop + len;
-    let rec drain () =
-      match parse_one r k with
-      | `Parsed -> drain ()
-      | `Need_more -> Ok ()
-      | `Error e ->
-        r.poisoned <- Some e;
-        Error e
-    in
-    drain ()
+    drain r k
+
+(* -- zero-copy fill: read(2) straight into the reader ------------------- *)
+
+let reserve r n =
+  (match r.poisoned with
+  | Some _ -> ()
+  | None -> ensure_room r n);
+  ()
+
+let fill_buf r = r.buf
+let fill_off r = r.stop
+let fill_capacity r = Bytes.length r.buf - r.stop
+
+let commit r n k =
+  match r.poisoned with
+  | Some e -> Error e
+  | None ->
+    if n < 0 || n > fill_capacity r then invalid_arg "Frame.commit";
+    r.stop <- r.stop + n;
+    drain r k
 
 let check_eof r =
   match r.poisoned with

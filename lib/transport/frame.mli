@@ -56,16 +56,36 @@ val pp_error : Format.formatter -> error -> unit
 val encode_hello : Net.Node_id.t -> string
 (** A complete hello frame (header + payload). *)
 
+val encode_shared : Core.Msg.t -> string
+(** A complete message frame — header and payload in one exact-size
+    immutable buffer. Because the result is an immutable string, a
+    multicast can enqueue the {e same} value by reference into every
+    peer's write queue; per-peer write progress lives in the queues, so
+    partial writes never force a copy. Raises
+    {!Core.Codec.Encode_error} on unrepresentable values, as the codec
+    does. Bumps {!encode_count}. *)
+
 val encode_msg : Core.Msg.t -> string
-(** A complete message frame. Raises {!Core.Codec.Encode_error} on
-    unrepresentable values, as the codec does. *)
+(** Alias of {!encode_shared} (every message frame is shareable). *)
+
+val encode_count : unit -> int
+(** Message-frame encodes since process start. Diff around a multicast
+    to assert the encode-once property: one frame to [k] peers bumps
+    this by exactly 1. *)
 
 (** {2 Incremental decoding} *)
 
 type reader
 
-val reader : ?max_frame:int -> unit -> reader
-(** A fresh stream decoder (one per connection direction). *)
+val reader : ?max_frame:int -> ?pool:Pool.t -> unit -> reader
+(** A fresh stream decoder (one per connection direction). With [pool],
+    the accumulation buffer is acquired from it (and returned on
+    {!release} or growth), so connection churn recycles buffers. *)
+
+val release : reader -> unit
+(** Returns the reader's buffer to its pool (if any) and poisons the
+    reader. Call exactly once when the connection dies; the reader must
+    not be fed afterwards. *)
 
 val feed :
   reader -> bytes -> off:int -> len:int -> (frame -> unit) -> (unit, error) result
@@ -74,6 +94,36 @@ val feed :
     poisoned: subsequent feeds return the same error (the connection
     must be dropped — after a framing error resynchronization is
     impossible). *)
+
+(** {3 Zero-copy fill}
+
+    [feed] copies from the caller's scratch into the reader; the
+    reserve/commit triple lets [read(2)] land bytes {e directly} in the
+    reader's buffer instead:
+
+    {[
+      Frame.reserve r 65536;
+      let n = Unix.read fd (Frame.fill_buf r) (Frame.fill_off r)
+                (Frame.fill_capacity r) in
+      Frame.commit r n k
+    ]}
+
+    [fill_buf]/[fill_off]/[fill_capacity] are only valid until the next
+    reader operation ([reserve] and [commit] both may move or replace
+    the buffer). *)
+
+val reserve : reader -> int -> unit
+(** Make at least [n] bytes of writable tail available (compacting or
+    growing as needed). No-op on a poisoned reader. *)
+
+val fill_buf : reader -> Bytes.t
+val fill_off : reader -> int
+val fill_capacity : reader -> int
+
+val commit : reader -> int -> (frame -> unit) -> (unit, error) result
+(** [commit r n k] declares [n] bytes written at [fill_off] and parses
+    any completed frames, exactly as {!feed} would. Raises
+    [Invalid_argument] if [n] exceeds [fill_capacity]. *)
 
 val check_eof : reader -> (unit, error) result
 (** Call when the peer closes: [Error Short_read] if the stream ended

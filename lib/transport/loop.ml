@@ -8,6 +8,16 @@ type t = {
   cancelled : (int, unit) Hashtbl.t;
   readers : (Unix.file_descr, unit -> unit) Hashtbl.t;
   writers : (Unix.file_descr, unit -> unit) Hashtbl.t;
+  (* Cached fd lists for select(2), rebuilt only when the watch sets
+     change: watch/unwatch churn is rare next to rounds, and folding the
+     tables every round allocated a fresh list pair per iteration. *)
+  mutable rd_cache : Unix.file_descr list;
+  mutable wr_cache : Unix.file_descr list;
+  mutable rd_dirty : bool;
+  mutable wr_dirty : bool;
+  (* End-of-phase hooks (see [on_tick]): run after timers fire and after
+     fd dispatch, always before the loop can block in select(2). *)
+  mutable ticks : (unit -> unit) list;
   mutable stopped : bool;
 }
 
@@ -23,6 +33,11 @@ let create () =
     cancelled = Hashtbl.create 16;
     readers = Hashtbl.create 16;
     writers = Hashtbl.create 16;
+    rd_cache = [];
+    wr_cache = [];
+    rd_dirty = false;
+    wr_dirty = false;
+    ticks = [];
     stopped = false;
   }
 
@@ -93,24 +108,56 @@ let select_timeout t ~cap =
 
 (* -- file descriptors --------------------------------------------------- *)
 
-let watch_read t fd f = Hashtbl.replace t.readers fd f
-let watch_write t fd f = Hashtbl.replace t.writers fd f
-let unwatch_write t fd = Hashtbl.remove t.writers fd
+let watch_read t fd f =
+  if not (Hashtbl.mem t.readers fd) then t.rd_dirty <- true;
+  Hashtbl.replace t.readers fd f
+
+let watch_write t fd f =
+  if not (Hashtbl.mem t.writers fd) then t.wr_dirty <- true;
+  Hashtbl.replace t.writers fd f
+
+let unwatch_write t fd =
+  if Hashtbl.mem t.writers fd then begin
+    Hashtbl.remove t.writers fd;
+    t.wr_dirty <- true
+  end
 
 let unwatch t fd =
-  Hashtbl.remove t.readers fd;
-  Hashtbl.remove t.writers fd
+  if Hashtbl.mem t.readers fd then begin
+    Hashtbl.remove t.readers fd;
+    t.rd_dirty <- true
+  end;
+  unwatch_write t fd
 
 let keys tbl = Hashtbl.fold (fun fd _ acc -> fd :: acc) tbl []
+
+let read_fds t =
+  if t.rd_dirty then begin
+    t.rd_cache <- keys t.readers;
+    t.rd_dirty <- false
+  end;
+  t.rd_cache
+
+let write_fds t =
+  if t.wr_dirty then begin
+    t.wr_cache <- keys t.writers;
+    t.wr_dirty <- false
+  end;
+  t.wr_cache
+
+let on_tick t f = t.ticks <- f :: t.ticks
 
 (* -- driving ------------------------------------------------------------ *)
 
 let max_block = 0.05
 
+let run_ticks t = List.iter (fun f -> f ()) t.ticks
+
 let round t =
   fire_due t;
+  run_ticks t;
   let timeout = select_timeout t ~cap:max_block in
-  let rds = keys t.readers and wrs = keys t.writers in
+  let rds = read_fds t and wrs = write_fds t in
   let ready_r, ready_w =
     match Unix.select rds wrs [] timeout with
     | r, w, _ -> (r, w)
@@ -130,7 +177,8 @@ let round t =
       | Some f -> f ()
       | None -> ())
     ready_w;
-  fire_due t
+  fire_due t;
+  run_ticks t
 
 let run_while t pred =
   t.stopped <- false;

@@ -58,6 +58,14 @@ val unwatch_write : t -> Unix.file_descr -> unit
 val unwatch : t -> Unix.file_descr -> unit
 (** Removes both directions. *)
 
+val on_tick : t -> (unit -> unit) -> unit
+(** Registers a hook run after every batch of work — after due timers
+    fire and after fd callbacks dispatch — and always before the loop
+    can block in select(2). {!Conn} uses this to flush write queues once
+    per batch, so the many small frames one round produces coalesce into
+    one [write(2)] per peer instead of one each. Hooks cannot be
+    removed; they live as long as the loop. *)
+
 (** {2 Driving} *)
 
 val run_while : t -> (unit -> bool) -> unit

@@ -1,0 +1,46 @@
+(** Size-classed [Bytes.t] pool for transport buffers.
+
+    Reader accumulation buffers, read scratch and write-coalescing
+    buffers are acquired here and released on connection teardown, so
+    redial churn recycles buffers instead of re-allocating them. Classes
+    are powers of two from 4 KiB to 4 MiB; requests above the largest
+    class degrade to plain allocations that {!release} quietly drops.
+
+    With [debug], released buffers are filled with {!poison_byte} (a
+    use-after-release reads poison, not stale frames) and releasing the
+    same buffer twice raises [Invalid_argument]. *)
+
+type t
+
+type stats = {
+  mutable acquires : int;
+  mutable hits : int;      (** acquires served by recycling *)
+  mutable releases : int;
+  mutable dropped : int;   (** off-class releases, not pooled *)
+}
+
+val create : ?debug:bool -> unit -> t
+(** [debug] defaults to [false]; see above. *)
+
+val acquire : t -> int -> Bytes.t
+(** A buffer of length >= [n] (its class size — callers track fill
+    themselves). Contents are arbitrary, poisoned in debug pools. *)
+
+val release : t -> Bytes.t -> unit
+(** Returns a buffer to its class free list. Safe on any [Bytes.t]:
+    buffers of off-class lengths are dropped, not pooled. In debug
+    pools, raises [Invalid_argument] on a double release. *)
+
+val min_class : int
+(** 4096. *)
+
+val max_class : int
+(** 4 MiB. *)
+
+val poison_byte : char
+(** [0xDE]. *)
+
+val debug_enabled : t -> bool
+val stats : t -> stats
+val free_buffers : t -> int
+(** Buffers currently sitting in free lists (diagnostics / tests). *)

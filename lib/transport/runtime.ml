@@ -4,12 +4,12 @@ type node = {
   platform : Core.Platform.t;
 }
 
-let node ~loop ~id ~n ?max_frame ?outbuf_hwm () =
+let node ~loop ~id ~n ?max_frame ?outbuf_hwm ?pool () =
   (* The replica installs its handler via the platform after the conn
      exists; route deliveries through a cell to break the cycle. *)
   let handler = ref (fun ~src:_ (_ : Core.Msg.t) -> ()) in
   let conn =
-    Conn.create ~loop ~id ?max_frame ?outbuf_hwm
+    Conn.create ~loop ~id ?max_frame ?outbuf_hwm ?pool
       ~on_msg:(fun ~src msg -> !handler ~src msg)
       ()
   in
@@ -20,11 +20,8 @@ let node ~loop ~id ~n ?max_frame ?outbuf_hwm () =
       schedule_at = (fun ~at f -> ignore (Loop.schedule_at loop ~at f : Loop.handle));
       set_handler = (fun h -> handler := h);
       send = (fun ~dst msg -> Conn.send conn ~dst msg);
-      multicast =
-        (fun msg ->
-          for dst = 0 to n - 1 do
-            if not (Net.Node_id.equal dst id) then Conn.send conn ~dst msg
-          done);
+      (* Encode-once: one frame string shared across all n-1 queues. *)
+      multicast = (fun msg -> Conn.multicast conn ~n msg);
       charge_egress = (fun ~size:_ ~category:_ -> ());
       submit = (fun ~cost:_ f -> ignore (Loop.schedule loop ~delay:0L f : Loop.handle));
       submit_ns =

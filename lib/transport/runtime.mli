@@ -18,6 +18,7 @@ val node :
   n:int ->
   ?max_frame:int ->
   ?outbuf_hwm:int ->
+  ?pool:Pool.t ->
   unit ->
   node
 

@@ -153,6 +153,165 @@ let test_loop_schedule_from_callback () =
   checki "chained zero-delay timers both ran" 2 !hits;
   checkb "clock is monotone" true (Transport.Loop.now_ns loop >= 0)
 
+(* -- zero-copy data plane ------------------------------------------------ *)
+
+let test_pool_reuse_poison_double_free () =
+  let p = Transport.Pool.create ~debug:true () in
+  let b = Transport.Pool.acquire p 5000 in
+  checki "request rounds up to its class" 8192 (Bytes.length b);
+  Bytes.fill b 0 (Bytes.length b) 'x';
+  Transport.Pool.release p b;
+  checkb "released buffer is poisoned" true
+    (Bytes.get b 0 = Transport.Pool.poison_byte
+    && Bytes.get b 8191 = Transport.Pool.poison_byte);
+  let b' = Transport.Pool.acquire p 8192 in
+  checkb "acquire recycles the released buffer" true (b' == b);
+  checki "hit counted" 1 (Transport.Pool.stats p).Transport.Pool.hits;
+  Transport.Pool.release p b';
+  (match Transport.Pool.release p b' with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double release undetected");
+  (* Off-class lengths are never pooled (they would poison the classes). *)
+  Transport.Pool.release p (Bytes.create 100);
+  checki "off-class release dropped" 1 (Transport.Pool.stats p).Transport.Pool.dropped;
+  (* Oversized requests degrade to exact plain allocations. *)
+  let big = Transport.Pool.acquire p (Transport.Pool.max_class + 1) in
+  checki "oversized is exact-size" (Transport.Pool.max_class + 1) (Bytes.length big);
+  let before = (Transport.Pool.stats p).Transport.Pool.dropped in
+  Transport.Pool.release p big;
+  checki "oversized release dropped too" (before + 1)
+    (Transport.Pool.stats p).Transport.Pool.dropped
+
+(* A sender [Conn] dialing plain listening sockets the test reads raw
+   bytes from: the ground truth for what actually hit the wire. *)
+let raw_listener () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 8;
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, port) -> (fd, port)
+  | Unix.ADDR_UNIX _ -> assert false
+
+let read_exactly fd n =
+  let b = Bytes.create n in
+  let got = ref 0 in
+  while !got < n do
+    let k = Unix.read fd b !got (n - !got) in
+    if k = 0 then Alcotest.fail "peer stream ended early";
+    got := !got + k
+  done;
+  Bytes.to_string b
+
+let spin loop pred =
+  let deadline = Transport.Loop.now_ns loop + 10_000_000_000 in
+  Transport.Loop.run_while loop (fun () ->
+      Transport.Loop.now_ns loop < deadline && not (pred ()));
+  pred ()
+
+(* Multicast to [k] raw peers; return per-peer wire bytes. [clamp] caps
+   bytes per write(2) to force partial-write paths. *)
+let multicast_wire ?clamp msgs =
+  let k = 3 in
+  let loop = Transport.Loop.create () in
+  let conn = Transport.Conn.create ~loop ~id:0 ~on_msg:(fun ~src:_ _ -> ()) () in
+  (match clamp with Some c -> Transport.Conn.set_max_write conn c | None -> ());
+  let listeners = Array.init k (fun _ -> raw_listener ()) in
+  Array.iteri
+    (fun i (_, port) ->
+      Transport.Conn.set_peer_addr conn (i + 1)
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, port)))
+    listeners;
+  let e0 = Transport.Frame.encode_count () in
+  List.iter (fun m -> Transport.Conn.multicast conn ~n:(k + 1) m) msgs;
+  checki "one encode per multicast, regardless of fan-out"
+    (List.length msgs)
+    (Transport.Frame.encode_count () - e0);
+  (* [frames_sent] counts queued frames only — the hello goes out as the
+     connection prefix, not through the queue. *)
+  let done_ = spin loop (fun () ->
+      (Transport.Conn.stats conn).Transport.Conn.frames_sent = List.length msgs * k)
+  in
+  checkb "all frames flushed" true done_;
+  checki "nothing dropped" 0 (Transport.Conn.dropped conn);
+  let expected_bytes =
+    Transport.Frame.encode_hello 0
+    ^ String.concat "" (List.map Transport.Frame.encode_msg msgs)
+  in
+  let wires =
+    Array.map
+      (fun (lfd, _) ->
+        let fd, _ = Unix.accept lfd in
+        let s = read_exactly fd (String.length expected_bytes) in
+        Unix.close fd;
+        Unix.close lfd;
+        s)
+      listeners
+  in
+  Transport.Conn.close conn;
+  (expected_bytes, wires, Transport.Conn.stats conn)
+
+let some_msgs () =
+  List.map
+    (fun s -> Core.Msg.Fetch { hash = Crypto.Hash.of_string s })
+    [ "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" ]
+
+let test_multicast_byte_equivalence () =
+  let expected, wires, _ = multicast_wire (some_msgs ()) in
+  Array.iteri
+    (fun i wire -> checks (Printf.sprintf "peer %d wire bytes" (i + 1)) expected wire)
+    wires
+
+let test_multicast_coalesces_writes () =
+  (* All frames are queued while the dial is still in progress, so the
+     first flush finds the whole backlog: the hello plus one gather write
+     should drain it — syscalls/frame far below 1. *)
+  let msgs = some_msgs () in
+  let _, _, stats = multicast_wire msgs in
+  let k = 3 in
+  checki "every frame sent" (List.length msgs * k) stats.Transport.Conn.frames_sent;
+  checkb
+    (Printf.sprintf "coalesced: %d write syscalls for %d frames"
+       stats.Transport.Conn.write_syscalls stats.Transport.Conn.frames_sent)
+    true
+    (stats.Transport.Conn.write_syscalls <= 3 * k)
+
+let test_multicast_one_byte_torture () =
+  (* Clamp every write(2) to a single byte: shared frames cross the wire
+     one byte at a time, head offsets walking through frame boundaries on
+     every peer independently. The wire must still be byte-identical to a
+     per-peer encode. *)
+  let expected, wires, _ = multicast_wire ~clamp:1 (some_msgs ()) in
+  Array.iteri
+    (fun i wire ->
+      checks (Printf.sprintf "peer %d wire bytes under clamp" (i + 1)) expected wire)
+    wires
+
+let test_multicast_delivery_and_stats () =
+  (* Two real Conn endpoints: multicast delivery decodes back to the
+     original message and the receive counters move. *)
+  let loop = Transport.Loop.create () in
+  let got = ref [] in
+  let a = Transport.Conn.create ~loop ~id:0 ~on_msg:(fun ~src:_ _ -> ()) () in
+  let b =
+    Transport.Conn.create ~loop ~id:1 ~on_msg:(fun ~src msg -> got := (src, msg) :: !got) ()
+  in
+  let port = Transport.Conn.listen b () in
+  Transport.Conn.set_peer_addr a 1 (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let msg = Core.Msg.Fetch { hash = Crypto.Hash.of_string "zz" } in
+  Transport.Conn.multicast a ~n:2 msg;
+  let ok = spin loop (fun () -> !got <> []) in
+  checkb "delivered" true ok;
+  (match !got with
+  | [ (0, m) ] -> checkb "decodes equal" true (Core.Codec.msg_equal m msg)
+  | _ -> Alcotest.fail "wrong delivery");
+  let sb = Transport.Conn.stats b in
+  checkb "receiver counted reads" true (sb.Transport.Conn.read_syscalls > 0);
+  checki "receiver parsed hello + msg" 2 sb.Transport.Conn.frames_recvd;
+  checkb "receiver counted bytes" true (sb.Transport.Conn.bytes_recvd > 0);
+  Transport.Conn.close a;
+  Transport.Conn.close b
+
 (* -- real-TCP clusters --------------------------------------------------- *)
 
 (* Small batches and snappy timers: commits every few tens of
@@ -241,6 +400,17 @@ let () =
         [ Alcotest.test_case "same-instant FIFO" `Quick test_loop_timer_fifo;
           Alcotest.test_case "cancel" `Quick test_loop_cancel;
           Alcotest.test_case "schedule from callback" `Quick test_loop_schedule_from_callback ] );
+      ( "data plane",
+        [ Alcotest.test_case "pool: reuse, poison, double free" `Quick
+            test_pool_reuse_poison_double_free;
+          Alcotest.test_case "multicast: wire bytes = per-peer encode" `Quick
+            test_multicast_byte_equivalence;
+          Alcotest.test_case "multicast: gather coalesces writes" `Quick
+            test_multicast_coalesces_writes;
+          Alcotest.test_case "multicast: 1-byte write torture" `Quick
+            test_multicast_one_byte_torture;
+          Alcotest.test_case "multicast: delivery & recv counters" `Quick
+            test_multicast_delivery_and_stats ] );
       ( "tcp cluster",
         [ Alcotest.test_case "commits & state-hash agreement" `Quick
             test_tcp_cluster_commits_and_converges;
