@@ -6,22 +6,27 @@ let parent l r = Hash.combine [ l; r ]
 (* [root] is the hot path: it runs once per datablock creation and once
    per receiver-side verification, over alpha leaves. The list-based
    [level_up] allocates a fresh list per level (~33 words per inner node);
-   instead the levels are computed into two module-level ping-pong scratch
-   buffers with [Sha256.digest_pair_into], so a root costs exactly one
-   32-byte string allocation (the result) regardless of width. The scratch
-   grows to the widest leaf set seen and is reused; single-domain use only,
-   like the rest of the crypto layer. *)
-let scratch_a = ref (Bytes.create (256 * Hash.size_bytes))
-let scratch_b = ref (Bytes.create (256 * Hash.size_bytes))
+   instead the levels are computed into two ping-pong scratch buffers with
+   [Sha256.digest_pair_into], so a root costs exactly one 32-byte string
+   allocation (the result) regardless of width. The scratch grows to the
+   widest leaf set seen and is reused; it lives in domain-local storage so
+   concurrent [root] calls from different domains each get their own and
+   cannot corrupt one another. *)
+type scratch = { mutable a : Bytes.t; mutable b : Bytes.t }
 
-let ensure_scratch need =
-  if Bytes.length !scratch_a < need then begin
-    let cap = ref (Bytes.length !scratch_a) in
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { a = Bytes.create (256 * Hash.size_bytes);
+        b = Bytes.create (256 * Hash.size_bytes) })
+
+let ensure_scratch s need =
+  if Bytes.length s.a < need then begin
+    let cap = ref (Bytes.length s.a) in
     while !cap < need do
       cap := !cap * 2
     done;
-    scratch_a := Bytes.create !cap;
-    scratch_b := Bytes.create !cap
+    s.a <- Bytes.create !cap;
+    s.b <- Bytes.create !cap
   end
 
 let root = function
@@ -29,8 +34,9 @@ let root = function
   | [ x ] -> x
   | leaves ->
     let n = List.length leaves in
-    ensure_scratch (n * Hash.size_bytes);
-    let src = ref !scratch_a and dst = ref !scratch_b in
+    let s = Domain.DLS.get scratch_key in
+    ensure_scratch s (n * Hash.size_bytes);
+    let src = ref s.a and dst = ref s.b in
     List.iteri (fun i h -> Bytes.blit_string (Hash.raw h) 0 !src (i * Hash.size_bytes) Hash.size_bytes) leaves;
     let width = ref n in
     while !width > 1 do

@@ -11,7 +11,9 @@ type proof
 val root : Hash.t list -> Hash.t
 (** Merkle root of the leaves; leaves are paired left-to-right and odd
     tails are promoted. The root of [[]] is the hash of the empty string,
-    and a singleton's root is its element. *)
+    and a singleton's root is its element. Allocates only the resulting
+    digest: intermediate levels are computed in domain-local scratch, so
+    concurrent calls from different domains are safe. *)
 
 val prove : Hash.t list -> int -> proof option
 (** [prove leaves i] is the inclusion proof of leaf [i], or [None] when

@@ -408,20 +408,22 @@ let digest_strings parts =
 (* Merkle inner-node fast path: a 64-byte message (two concatenated
    32-byte digests) is exactly one data block plus one padding block, and
    the padding block is a constant — 0x80, zeros, bit length 512. Two
-   [compress] calls over preallocated scratch, no allocation at all. *)
+   [compress] calls over preallocated scratch, no steady-state allocation.
+   The scratch state vector is domain-local so concurrent callers in
+   different domains cannot interleave compress rounds. *)
 let pair_pad =
   let b = Bytes.make 64 '\000' in
   Bytes.unsafe_set b 0 '\x80';
   Bytes.set_int64_be b 56 512L;
   b
 
-let pair_h = Array.make 8 0
+let pair_h_key = Domain.DLS.new_key (fun () -> Array.make 8 0)
 
 let digest_pair_into ~src ~src_off ~dst ~dst_off =
   if src_off < 0 || src_off + 64 > Bytes.length src || dst_off < 0
      || dst_off + 32 > Bytes.length dst
   then invalid_arg "Sha256.digest_pair_into";
-  let h = pair_h in
+  let h = Domain.DLS.get pair_h_key in
   h.(0) <- 0x6a09e667; h.(1) <- 0xbb67ae85;
   h.(2) <- 0x3c6ef372; h.(3) <- 0xa54ff53a;
   h.(4) <- 0x510e527f; h.(5) <- 0x9b05688c;

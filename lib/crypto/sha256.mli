@@ -26,9 +26,11 @@ val digest_strings : string list -> string
 val digest_pair_into : src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> unit
 (** Digest of exactly the 64 bytes at [src_off] in [src] (two
     concatenated 32-byte digests), written to [dst.(dst_off..+31)]
-    without allocating — the Merkle inner-node primitive. Equal to
-    [digest_string (Bytes.sub_string src src_off 64)]. Uses module-level
-    scratch state; not reentrant. *)
+    without allocating in steady state — the Merkle inner-node
+    primitive. Equal to [digest_string (Bytes.sub_string src src_off
+    64)]. Uses domain-local scratch state: safe to call from multiple
+    domains, but not from signal handlers or effect handlers that could
+    interrupt another call on the same domain. *)
 
 val hmac : key:string -> string -> string
 (** HMAC-SHA256 (RFC 2104); the primitive under the simulated signature

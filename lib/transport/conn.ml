@@ -6,6 +6,13 @@ let backoff_cap_ns = 2_000_000_000 (* 2 s *)
 let read_chunk = 65536
 let gather_bytes = 65536
 
+(* Upper bound on bytes [Unix.single_write] accepts per call
+   (UNIX_BUFFER_SIZE in the OCaml runtime). Clamping [want] to it keeps
+   the short-write heuristic honest: without the clamp, a write the
+   runtime silently truncated to this size would look like a kernel
+   short write and park the connection on writability for nothing. *)
+let max_single_write = 65536
+
 (* Per-peer pending-frame queue: a power-of-two ring of frame strings.
    Pushing to a [Queue.t] allocates a cell per frame; the ring's steady
    state allocates nothing (slots are reused, popped slots cleared so
@@ -113,6 +120,7 @@ type t = {
   mutable faulted : int;
   mutable max_write : int; (* debug clamp on bytes per write(2) *)
   mutable flushq : out_conn list; (* peers with frames queued this tick *)
+  mutable tick : Loop.tick_handle option; (* flush hook; removed on close *)
   rng : Random.State.t;
   pool : Pool.t;
   scratch : Bytes.t; (* drain buffer for dialed-connection reads *)
@@ -242,17 +250,25 @@ and try_flush t oc =
   | Connected fd -> (
     let progress = ref true in
     let blocked = ref false in
-    (* One write(2) per iteration, each offered as many bytes as we have
-       (clamped by [max_write]): the hello tail, then either the head
-       frame written directly from its own string — zero copy, when it is
-       large or alone — or a gather of many small frames coalesced
-       through [oc.wbuf] so one syscall drains them all. A short write
-       means the kernel buffer is full: stop and wait for writability. *)
+    (* One write(2) per iteration — [Unix.single_write], never
+       [Unix.write]: the latter loops over internal chunks and raises
+       EAGAIN without reporting bytes the kernel already accepted, which
+       would re-send them next flush and corrupt the stream mid-frame.
+       [single_write] maps to exactly one syscall and reports every
+       accepted byte, so [queue_advance] always sees the truth. Each call
+       is offered as many bytes as we have (clamped by [max_write] and
+       [max_single_write]): the hello tail, then either the head frame
+       written directly from its own string — zero copy, when it is large
+       or alone — or a gather of many small frames coalesced through
+       [oc.wbuf] so one syscall drains them all. A short write means the
+       kernel buffer is full: stop and wait for writability. *)
     (try
        while !progress && not !blocked do
          if oc.pre_off < String.length oc.pre then begin
-           let want = min (String.length oc.pre - oc.pre_off) t.max_write in
-           let n = Unix.write_substring fd oc.pre oc.pre_off want in
+           let want =
+             min (min (String.length oc.pre - oc.pre_off) t.max_write) max_single_write
+           in
+           let n = Unix.single_write_substring fd oc.pre oc.pre_off want in
            t.stats.write_syscalls <- t.stats.write_syscalls + 1;
            t.stats.bytes_sent <- t.stats.bytes_sent + n;
            oc.pre_off <- oc.pre_off + n;
@@ -262,8 +278,8 @@ and try_flush t oc =
            let head = Ring.peek oc.q in
            let head_rem = String.length head - oc.head_off in
            if head_rem >= Bytes.length oc.wbuf || Ring.length oc.q = 1 then begin
-             let want = min head_rem t.max_write in
-             let n = Unix.write_substring fd head oc.head_off want in
+             let want = min (min head_rem t.max_write) max_single_write in
+             let n = Unix.single_write_substring fd head oc.head_off want in
              t.stats.write_syscalls <- t.stats.write_syscalls + 1;
              t.stats.bytes_sent <- t.stats.bytes_sent + n;
              queue_advance t oc n;
@@ -271,8 +287,8 @@ and try_flush t oc =
            end
            else begin
              let filled = gather oc in
-             let want = min filled t.max_write in
-             let n = Unix.write fd oc.wbuf 0 want in
+             let want = min (min filled t.max_write) max_single_write in
+             let n = Unix.single_write fd oc.wbuf 0 want in
              t.stats.write_syscalls <- t.stats.write_syscalls + 1;
              t.stats.bytes_sent <- t.stats.bytes_sent + n;
              queue_advance t oc n;
@@ -355,6 +371,7 @@ let create ~loop ~id ?(max_frame = Frame.default_max_frame)
       faulted = 0;
       max_write = max_int;
       flushq = [];
+      tick = None;
       rng = Random.State.make [| 0x1e09a4d; id |];
       pool;
       scratch = Pool.acquire pool read_chunk;
@@ -366,7 +383,7 @@ let create ~loop ~id ?(max_frame = Frame.default_max_frame)
           bytes_sent = 0;
           bytes_recvd = 0 } }
   in
-  Loop.on_tick loop (fun () -> flush_pending t);
+  t.tick <- Some (Loop.on_tick loop (fun () -> flush_pending t));
   t
 
 let out_conn t dst =
@@ -564,6 +581,14 @@ let live_connections t =
   outs + Hashtbl.length t.ins
 
 let close t =
+  (* Deregister the flush hook first: a closed conn must not be kept
+     alive (or ticked) by the loop for the rest of the loop's life. *)
+  (match t.tick with
+  | Some h ->
+    Loop.remove_tick t.loop h;
+    t.tick <- None
+  | None -> ());
+  t.flushq <- [];
   Hashtbl.iter
     (fun _ ic ->
       Frame.release ic.reader;

@@ -1,4 +1,5 @@
 type handle = int
+type tick_handle = int
 
 type t = {
   t0 : float;                              (* wall time at [create] *)
@@ -16,8 +17,11 @@ type t = {
   mutable rd_dirty : bool;
   mutable wr_dirty : bool;
   (* End-of-phase hooks (see [on_tick]): run after timers fire and after
-     fd dispatch, always before the loop can block in select(2). *)
-  mutable ticks : (unit -> unit) list;
+     fd dispatch, always before the loop can block in select(2). Keyed
+     so an owner tearing itself down can deregister ([remove_tick]) and
+     stop being kept alive by the loop. *)
+  mutable ticks : (tick_handle * (unit -> unit)) list;
+  mutable next_tick : tick_handle;
   mutable stopped : bool;
 }
 
@@ -38,6 +42,7 @@ let create () =
     rd_dirty = false;
     wr_dirty = false;
     ticks = [];
+    next_tick = 0;
     stopped = false;
   }
 
@@ -145,13 +150,19 @@ let write_fds t =
   end;
   t.wr_cache
 
-let on_tick t f = t.ticks <- f :: t.ticks
+let on_tick t f =
+  let h = t.next_tick in
+  t.next_tick <- h + 1;
+  t.ticks <- (h, f) :: t.ticks;
+  h
+
+let remove_tick t h = t.ticks <- List.filter (fun (h', _) -> h' <> h) t.ticks
 
 (* -- driving ------------------------------------------------------------ *)
 
 let max_block = 0.05
 
-let run_ticks t = List.iter (fun f -> f ()) t.ticks
+let run_ticks t = List.iter (fun (_, f) -> f ()) t.ticks
 
 let round t =
   fire_due t;

@@ -58,13 +58,20 @@ val unwatch_write : t -> Unix.file_descr -> unit
 val unwatch : t -> Unix.file_descr -> unit
 (** Removes both directions. *)
 
-val on_tick : t -> (unit -> unit) -> unit
+type tick_handle
+(** A registered tick hook, usable for deregistration. *)
+
+val on_tick : t -> (unit -> unit) -> tick_handle
 (** Registers a hook run after every batch of work — after due timers
     fire and after fd callbacks dispatch — and always before the loop
     can block in select(2). {!Conn} uses this to flush write queues once
     per batch, so the many small frames one round produces coalesce into
-    one [write(2)] per peer instead of one each. Hooks cannot be
-    removed; they live as long as the loop. *)
+    one [write(2)] per peer instead of one each. *)
+
+val remove_tick : t -> tick_handle -> unit
+(** Deregisters a tick hook so the loop no longer runs (or retains) it;
+    removing twice is a no-op. A removal made from inside a tick hook
+    takes effect at the next round. *)
 
 (** {2 Driving} *)
 

@@ -287,6 +287,88 @@ let test_multicast_one_byte_torture () =
       checks (Printf.sprintf "peer %d wire bytes under clamp" (i + 1)) expected wire)
     wires
 
+let test_loop_tick_remove () =
+  let loop = Transport.Loop.create () in
+  let kept = ref 0 and removed = ref 0 in
+  let _k = Transport.Loop.on_tick loop (fun () -> incr kept) in
+  let h = Transport.Loop.on_tick loop (fun () -> incr removed) in
+  Transport.Loop.remove_tick loop h;
+  Transport.Loop.remove_tick loop h (* double removal is a no-op *);
+  Transport.Loop.run_for loop ~span:(Sim.Sim_time.ms 2);
+  checkb "kept hook ran" true (!kept > 0);
+  checki "removed hook never ran" 0 !removed
+
+let test_large_frame_genuine_backpressure () =
+  (* Frames several times larger than one kernel write chunk, pushed at a
+     peer whose receive buffer is clamped tiny: the sender hits genuine
+     partial writes and EAGAIN from write(2) itself — the path the
+     [max_write] clamp cannot reach, because clamped offers always fit in
+     one syscall. A write primitive that loses the bytes the kernel
+     already accepted before EAGAIN (as [Unix.write]'s internal chunking
+     does) re-sends them and corrupts the stream; the wire must stay
+     byte-identical to a clean encode. *)
+  let rng = Sim.Rng.create 7L in
+  let _pk, sk = Crypto.Signature.keygen rng in
+  let loop = Transport.Loop.create () in
+  let conn =
+    Transport.Conn.create ~loop ~id:0 ~outbuf_hwm:(64 * 1024 * 1024)
+      ~on_msg:(fun ~src:_ _ -> ()) ()
+  in
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt_int lfd Unix.SO_RCVBUF 16384;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lfd 8;
+  let port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  Transport.Conn.set_peer_addr conn 1 (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let batches =
+    List.init 10_000 (fun i -> Workload.Request.make ~id:i ~count:1 ~size_each:64 ~born:0L ())
+  in
+  let msgs =
+    List.init 8 (fun i ->
+        Core.Msg.Datablock_msg
+          (Core.Datablock.create ~sk ~creator:0 ~counter:(i + 1) ~now:0L batches))
+  in
+  let expected =
+    Transport.Frame.encode_hello 0
+    ^ String.concat "" (List.map Transport.Frame.encode_msg msgs)
+  in
+  checkb "each frame spans multiple kernel write chunks" true
+    (String.length expected / List.length msgs > 2 * 65536);
+  List.iter (fun m -> Transport.Conn.multicast conn ~n:2 m) msgs;
+  (* Drive the loop and drain the peer concurrently; the bounded receive
+     window keeps the sender under backpressure the whole way. *)
+  let fd, _ = Unix.accept lfd in
+  Unix.set_nonblock fd;
+  let got = Buffer.create (String.length expected) in
+  let chunk = Bytes.create 8192 in
+  let deadline = Transport.Loop.now_ns loop + 30_000_000_000 in
+  while
+    Buffer.length got < String.length expected && Transport.Loop.now_ns loop < deadline
+  do
+    Transport.Loop.run_for loop ~span:(Sim.Sim_time.ms 1);
+    let draining = ref true in
+    while !draining do
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 ->
+        draining := false;
+        Alcotest.fail "peer stream ended early"
+      | n -> Buffer.add_subbytes got chunk 0 n
+      | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _) ->
+        draining := false
+    done
+  done;
+  checki "no drops under backpressure" 0 (Transport.Conn.dropped conn);
+  checki "full wire received" (String.length expected) (Buffer.length got);
+  checkb "wire byte-identical under genuine partial writes" true
+    (String.equal expected (Buffer.contents got));
+  Unix.close fd;
+  Unix.close lfd;
+  Transport.Conn.close conn
+
 let test_multicast_delivery_and_stats () =
   (* Two real Conn endpoints: multicast delivery decodes back to the
      original message and the receive counters move. *)
@@ -399,7 +481,8 @@ let () =
       ( "loop",
         [ Alcotest.test_case "same-instant FIFO" `Quick test_loop_timer_fifo;
           Alcotest.test_case "cancel" `Quick test_loop_cancel;
-          Alcotest.test_case "schedule from callback" `Quick test_loop_schedule_from_callback ] );
+          Alcotest.test_case "schedule from callback" `Quick test_loop_schedule_from_callback;
+          Alcotest.test_case "tick hook removal" `Quick test_loop_tick_remove ] );
       ( "data plane",
         [ Alcotest.test_case "pool: reuse, poison, double free" `Quick
             test_pool_reuse_poison_double_free;
@@ -409,6 +492,8 @@ let () =
             test_multicast_coalesces_writes;
           Alcotest.test_case "multicast: 1-byte write torture" `Quick
             test_multicast_one_byte_torture;
+          Alcotest.test_case "large frames: genuine kernel backpressure" `Quick
+            test_large_frame_genuine_backpressure;
           Alcotest.test_case "multicast: delivery & recv counters" `Quick
             test_multicast_delivery_and_stats ] );
       ( "tcp cluster",
