@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: check ci fmt fmt-check chaos build test bench bench-fast bench-micro bench-macro bench-net clean
+.PHONY: check ci fmt fmt-check chaos build test bench bench-fast bench-micro bench-macro bench-net bench-verify clean
 
 check: ## build + full test suite (tier-1 gate)
 	dune build && dune runtest
@@ -45,6 +45,9 @@ bench-macro: ## full-protocol simulator scaling bench, rewrite BENCH_sim.json
 
 bench-net: ## transport data-plane bench over loopback TCP, rewrite BENCH_net.json
 	dune exec bench/main.exe -- --only net
+
+bench-verify: ## verification pool vs inline bench, rewrite BENCH_verify.json
+	dune exec bench/main.exe -- --only verify
 
 clean:
 	dune clean

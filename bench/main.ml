@@ -648,6 +648,12 @@ let net () =
     ~paper:"the leader's multicast fan-out cost over real sockets (§2, §5 data plane)";
   Net_bench.run ~fast:!fast_mode ~check:!check_regressions
 
+let verify () =
+  header ~id:"verify"
+    ~title:"Verification pipeline: domain worker pool vs inline, with JSON baseline"
+    ~paper:"crypto verification off the event loop (throughput preservation, §6.2)";
+  Verify_bench.run ~fast:!fast_mode ~check:!check_regressions
+
 (* ------------------------------------------------------------------ *)
 (* Registry and entry point                                            *)
 (* ------------------------------------------------------------------ *)
@@ -676,7 +682,8 @@ let experiments =
     ("extension-lanes", extension_lanes);
     ("micro", micro);
     ("macro", macro);
-    ("net", net) ]
+    ("net", net);
+    ("verify", verify) ]
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -93,7 +93,7 @@ let leopard_run n load duration warmup alpha bft_size payload silent stop_leader
 (* ---------------- local-cluster (real TCP) ---------------- *)
 
 let local_cluster_run n load duration drain alpha bft_size payload db_timeout prop_timeout
-    min_confirmed kill kill_at revive_at trace_out =
+    min_confirmed kill kill_at revive_at verify_domains trace_out =
   let cfg =
     Core.Config.make ~n ~alpha ~bft_size ~payload
       ~datablock_timeout:(span_of_sec db_timeout)
@@ -123,7 +123,7 @@ let local_cluster_run n load duration drain alpha bft_size payload db_timeout pr
    | None -> ());
   let r =
     Transport.Cluster.run ~cfg ~load ~duration:(span_of_sec duration)
-      ~drain:(span_of_sec drain) ?min_confirmed ?kill ?trace ()
+      ~drain:(span_of_sec drain) ?min_confirmed ?kill ?trace ?verify_domains ()
   in
   Format.printf "%a@." Transport.Cluster.pp_report r;
   (match (trace, trace_out) with
@@ -337,6 +337,13 @@ let local_cluster_cmd =
     Arg.(value & opt (some float) None
          & info [ "revive-at" ] ~doc:"Revive the killed replica at this second.")
   in
+  let verify_domains =
+    Arg.(value & opt (some int) None
+         & info [ "verify-domains" ]
+             ~doc:
+               "Worker domains for parallel crypto verification (0 = verify inline on the \
+                event loop; default: auto, scaled to the host cores).")
+  in
   Cmd.v
     (Cmd.info "local-cluster"
        ~doc:"Run replicas over real loopback TCP sockets (the deployable transport stack)")
@@ -344,7 +351,7 @@ let local_cluster_cmd =
       ret
         (const local_cluster_run $ n $ load $ duration $ drain $ alpha $ bft_size $ payload_arg
         $ db_timeout $ prop_timeout $ min_confirmed $ kill $ kill_at $ revive_at
-        $ trace_out_arg))
+        $ verify_domains $ trace_out_arg))
 
 let chaos_cmd =
   let list_only =

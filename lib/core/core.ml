@@ -41,6 +41,10 @@ module Codec = Codec
 module Byzantine = Byzantine
 (** Adversarial replica strategies. *)
 
+module Verify = Verify
+(** Verification dispatch: datablock/threshold checks as jobs, evaluated
+    inline or on an [Exec.Pool] of worker domains. *)
+
 module Platform = Platform
 (** The runtime seam: clock, timers, messaging and CPU sink, with the
     simulator implementation ({!Platform.of_sim}); the socket runtime

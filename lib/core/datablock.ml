@@ -25,8 +25,15 @@ type t = {
   mutable header_enc : string; (* "" = not yet encoded *)
   (* the signature + digest check is a pure function of the (immutable)
      datablock, and every replica holds the same key set, so the first
-     receiver's verdict is memoized for the other n-2 *)
-  mutable verify_memo : verify_memo;
+     receiver's verdict is memoized for the other n-2. Atomic because
+     Exec.Pool verifies datablocks from several domains at once: the
+     verdict is CAS-published so it can transition Unverified -> Valid or
+     Unverified -> Invalid exactly once and never flip or tear. The other
+     memo fields ([true_digest], [hash_memo], [header_enc]) stay plain
+     mutable: racing writers compute identical immutable values, which the
+     OCaml memory model publishes safely (no tearing), so any read sees
+     either "absent" or the correct value. *)
+  verify_memo : verify_memo Atomic.t;
 }
 
 let header_overhead_bytes = 48 (* creator + counter + digest *)
@@ -51,7 +58,7 @@ let of_wire ~creator ~counter ~digest ~created_at ~signature batches =
       + List.fold_left (fun acc b -> acc + Workload.Request.wire_bytes b) 0 batches;
     hash_memo = None;
     header_enc = "";
-    verify_memo = Unverified }
+    verify_memo = Atomic.make Unverified }
 
 let forced_header_enc t =
   if String.length t.header_enc = 0 then t.header_enc <- header_encoding t.header;
@@ -80,8 +87,20 @@ let forge_with_bad_digest ~sk ~creator ~counter ~now batches =
   make_with_digest ~sk ~creator ~counter ~now
     ~digest:(Crypto.Hash.of_string "bogus digest") batches
 
+let tamper t =
+  let batches =
+    match t.batches with
+    | b :: rest ->
+      Workload.Request.make ~id:(b.Workload.Request.id + 0x2000000) ~count:b.count
+        ~size_each:b.size_each ~born:b.born ()
+      :: rest
+    | [] -> assert false
+  in
+  of_wire ~creator:t.header.creator ~counter:t.header.counter ~digest:t.header.digest
+    ~created_at:t.created_at ~signature:t.signature batches
+
 let verify ~pks t =
-  match t.verify_memo with
+  match Atomic.get t.verify_memo with
   | Valid -> true
   | Invalid -> false
   | Unverified ->
@@ -92,7 +111,9 @@ let verify ~pks t =
       && Crypto.Hash.equal h.digest (forced_true_digest t)
       && Crypto.Signature.verify pks.(h.creator) t.signature (forced_header_enc t)
     in
-    t.verify_memo <- (if ok then Valid else Invalid);
+    (* first verdict wins; a concurrent verifier computed the same one *)
+    ignore
+      (Atomic.compare_and_set t.verify_memo Unverified (if ok then Valid else Invalid));
     ok
 
 let hash t =

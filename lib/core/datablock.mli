@@ -36,14 +36,23 @@ type t = private {
   mutable header_enc : string;
       (** memoized signed-header encoding; [""] = not yet forced — use
           {!header_encoding} on [header] for the canonical bytes *)
-  mutable verify_memo : verify_memo;
+  verify_memo : verify_memo Atomic.t;
       (** first receiver's {!verify} verdict, reused by the others — a
           datablock is immutable and every replica checks it against the
           same key set, so the outcome cannot differ across receivers.
           Stored in the value, not in a table: the memo is garbage-
           collected with the datablock, so caching adds no unbounded
           state (cf. [Replica.notar_cache_cap] for the one capped
-          side-table cache) *)
+          side-table cache).
+
+          Domain-safety contract: {!verify} may run concurrently from
+          [Exec.Pool] worker domains on the same value. The verdict is
+          CAS-published ([Unverified] → [Valid]/[Invalid] exactly once,
+          first writer wins; racing writers computed the same verdict),
+          so readers can never observe tearing or a flipped verdict. The
+          remaining memo fields are racy-but-benign: concurrent writers
+          store structurally equal immutable values, which the OCaml
+          memory model publishes without tearing. *)
 }
 
 val create :
@@ -77,6 +86,13 @@ val forge_with_bad_digest :
   t
 (** A well-signed datablock whose header digest does not match its
     contents — for integrity-check tests ({!verify} must reject it). *)
+
+val tamper : t -> t
+(** A corrupted copy of a valid datablock: the header (digest, signature)
+    is kept byte-for-byte but the first carried batch is replaced, so the
+    Merkle recompute no longer matches the signed digest. {!verify} must
+    reject it from every domain — used by the parallel-verification
+    stress tests. The original is not modified (fresh memo fields). *)
 
 val digest_of_batches : Workload.Request.t list -> Crypto.Hash.t
 (** The header digest: Merkle root over batch hashes (lets a replica

@@ -43,14 +43,27 @@ type t = {
           sim hot path) *)
   set_down : bool -> unit;
       (** fail-stop support: a down replica neither sends nor receives *)
+  verify : Verify.dispatch;
+      (** evaluate a verification job and continue with the verdict. The
+          sim plane continues synchronously at the dispatch point
+          ({!Verify.inline}, or {!Verify.blocking} when a pool is
+          attached — both keep reports byte-identical); the socket
+          runtime may continue asynchronously at a later loop tick
+          ({!Verify.pooled}), so continuations must re-check captured
+          replica state. *)
 }
 
 val of_sim :
+  ?verify_pool:Exec.Pool.t ->
   engine:Sim.Engine.t ->
   network:Msg.t Net.Network.t ->
   id:Net.Node_id.t ->
   cores:int ->
+  unit ->
   t
 (** The simulator implementation: clock and timers from [engine],
     messaging from [network] (as replica [id]), CPU costs charged on a
-    fresh [cores]-core {!Net.Cpu}. *)
+    fresh [cores]-core {!Net.Cpu}. [verify_pool] selects
+    {!Verify.blocking} over that pool instead of {!Verify.inline}: real
+    parallel crypto with unchanged completion points, so the report
+    bytes do not depend on the choice (pinned by test). *)

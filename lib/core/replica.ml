@@ -145,6 +145,16 @@ let schedule t ~delay f = t.platform.Platform.schedule ~delay f
 let with_cpu t cost f = t.platform.Platform.submit ~cost f
 let with_cpu_ns t cost_ns f = t.platform.Platform.submit_ns ~cost_ns f
 
+(* Heavy crypto goes through the platform's verification dispatch. On the
+   sim plane the continuation runs synchronously at the dispatch point
+   (inline or blocking-pool — identical event sequences either way); on
+   the socket plane it may run at a later loop tick, after the worker
+   domains finish. Continuations therefore re-check every piece of
+   replica state they depend on (view, activity, instance state) — the
+   re-checks are no-ops when the dispatch was synchronous, so the sim
+   plane's behaviour is exactly the pre-pool code path. *)
+let verify_via t job k = t.platform.Platform.verify job k
+
 let instance_of t sn =
   match Hashtbl.find_opt t.instances sn with
   | Some i -> i
@@ -875,6 +885,32 @@ let verify_view_change t (vc : Msg.view_change) =
          ok)
        vc.Msg.vc_entries
 
+let on_view_change_verified t (vc : Msg.view_change) ~target =
+  let tbl =
+    match Hashtbl.find_opt t.vc_msgs target with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 16 in
+      Hashtbl.add t.vc_msgs target tbl;
+      tbl
+  in
+  Hashtbl.replace tbl vc.Msg.vc_sender vc;
+  if Hashtbl.length tbl >= quorum_size t then begin
+    t.new_view_sent_for <- target;
+    let vcs = Hashtbl.fold (fun _ v acc -> v :: acc) tbl [] in
+    let unsigned =
+      Msg.{ nv_view = target; nv_sender = t.id; nv_vcs = vcs; nv_signature = Sig.sign t.sk "" }
+    in
+    let nv =
+      { unsigned with Msg.nv_signature = Sig.sign t.sk (Msg.new_view_payload unsigned) }
+    in
+    with_cpu t t.cfg.cost.sign (fun () ->
+        if active t then begin
+          multicast t (Msg.New_view_msg nv);
+          enter_view t ~nv_view:target ~vcs
+        end)
+  end
+
 let on_view_change_msg t (vc : Msg.view_change) =
   let target = vc.Msg.vc_new_view in
   if target > t.view && is_leader_of t target && t.new_view_sent_for < target then begin
@@ -884,31 +920,24 @@ let on_view_change_msg t (vc : Msg.view_change) =
         (Int64.mul t.cfg.cost.tvrf_aggregate (Int64.of_int fresh))
     in
     with_cpu t cost (fun () ->
-        if active t && t.new_view_sent_for < target && verify_view_change t vc then begin
-          let tbl =
-            match Hashtbl.find_opt t.vc_msgs target with
-            | Some tbl -> tbl
-            | None ->
-              let tbl = Hashtbl.create 16 in
-              Hashtbl.add t.vc_msgs target tbl;
-              tbl
+        if active t && t.new_view_sent_for < target then begin
+          (* Pre-warm the aggregate memos of the entries this replica has
+             not verified before, in parallel; [verify_view_change] then
+             re-walks the entries against warm memos (and records them in
+             the notarization cache — owner-thread state the workers
+             never touch). *)
+          let jobs =
+            List.map
+              (fun (v, block, proof) ->
+                Verify.Aggregate_check
+                  { setup = t.tsetup;
+                    agg = proof;
+                    msg = Msg.prepare_payload ~view:v ~block_hash:(Bftblock.hash block) })
+              (fresh_entries t vc.Msg.vc_entries)
           in
-          Hashtbl.replace tbl vc.Msg.vc_sender vc;
-          if Hashtbl.length tbl >= quorum_size t then begin
-            t.new_view_sent_for <- target;
-            let vcs = Hashtbl.fold (fun _ v acc -> v :: acc) tbl [] in
-            let unsigned =
-              Msg.{ nv_view = target; nv_sender = t.id; nv_vcs = vcs; nv_signature = Sig.sign t.sk "" }
-            in
-            let nv =
-              { unsigned with Msg.nv_signature = Sig.sign t.sk (Msg.new_view_payload unsigned) }
-            in
-            with_cpu t t.cfg.cost.sign (fun () ->
-                if active t then begin
-                  multicast t (Msg.New_view_msg nv);
-                  enter_view t ~nv_view:target ~vcs
-                end)
-          end
+          verify_via t (Verify.All jobs) (fun _ ->
+              if active t && t.new_view_sent_for < target && verify_view_change t vc
+              then on_view_change_verified t vc ~target)
         end)
   end
 
@@ -930,23 +959,66 @@ let on_new_view_msg t (nv : Msg.new_view) =
     in
     with_cpu t cost (fun () ->
         if active t && nv.Msg.nv_view > t.view then begin
-          let sig_ok =
-            Sig.verify t.pks.(nv.Msg.nv_sender) nv.Msg.nv_signature (Msg.new_view_payload nv)
+          (* Same pre-warm as [on_view_change_msg], over the deduplicated
+             union of the carried entries. *)
+          let jobs =
+            fresh_entries t (List.concat_map (fun vc -> vc.Msg.vc_entries) nv.Msg.nv_vcs)
+            |> List.sort_uniq (fun (v1, b1, _) (v2, b2, _) ->
+                   compare (v1, Bftblock.hash b1) (v2, Bftblock.hash b2))
+            |> List.map (fun (v, block, proof) ->
+                   Verify.Aggregate_check
+                     { setup = t.tsetup;
+                       agg = proof;
+                       msg = Msg.prepare_payload ~view:v ~block_hash:(Bftblock.hash block) })
           in
-          let distinct_senders =
-            List.sort_uniq Net.Node_id.compare (List.map (fun vc -> vc.Msg.vc_sender) nv.Msg.nv_vcs)
-          in
-          if sig_ok
-             && List.length distinct_senders >= quorum_size t
-             && List.for_all (fun vc -> vc.Msg.vc_new_view = nv.Msg.nv_view) nv.Msg.nv_vcs
-             && List.for_all (verify_view_change t) nv.Msg.nv_vcs
-          then enter_view t ~nv_view:nv.Msg.nv_view ~vcs:nv.Msg.nv_vcs
+          verify_via t (Verify.All jobs) (fun _ ->
+              if active t && nv.Msg.nv_view > t.view then begin
+                let sig_ok =
+                  Sig.verify t.pks.(nv.Msg.nv_sender) nv.Msg.nv_signature
+                    (Msg.new_view_payload nv)
+                in
+                let distinct_senders =
+                  List.sort_uniq Net.Node_id.compare
+                    (List.map (fun vc -> vc.Msg.vc_sender) nv.Msg.nv_vcs)
+                in
+                if sig_ok
+                   && List.length distinct_senders >= quorum_size t
+                   && List.for_all (fun vc -> vc.Msg.vc_new_view = nv.Msg.nv_view) nv.Msg.nv_vcs
+                   && List.for_all (verify_view_change t) nv.Msg.nv_vcs
+                then enter_view t ~nv_view:nv.Msg.nv_view ~vcs:nv.Msg.nv_vcs
+              end)
         end)
   end
 
 (* ----------------------------------------------------------------- *)
 (* Message dispatch                                                   *)
 (* ----------------------------------------------------------------- *)
+
+let on_datablock_verified t (db : Datablock.t) ~is_fetch_reply =
+  if is_fetch_reply then
+    t.fetch_inflight <- Hash.Set.remove (Datablock.hash db) t.fetch_inflight;
+  match Datablock_pool.add t.pool db with
+  | Datablock_pool.Accepted ->
+    (* Watch re-sent requests propagated in datablocks (§4.3). *)
+    List.iter
+      (fun b -> if b.Workload.Request.resend then watch_request t b)
+      db.Datablock.batches;
+    retry_waiting_proposals t;
+    try_execute t;
+    maybe_propose t
+  | Datablock_pool.Duplicate -> ()
+  | Datablock_pool.Equivocation first ->
+    tracef t "equivocation" "from %a (first %a)" Net.Node_id.pp db.Datablock.header.creator
+      Datablock.pp first;
+    if t.cfg.punish_equivocators then begin
+      (* §4.3 remark: the two conflicting signed headers are
+         public evidence; kick the creator out. *)
+      Hashtbl.replace t.punished db.Datablock.header.creator ();
+      tracef t "punished" "%a" Net.Node_id.pp db.Datablock.header.creator
+    end;
+    (* The stored variant can unblock a proposal that links it. *)
+    retry_waiting_proposals t;
+    try_execute t
 
 let on_datablock t (db : Datablock.t) ~is_fetch_reply =
   (* int-ns cost arithmetic: this runs once per receiver of every
@@ -956,36 +1028,17 @@ let on_datablock t (db : Datablock.t) ~is_fetch_reply =
     + Crypto.Cost_model.hash_cost_ns t.cfg.cost ~bytes_len:db.Datablock.payload_bytes
   in
   with_cpu_ns t cost_ns (fun () ->
-      if
-        active t
-        && (not (Hashtbl.mem t.punished db.Datablock.header.creator))
-        && Datablock.verify ~pks:t.pks db
-      then begin
-        if is_fetch_reply then
-          t.fetch_inflight <- Hash.Set.remove (Datablock.hash db) t.fetch_inflight;
-        (match Datablock_pool.add t.pool db with
-         | Datablock_pool.Accepted ->
-           (* Watch re-sent requests propagated in datablocks (§4.3). *)
-           List.iter
-             (fun b -> if b.Workload.Request.resend then watch_request t b)
-             db.Datablock.batches;
-           retry_waiting_proposals t;
-           try_execute t;
-           maybe_propose t
-         | Datablock_pool.Duplicate -> ()
-         | Datablock_pool.Equivocation first ->
-           tracef t "equivocation" "from %a (first %a)" Net.Node_id.pp db.Datablock.header.creator
-             Datablock.pp first;
-           if t.cfg.punish_equivocators then begin
-             (* §4.3 remark: the two conflicting signed headers are
-                public evidence; kick the creator out. *)
-             Hashtbl.replace t.punished db.Datablock.header.creator ();
-             tracef t "punished" "%a" Net.Node_id.pp db.Datablock.header.creator
-           end;
-           (* The stored variant can unblock a proposal that links it. *)
-           retry_waiting_proposals t;
-           try_execute t)
-      end)
+      if active t && not (Hashtbl.mem t.punished db.Datablock.header.creator) then
+        (* Merkle recompute + signature check, possibly on worker
+           domains; the punished re-check matters only for the pooled
+           dispatch (evidence may arrive while the crypto runs). *)
+        verify_via t
+          (Verify.Datablock_check { pks = t.pks; db })
+          (fun ok ->
+            if
+              ok && active t
+              && not (Hashtbl.mem t.punished db.Datablock.header.creator)
+            then on_datablock_verified t db ~is_fetch_reply))
 
 let on_prepare_vote t ~view ~sn ~block_hash ~share =
   if view = t.view && is_leader t && not t.in_view_change then begin
@@ -997,22 +1050,27 @@ let on_prepare_vote t ~view ~sn ~block_hash ~share =
              check is charged lazily at aggregation unless
              [verify_shares_eagerly]); a Byzantine voter cannot poison
              the aggregate. *)
-          if
-            inst.iview = view
-            && Ts.verify_share t.tsetup share (Msg.prepare_payload ~view ~block_hash)
-          then begin
-            let q =
-              match inst.prepare_quorum with
-              | Some q -> q
-              | None ->
-                let q = Quorum.create ~need:(quorum_size t) in
-                inst.prepare_quorum <- Some q;
-                q
-            in
-            match Quorum.add q share with
-            | Quorum.Ready shares -> leader_finish_prepare t inst block_hash shares
-            | Quorum.Pending _ | Quorum.Already_done -> ()
-          end
+          if inst.iview = view then
+            verify_via t
+              (Verify.Share_check
+                 { setup = t.tsetup; share; msg = Msg.prepare_payload ~view ~block_hash })
+              (fun ok ->
+                if ok && active t && not t.in_view_change && view = t.view then begin
+                  let inst = instance_of t sn in
+                  if inst.iview = view then begin
+                    let q =
+                      match inst.prepare_quorum with
+                      | Some q -> q
+                      | None ->
+                        let q = Quorum.create ~need:(quorum_size t) in
+                        inst.prepare_quorum <- Some q;
+                        q
+                    in
+                    match Quorum.add q share with
+                    | Quorum.Ready shares -> leader_finish_prepare t inst block_hash shares
+                    | Quorum.Pending _ | Quorum.Already_done -> ()
+                  end
+                end)
         end)
   end
 
@@ -1022,22 +1080,27 @@ let on_commit_vote t ~view ~sn ~notar_digest ~share =
     with_cpu t verify_cost (fun () ->
         if active t && not t.in_view_change && view = t.view then begin
           let inst = instance_of t sn in
-          if
-            inst.iview = view
-            && Ts.verify_share t.tsetup share (Msg.commit_payload ~view ~notar_digest)
-          then begin
-            let q =
-              match inst.commit_quorum with
-              | Some q -> q
-              | None ->
-                let q = Quorum.create ~need:(quorum_size t) in
-                inst.commit_quorum <- Some q;
-                q
-            in
-            match Quorum.add q share with
-            | Quorum.Ready shares -> leader_finish_commit t inst notar_digest shares
-            | Quorum.Pending _ | Quorum.Already_done -> ()
-          end
+          if inst.iview = view then
+            verify_via t
+              (Verify.Share_check
+                 { setup = t.tsetup; share; msg = Msg.commit_payload ~view ~notar_digest })
+              (fun ok ->
+                if ok && active t && not t.in_view_change && view = t.view then begin
+                  let inst = instance_of t sn in
+                  if inst.iview = view then begin
+                    let q =
+                      match inst.commit_quorum with
+                      | Some q -> q
+                      | None ->
+                        let q = Quorum.create ~need:(quorum_size t) in
+                        inst.commit_quorum <- Some q;
+                        q
+                    in
+                    match Quorum.add q share with
+                    | Quorum.Ready shares -> leader_finish_commit t inst notar_digest shares
+                    | Quorum.Pending _ | Quorum.Already_done -> ()
+                  end
+                end)
         end)
   end
 
@@ -1056,13 +1119,44 @@ let on_notarization t ~view ~sn ~block_hash ~proof =
             | Some block -> Hash.equal (Bftblock.hash block) block_hash
             | None -> true (* the block body may still be in flight *)
           in
-          if block_matches && Ts.verify t.tsetup proof (Msg.prepare_payload ~view ~block_hash)
-          then accept_notarization t inst proof
+          if block_matches then
+            verify_via t
+              (Verify.Aggregate_check
+                 { setup = t.tsetup;
+                   agg = proof;
+                   msg = Msg.prepare_payload ~view ~block_hash })
+              (fun ok ->
+                if ok && active t && view = t.view && not t.in_view_change then begin
+                  (* re-fetch: the instance may have moved (or appeared)
+                     while the crypto ran on the pool; refresh and the
+                     match re-check are idempotent, so the inline path is
+                     unchanged *)
+                  let inst = instance_of t sn in
+                  refresh_instance_view t inst;
+                  let block_matches =
+                    match inst.block with
+                    | Some block -> Hash.equal (Bftblock.hash block) block_hash
+                    | None -> true
+                  in
+                  if block_matches then accept_notarization t inst proof
+                end)
         end)
 
 let on_confirmation t ~view ~sn ~notar_digest ~proof =
   with_cpu t t.cfg.cost.tvrf_aggregate (fun () ->
-      if active t then process_confirmation t (instance_of t sn) ~view ~notar_digest ~proof)
+      if active t then
+        (* memo pre-warm: [process_confirmation] re-checks the proof
+           inline (it also gates on block/notarization presence, which
+           may change while the pool runs), but against a warm memo the
+           re-check is a field read. The verdict itself is ignored here —
+           an invalid proof simply fails inside [process_confirmation],
+           exactly as before. *)
+        verify_via t
+          (Verify.Aggregate_check
+             { setup = t.tsetup; agg = proof; msg = Msg.commit_payload ~view ~notar_digest })
+          (fun _ok ->
+            if active t then
+              process_confirmation t (instance_of t sn) ~view ~notar_digest ~proof))
 
 let on_checkpoint_vote t ~cp_sn ~cp_state ~share =
   if

@@ -13,11 +13,12 @@ type spec = {
   client_resend_timeout : Sim_time.span option;
   gst : Sim_time.span option;
   trace : bool;
+  verify_domains : int option;
 }
 
 let spec ~cfg ?(link = Net.Network.default_link) ?(seed = 42L) ?(load = 1e5)
     ?(duration = Sim_time.s 20) ?(warmup = Sim_time.s 5) ?load_until ?(byzantine = [])
-    ?stop_leader_at ?client_resend_timeout ?gst ?(trace = false) () =
+    ?stop_leader_at ?client_resend_timeout ?gst ?(trace = false) ?verify_domains () =
   { cfg;
     link;
     seed;
@@ -29,7 +30,8 @@ let spec ~cfg ?(link = Net.Network.default_link) ?(seed = 42L) ?(load = 1e5)
     stop_leader_at;
     client_resend_timeout;
     gst;
-    trace }
+    trace;
+    verify_domains }
 
 let silent_f cfg =
   let leader = Config.leader_of_view cfg 1 in
@@ -112,6 +114,10 @@ type t = {
      entire batch history every half-timeout. Confirmed batches are
      dropped lazily when their deadline surfaces. *)
   resend_queue : (Workload.Request.t * int) Heap.t;
+  (* One pool shared by every simulated replica when [spec.verify_domains]
+     asks for one: workers only evaluate pure crypto, so sharing changes
+     nothing observable and keeps domain count independent of n. *)
+  verify_pool : Exec.Pool.t option;
 }
 
 let engine t = t.engine
@@ -303,9 +309,16 @@ let create sp =
   let trace = Trace.create ~enabled:sp.trace ~capacity:1_000_000 () in
   let t_ref = ref None in
   let hooks = make_hooks t_ref in
+  let verify_pool =
+    match sp.verify_domains with
+    | Some d when d > 0 -> Some (Exec.Pool.create ~domains:d ())
+    | _ -> None
+  in
   let replicas =
     Array.init cfg.Config.n (fun id ->
-        let platform = Platform.of_sim ~engine ~network ~id ~cores:cfg.Config.cores in
+        let platform =
+          Platform.of_sim ?verify_pool ~engine ~network ~id ~cores:cfg.Config.cores ()
+        in
         Replica.create ~platform ~cfg ~id ~sk:(snd keys.(id)) ~pks ~tsetup
           ~tkey:tkeys.(id) ~strategy:strategies.(id) ~hooks ~trace ())
   in
@@ -388,7 +401,8 @@ let create sp =
       first_vc_trigger = None;
       last_view_entry = None;
       view_changes = 0;
-      resend_queue }
+      resend_queue;
+      verify_pool }
   in
   t_ref := Some t;
   (* Bandwidth accounting restarts when the warmup window closes. *)
@@ -493,7 +507,12 @@ let report t =
     all_confirmed;
     safety_ok = check_safety t }
 
+let shutdown t = Option.iter Exec.Pool.shutdown t.verify_pool
+
 let run sp =
   let t = create sp in
-  run_until t sp.duration;
-  report t
+  Fun.protect
+    ~finally:(fun () -> shutdown t)
+    (fun () ->
+      run_until t sp.duration;
+      report t)

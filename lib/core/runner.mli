@@ -21,6 +21,11 @@ type spec = {
   gst : Sim.Sim_time.span option;
       (** pre-GST adversarial delays up to one view timeout *)
   trace : bool;                         (** record a shared protocol trace *)
+  verify_domains : int option;
+      (** run crypto verification on an [Exec.Pool] of this many worker
+          domains ({!Verify.blocking} dispatch: parallel compute,
+          unchanged completion points — reports stay byte-identical for
+          any value, pinned by test). [None]/[Some 0] = inline. *)
 }
 
 val spec :
@@ -36,6 +41,7 @@ val spec :
   ?client_resend_timeout:Sim.Sim_time.span ->
   ?gst:Sim.Sim_time.span ->
   ?trace:bool ->
+  ?verify_domains:int ->
   unit ->
   spec
 (** Defaults: the c5.xlarge-like link, seed 42, 10^5 req/s offered, 20 s
@@ -98,6 +104,10 @@ val report : t -> report
 (** Summarizes the run so far. *)
 
 val honest_ids : t -> Net.Node_id.t list
+
+val shutdown : t -> unit
+(** Joins the verification pool's domains, if the spec asked for one.
+    {!run} does this itself; callers of {!create} must. Idempotent. *)
 
 val check_safety : t -> bool
 (** Position-wise equality of all honest executed logs (Theorem 5.3). *)

@@ -1,0 +1,61 @@
+type job =
+  | Datablock_check of {
+      pks : Crypto.Signature.public_key array;
+      db : Datablock.t;
+    }
+  | Aggregate_check of {
+      setup : Crypto.Threshold.setup;
+      agg : Crypto.Threshold.aggregate;
+      msg : string;
+    }
+  | Share_check of {
+      setup : Crypto.Threshold.setup;
+      share : Crypto.Threshold.share;
+      msg : string;
+    }
+  | All of job list
+
+type dispatch = job -> (bool -> unit) -> unit
+
+let run_leaf = function
+  | Datablock_check { pks; db } -> Datablock.verify ~pks db
+  | Aggregate_check { setup; agg; msg } -> Crypto.Threshold.verify setup agg msg
+  | Share_check { setup; share; msg } -> Crypto.Threshold.verify_share setup share msg
+  | All _ -> assert false
+
+(* Flatten nested [All]s into submission order. *)
+let rec leaves acc = function
+  | All js -> List.fold_left leaves acc js
+  | leaf -> leaf :: acc
+
+let leaves_of job = List.rev (leaves [] job)
+
+let run job =
+  match job with
+  | All _ ->
+      (* every leaf runs — a failed check must not stop later leaves from
+         warming their memos for the caller's inline re-verification *)
+      List.fold_left (fun acc l -> run_leaf l && acc) true (leaves_of job)
+  | leaf -> run_leaf leaf
+
+let inline : dispatch = fun job k -> k (run job)
+
+let blocking pool : dispatch =
+ fun job k ->
+  match leaves_of job with
+  | [] -> k true
+  | [ l ] -> k (Exec.Pool.await (Exec.Pool.submit pool (fun () -> run_leaf l)))
+  | ls ->
+      let futs = Exec.Pool.submit_batch pool (List.map (fun l () -> run_leaf l) ls) in
+      (* bind each await before conjoining: no await may be skipped *)
+      k (List.fold_left (fun acc f -> Exec.Pool.await f && acc) true futs)
+
+let pooled pool : dispatch =
+ fun job k ->
+  match leaves_of job with
+  | [] -> Exec.Pool.async_all pool [] (fun _ -> k true)
+  | [ l ] -> Exec.Pool.async pool (fun () -> run_leaf l) k
+  | ls ->
+      Exec.Pool.async_all pool
+        (List.map (fun l () -> run_leaf l) ls)
+        (fun oks -> k (List.for_all Fun.id oks))

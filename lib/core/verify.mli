@@ -1,0 +1,64 @@
+(** Verification dispatch: the seam that lets hot crypto checks run off
+    the event loop.
+
+    A {!job} names one of the three CPU-heavy checks a replica performs
+    on received messages (datablock Merkle+signature, threshold
+    aggregate, threshold share), or a batch of them. A {!dispatch}
+    evaluates a job and hands the boolean verdict to a continuation.
+    Three dispatchers cover the two planes:
+
+    - {!inline} runs the job synchronously and calls the continuation on
+      the spot — exactly the pre-pool code path. The sim plane's default:
+      modeled costs are still charged by {!Platform.t}[.submit], and the
+      event sequence is untouched.
+    - {!blocking} ships the job to an {!Exec.Pool} and blocks for the
+      result, then continues synchronously. Same completion point as
+      {!inline} (so sim reports stay byte-identical for any pool size),
+      but the crypto genuinely executes on worker domains — this is what
+      the determinism-under-parallelism tests exercise.
+    - {!pooled} ships the job and returns immediately; the continuation
+      runs later, on the owner thread, when {!Exec.Pool.drain} is called
+      (the TCP runtime drains from a loop tick + the pool's notify fd).
+      Continuations must therefore re-check any replica state they
+      captured — the world may have moved on while the crypto ran.
+
+    All three deliver the same verdicts: jobs are pure functions of
+    immutable values, and the memo fields they warm are domain-safe
+    (see {!Datablock.t}, [Threshold]). A batch ({!All}) never
+    short-circuits — every sub-job is evaluated so its memo is warm for
+    later inline re-checks. *)
+
+type job =
+  | Datablock_check of {
+      pks : Crypto.Signature.public_key array;
+      db : Datablock.t;
+    }
+  | Aggregate_check of {
+      setup : Crypto.Threshold.setup;
+      agg : Crypto.Threshold.aggregate;
+      msg : string;
+    }
+  | Share_check of {
+      setup : Crypto.Threshold.setup;
+      share : Crypto.Threshold.share;
+      msg : string;
+    }
+  | All of job list  (** conjunction; [All []] is vacuously true *)
+
+type dispatch = job -> (bool -> unit) -> unit
+
+val run : job -> bool
+(** Synchronous evaluation. [All] evaluates {e every} sub-job (no
+    short-circuit) and returns their conjunction. *)
+
+val inline : dispatch
+(** [inline job k] is [k (run job)]. *)
+
+val blocking : Exec.Pool.t -> dispatch
+(** Parallel evaluation, synchronous completion: sub-jobs of an [All]
+    run concurrently across the pool's domains; the caller blocks until
+    all finish, then the continuation runs in the caller. *)
+
+val pooled : Exec.Pool.t -> dispatch
+(** Asynchronous: the continuation runs at a later {!Exec.Pool.drain} on
+    the owner thread — never synchronously, even for [All []]. *)

@@ -6,8 +6,14 @@ let size_bytes = 64
 let public_key_size_bytes = 33
 
 (* Verification oracle: pk -> sk. Private to this module, so protocol code
-   (honest or Byzantine) can only produce valid tags through [sign]. *)
+   (honest or Byzantine) can only produce valid tags through [sign]. The
+   table is mutated by [keygen] and read by [verify], which Exec.Pool runs
+   from worker domains — Hashtbl is not domain-safe (resize during a
+   concurrent read can crash), so both sides take [registry_mu]. Keygen is
+   setup-time and verify's critical section is one probe; contention is
+   negligible next to the HMAC compute done outside the lock. *)
 let registry : (string, string) Hashtbl.t = Hashtbl.create 64
+let registry_mu = Mutex.create ()
 
 let keygen rng =
   let sk =
@@ -18,13 +24,13 @@ let keygen rng =
                Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))))
   in
   let pk = Sha256.digest_strings [ "leopard.sig.pk"; sk ] in
-  Hashtbl.replace registry pk sk;
+  Mutex.protect registry_mu (fun () -> Hashtbl.replace registry pk sk);
   (pk, sk)
 
 let sign sk msg = Sha256.hmac ~key:sk msg
 
 let verify pk tag msg =
-  match Hashtbl.find_opt registry pk with
+  match Mutex.protect registry_mu (fun () -> Hashtbl.find_opt registry pk) with
   | None -> false
   | Some sk -> String.equal tag (Sha256.hmac ~key:sk msg)
 

@@ -13,18 +13,26 @@ type share = { s_index : int; masked : Field.t }
    the same message by each of the n - 1 receivers of a notarization or
    confirmation, and hashed once per receiver on top of that. Verification
    is a pure function of (aggregate, group key, message), so the first
-   verdict holds for everyone. [verified_key = ""] means "no verdict yet"
-   (a group key is a 32-byte digest, never empty). *)
+   verdict holds for everyone.
+
+   Domain-safety: aggregates are now verified concurrently by Exec.Pool
+   workers. The (key, msg, ok) verdict triple is published as a single
+   immutable record through an [Atomic.t], so a reader can never observe a
+   mixed triple (e.g. old key with new verdict). Plain [Atomic.set]
+   suffices: every writer stores a self-consistent record and the verdict
+   for a given (key, msg) pair is unique, so last-writer-wins is correct.
+   [digest_memo] stays a plain mutable field: racing writers store equal
+   immutable strings (safe publication, no tearing under the OCaml memory
+   model), and any read observes either "" or the correct digest. *)
+type verdict = { v_key : string; v_msg : string; v_ok : bool }
+
 type aggregate = {
   value : Field.t;
-  mutable digest_memo : string;  (* SHA-256 of [encode]; "" = not yet *)
-  mutable verified_key : string; (* group_pk of the memoized verdict *)
-  mutable verified_msg : string;
-  mutable verified_ok : bool;
+  mutable digest_memo : string; (* SHA-256 of [encode]; "" = not yet *)
+  verified : verdict option Atomic.t;
 }
 
-let aggregate value =
-  { value; digest_memo = ""; verified_key = ""; verified_msg = ""; verified_ok = false }
+let aggregate value = { value; digest_memo = ""; verified = Atomic.make None }
 
 let share_size_bytes = 48
 let aggregate_size_bytes = 48
@@ -53,16 +61,21 @@ let parties t = t.parties
    verifies n shares of one payload back to back; n replicas each sign the
    same payload once per round), so the last-message cache hits on nearly
    every hot-path call. Purely a wallclock saving — [mask] is a pure
-   function, so determinism is untouched. *)
-let mask_memo_msg = ref ""
-let mask_memo_val = ref Field.one
+   function, so determinism is untouched. The slot is per-domain
+   ([Domain.DLS]): Exec.Pool workers each get their own, so the memo pair
+   can never be torn by a concurrent writer. *)
+type mask_slot = { mutable mm_msg : string; mutable mm_val : Field.t }
+
+let mask_slot_key =
+  Domain.DLS.new_key (fun () -> { mm_msg = ""; mm_val = Field.one })
 
 let mask msg =
-  if String.equal !mask_memo_msg msg then !mask_memo_val
+  let slot = Domain.DLS.get mask_slot_key in
+  if String.equal slot.mm_msg msg then slot.mm_val
   else begin
     let v = Field.of_string_digest (Sha256.digest_strings [ "leopard.ts.msg"; msg ]) in
-    mask_memo_msg := msg;
-    mask_memo_val := v;
+    slot.mm_msg <- msg;
+    slot.mm_val <- v;
     v
   end
 
@@ -92,15 +105,12 @@ let combine setup msg shares =
   end
 
 let verify setup agg msg =
-  if String.equal agg.verified_key setup.group_pk && String.equal agg.verified_msg msg then
-    agg.verified_ok
-  else begin
-    let ok = String.equal (commit_master (Field.sub agg.value (mask msg))) setup.group_pk in
-    agg.verified_key <- setup.group_pk;
-    agg.verified_msg <- msg;
-    agg.verified_ok <- ok;
-    ok
-  end
+  match Atomic.get agg.verified with
+  | Some v when String.equal v.v_key setup.group_pk && String.equal v.v_msg msg -> v.v_ok
+  | _ ->
+      let ok = String.equal (commit_master (Field.sub agg.value (mask msg))) setup.group_pk in
+      Atomic.set agg.verified (Some { v_key = setup.group_pk; v_msg = msg; v_ok = ok });
+      ok
 
 let encode agg = Printf.sprintf "tsagg:%d" (Field.to_int agg.value)
 

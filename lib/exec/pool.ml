@@ -1,0 +1,291 @@
+(* Bounded domain worker pool. One shared FIFO work queue under a
+   mutex/condvar; completions cross back to the owner through a second
+   queue plus a self-pipe so a select-based event loop wakes as soon as
+   results are ready. See pool.mli for the contract. *)
+
+type task = unit -> unit
+
+type 'a state = Pending | Value of 'a | Raised of exn
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable st : 'a state;
+}
+
+type t = {
+  m : Mutex.t; (* guards work, stop, inflight and the stat counters *)
+  cv : Condition.t;
+  work : task Queue.t;
+  mutable stop : bool;
+  mutable inflight : int;
+  budget : int;
+  mutable domains : unit Domain.t array;
+  (* completion side: owner-drained queue + empty->nonempty self-pipe *)
+  dm : Mutex.t;
+  done_q : task Queue.t;
+  notify_r : Unix.file_descr;
+  notify_w : Unix.file_descr;
+  mutable closed : bool;
+  (* stats (under [m] except [drained]/[busy_ns], under [dm]) *)
+  mutable tasks : int;
+  mutable batches : int;
+  mutable inline_runs : int;
+  mutable idle_waits : int;
+  mutable drained : int;
+  mutable busy_ns : int;
+}
+
+type stats = {
+  tasks : int;
+  batches : int;
+  inline_runs : int;
+  idle_waits : int;
+  drained : int;
+  busy_ns : int;
+}
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let worker t () =
+  let rec loop () =
+    let job =
+      Mutex.protect t.m (fun () ->
+          let rec take () =
+            match Queue.take_opt t.work with
+            | Some j -> Some j
+            | None ->
+                if t.stop then None
+                else begin
+                  t.idle_waits <- t.idle_waits + 1;
+                  Condition.wait t.cv t.m;
+                  take ()
+                end
+          in
+          take ())
+    in
+    match job with
+    | None -> ()
+    | Some j ->
+        let start = now_ns () in
+        (* [j] never raises: submission wraps the user function so the
+           outcome (value or exception) is captured in the future. *)
+        j ();
+        let dt = now_ns () - start in
+        Mutex.protect t.m (fun () ->
+            t.inflight <- t.inflight - 1;
+            t.busy_ns <- t.busy_ns + (if dt > 0 then dt else 0));
+        loop ()
+  in
+  loop ()
+
+let create ?domains ?budget () =
+  let domains =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Exec.Pool.create: domains < 1";
+        d
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let budget =
+    match budget with
+    | Some b ->
+        if b < 1 then invalid_arg "Exec.Pool.create: budget < 1";
+        b
+    | None -> 64 * domains
+  in
+  let notify_r, notify_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock notify_r;
+  Unix.set_nonblock notify_w;
+  let t =
+    {
+      m = Mutex.create ();
+      cv = Condition.create ();
+      work = Queue.create ();
+      stop = false;
+      inflight = 0;
+      budget;
+      domains = [||];
+      dm = Mutex.create ();
+      done_q = Queue.create ();
+      notify_r;
+      notify_w;
+      closed = false;
+      tasks = 0;
+      batches = 0;
+      inline_runs = 0;
+      idle_waits = 0;
+      drained = 0;
+      busy_ns = 0;
+    }
+  in
+  t.domains <- Array.init domains (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = Array.length t.domains
+
+(* Completion-queue side. The empty->nonempty transition writes one
+   byte; losing the write to a full pipe is fine (the pipe is already
+   readable), losing it to a closed pipe means shutdown already ran. *)
+let push_done t thunk =
+  let was_empty =
+    Mutex.protect t.dm (fun () ->
+        let e = Queue.is_empty t.done_q in
+        Queue.push thunk t.done_q;
+        e)
+  in
+  if was_empty then
+    try ignore (Unix.write t.notify_w (Bytes.make 1 '\001') 0 1)
+    with
+    | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
+
+let drain t =
+  (* Clear the pipe first, then swap the queue: a push that lands after
+     the swap writes a fresh byte (the queue it saw was empty again), so
+     no wakeup is ever lost. *)
+  let buf = Bytes.create 64 in
+  let rec clear () =
+    match Unix.read t.notify_r buf 0 64 with
+    | 64 -> clear ()
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EBADF), _, _) -> ()
+  in
+  clear ();
+  let pending = Queue.create () in
+  Mutex.protect t.dm (fun () ->
+      Queue.transfer t.done_q pending;
+      t.drained <- t.drained + Queue.length pending);
+  let n = Queue.length pending in
+  Queue.iter (fun k -> k ()) pending;
+  n
+
+let notify_fd t = t.notify_r
+
+(* Enqueue [jobs] (already wrapped as unit tasks) honouring the
+   in-flight budget: whatever does not fit runs on the caller, and the
+   queue lock is taken once for the whole batch. Returns the overflow
+   to run inline; the caller runs it after releasing [t.m]. *)
+let enqueue t jobs =
+  let run_inline =
+    Mutex.protect t.m (fun () ->
+        if t.stop then invalid_arg "Exec.Pool: submit after shutdown";
+        let rec go acc = function
+          | [] -> List.rev acc
+          | j :: rest ->
+              if t.inflight >= t.budget then begin
+                t.inline_runs <- t.inline_runs + 1;
+                t.tasks <- t.tasks + 1;
+                go (j :: acc) rest
+              end
+              else begin
+                t.inflight <- t.inflight + 1;
+                t.tasks <- t.tasks + 1;
+                Queue.push j t.work;
+                go acc rest
+              end
+        in
+        let overflow = go [] jobs in
+        Condition.broadcast t.cv;
+        overflow)
+  in
+  List.iter (fun j -> j ()) run_inline
+
+let fulfil fut outcome =
+  Mutex.protect fut.fm (fun () ->
+      fut.st <- outcome;
+      Condition.broadcast fut.fc)
+
+let wrap_future f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); st = Pending } in
+  let job () =
+    let outcome = try Value (f ()) with e -> Raised e in
+    fulfil fut outcome
+  in
+  (fut, job)
+
+let submit t f =
+  let fut, job = wrap_future f in
+  enqueue t [ job ];
+  fut
+
+let submit_batch t fs =
+  Mutex.protect t.m (fun () -> t.batches <- t.batches + 1);
+  let futs, jobs = List.split (List.map wrap_future fs) in
+  enqueue t jobs;
+  futs
+
+let await fut =
+  let st =
+    Mutex.protect fut.fm (fun () ->
+        while (match fut.st with Pending -> true | _ -> false) do
+          Condition.wait fut.fc fut.fm
+        done;
+        fut.st)
+  in
+  match st with
+  | Value v -> v
+  | Raised e -> raise e
+  | Pending -> assert false
+
+let async t f k =
+  let job () =
+    let outcome = try Value (f ()) with e -> Raised e in
+    push_done t (fun () ->
+        match outcome with Value v -> k v | Raised e -> raise e | Pending -> ())
+  in
+  enqueue t [ job ]
+
+let async_all t fs k =
+  Mutex.protect t.m (fun () -> t.batches <- t.batches + 1);
+  match fs with
+  | [] -> push_done t (fun () -> k [])
+  | fs ->
+      let n = List.length fs in
+      let results = Array.make n Pending in
+      let remaining = Atomic.make n in
+      let jobs =
+        List.mapi
+          (fun i f () ->
+            let outcome = try Value (f ()) with e -> Raised e in
+            results.(i) <- outcome;
+            if Atomic.fetch_and_add remaining (-1) = 1 then
+              push_done t (fun () ->
+                  let vs =
+                    Array.to_list
+                      (Array.map
+                         (function
+                           | Value v -> v
+                           | Raised e -> raise e
+                           | Pending -> assert false)
+                         results)
+                  in
+                  k vs))
+          fs
+      in
+      enqueue t jobs
+
+let stats t =
+  let tasks, batches, inline_runs, idle_waits, busy_ns =
+    Mutex.protect t.m (fun () ->
+        (t.tasks, t.batches, t.inline_runs, t.idle_waits, t.busy_ns))
+  in
+  let drained = Mutex.protect t.dm (fun () -> t.drained) in
+  { tasks; batches; inline_runs; idle_waits; drained; busy_ns }
+
+let shutdown t =
+  let already =
+    Mutex.protect t.m (fun () ->
+        let a = t.stop in
+        t.stop <- true;
+        Condition.broadcast t.cv;
+        a)
+  in
+  if not already then begin
+    Array.iter Domain.join t.domains;
+    Mutex.protect t.dm (fun () -> Queue.clear t.done_q);
+    if not t.closed then begin
+      t.closed <- true;
+      (try Unix.close t.notify_r with Unix.Unix_error _ -> ());
+      try Unix.close t.notify_w with Unix.Unix_error _ -> ()
+    end
+  end

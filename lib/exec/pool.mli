@@ -1,0 +1,94 @@
+(** Bounded domain worker pool for CPU-bound verification work.
+
+    A fixed set of OCaml 5 domains pulls tasks from one shared queue
+    (crypto verification tasks are uniform, so a shared queue beats
+    per-worker deques with stealing — there is nothing to steal; see
+    DESIGN.md §11). Two completion styles serve the two planes:
+
+    - {!submit}/{!await} — allocation-light blocking futures. The sim
+      plane uses these: the submitting thread blocks until the worker
+      finishes, so the result becomes available at exactly the program
+      point an inline call would have produced it, and simulated runs
+      stay byte-for-byte deterministic for any pool size.
+    - {!async}/{!async_all} — callback completions delivered {e only} by
+      {!drain}, which the owner thread calls (the TCP runtime drains
+      from a {!Transport.Loop} tick hook and a readable {!notify_fd}).
+      Worker domains never run owner-side code, so replica state needs
+      no locks.
+
+    Backpressure: at most [budget] tasks may be in flight; past that a
+    submission runs the task on the caller instead of queueing it
+    (counted in {!stats} as [inline_runs]). The owner can therefore
+    never race unboundedly ahead of its workers, and memory stays
+    bounded under overload. *)
+
+type t
+
+type 'a future
+(** A pending result; one mutex + condvar + state word per future. *)
+
+type stats = {
+  tasks : int;        (** tasks ever submitted, inline fallbacks included *)
+  batches : int;      (** batch submissions ({!submit_batch}/{!async_all}) *)
+  inline_runs : int;  (** tasks run on the caller: in-flight budget was full *)
+  idle_waits : int;   (** worker waits on the empty queue (idle transitions) *)
+  drained : int;      (** completions delivered by {!drain} so far *)
+  busy_ns : int;
+      (** cumulative wall time workers spent inside tasks. Overlap
+          against the owner's wall clock: [busy_ns / wall_ns] > 1 means
+          verification genuinely ran in parallel with the event loop. *)
+}
+
+val create : ?domains:int -> ?budget:int -> unit -> t
+(** [create ()] spawns [domains] worker domains (default
+    [max 1 (recommended_domain_count () - 1)]: leave one core to the
+    owner) with an in-flight budget of [budget] tasks (default
+    [64 * domains]). Requires [domains >= 1] and [budget >= 1]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Hand one task to the pool (or run it on the caller if the budget is
+    full); the future is fulfilled when it finishes. *)
+
+val submit_batch : t -> (unit -> 'a) list -> 'a future list
+(** Like iterated {!submit} but the queue lock is taken once for the
+    whole list and sleeping workers are woken once. *)
+
+val await : 'a future -> 'a
+(** Blocks until the task finishes; re-raises the task's exception in
+    the caller. Safe from any thread, including after the task already
+    completed. *)
+
+val async : t -> (unit -> 'a) -> ('a -> unit) -> unit
+(** [async t f k] runs [f] on a worker and delivers [k result] at a
+    later {!drain} on the owner thread — never synchronously, so caller
+    state cannot be reentered. If [f] raises, the exception is
+    re-raised out of that [drain] call. *)
+
+val async_all : t -> (unit -> 'a) list -> ('a list -> unit) -> unit
+(** Batched {!async}: one queue-lock acquisition, one completion with
+    the results in submission order, delivered by {!drain} when the
+    last task finishes. [async_all t [] k] delivers [k []] at the next
+    {!drain}. *)
+
+val drain : t -> int
+(** Runs every completion callback whose task has finished, on the
+    calling thread, and returns how many were delivered. The owner must
+    call this regularly (tick hook) and/or when {!notify_fd} becomes
+    readable. Never blocks. *)
+
+val notify_fd : t -> Unix.file_descr
+(** Read end of a self-pipe: becomes readable when the completion queue
+    transitions empty→non-empty, so a [select]-based owner wakes
+    immediately instead of sleeping out its timeout. {!drain} clears
+    it. Do not close it; {!shutdown} does. *)
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Finishes all queued work, joins the worker domains and closes the
+    pipe. Completions not yet drained are discarded. Idempotent.
+    Futures still pending after shutdown are fulfilled (workers drain
+    the queue before exiting). *)

@@ -36,6 +36,9 @@ type t = {
   (* view-change observability *)
   mutable view_changes : int;
   mutable vc_triggers : int;
+  (* verification pool (None = inline verification on the loop thread) *)
+  verify_pool : Exec.Pool.t option;
+  mutable verify_tick : Loop.tick_handle option;
   mutable closed : bool;
 }
 
@@ -48,6 +51,7 @@ let trace t = t.trace
 let view_changes t = t.view_changes
 let vc_triggers t = t.vc_triggers
 let resends t = t.resends
+let verify_stats t = Option.map Exec.Pool.stats t.verify_pool
 
 let f_plus_1 t = Core.Config.max_faulty t.cfg + 1
 
@@ -212,13 +216,36 @@ let stop_load t =
 (* -- construction ------------------------------------------------------- *)
 
 let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:false ())
-    ?(byzantine = []) ?client_resend () =
+    ?(byzantine = []) ?client_resend ?verify_domains () =
   let n = cfg.Core.Config.n in
   let loop = Loop.create () in
   (* One buffer pool for the whole in-process cluster: a redialing node
      reuses buffers any node released. *)
   let pool = Pool.create () in
-  let nodes = Array.init n (fun id -> Runtime.node ~loop ~id ~n ?outbuf_hwm ~pool ()) in
+  (* Verification pool: ON by default (that is the point of the TCP
+     plane — real parallel crypto), sized to leave one core for the
+     event loop. [Some 0] disables it (bench baseline); on a small host
+     the default degenerates to one worker, still keeping crypto off the
+     select thread. One pool for the in-process cluster: workers only
+     run pure crypto, so sharing is safe and bounds the domain count. *)
+  let verify_pool =
+    match verify_domains with
+    | Some 0 -> None
+    | Some d -> Some (Exec.Pool.create ~domains:d ())
+    | None ->
+      Some
+        (Exec.Pool.create
+           ~domains:(max 1 (min 4 (Domain.recommended_domain_count () - 1)))
+           ())
+  in
+  let verify =
+    match verify_pool with
+    | None -> Core.Verify.inline
+    | Some p -> Core.Verify.pooled p
+  in
+  let nodes =
+    Array.init n (fun id -> Runtime.node ~loop ~id ~n ?outbuf_hwm ~pool ~verify ())
+  in
   let ports = Array.map (fun node -> Runtime.listen node ()) nodes in
   Array.iteri
     (fun id node ->
@@ -271,9 +298,22 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
       resends = 0;
       view_changes = 0;
       vc_triggers = 0;
+      verify_pool;
+      verify_tick = None;
       closed = false }
   in
   t_ref := Some t;
+  (match verify_pool with
+   | None -> ()
+   | Some p ->
+     (* Completions are delivered on the loop thread: every dispatch
+        round starts with a drain ([on_tick] registered after the Conn
+        flush ticks runs before them — newest first), and the pool's
+        notify pipe wakes select the moment a result lands, so verified
+        messages never wait out the select timeout. *)
+     let drain () = ignore (Exec.Pool.drain p : int) in
+     t.verify_tick <- Some (Loop.on_tick loop drain);
+     Loop.watch_read loop (Exec.Pool.notify_fd p) drain);
   Array.iter Core.Replica.start replicas;
   resend_loop t;
   t
@@ -362,6 +402,20 @@ let close t =
     t.closed <- true;
     stop_load t;
     Loop.stop t.loop;
+    (* Unhook the pool from the loop before shutdown closes its pipe fds
+       (a closed fd in the select read set would fail the loop), then
+       join the worker domains. Un-drained continuations are dropped —
+       the replicas they would touch are being torn down anyway. *)
+    (match t.verify_pool with
+     | None -> ()
+     | Some p ->
+       (match t.verify_tick with
+        | Some h ->
+          Loop.remove_tick t.loop h;
+          t.verify_tick <- None
+        | None -> ());
+       Loop.unwatch t.loop (Exec.Pool.notify_fd p);
+       Exec.Pool.shutdown p);
     Array.iter (fun node -> Conn.close (Runtime.conn node)) t.nodes;
     (* Reap the joined accounting state too, so a harness that builds
        clusters in a loop (the chaos corpus) cannot accrete per-run
@@ -440,8 +494,8 @@ let report_of t =
     ledgers_agree = ledgers_agree t }
 
 let run ~cfg ?load ?(duration = Sim.Sim_time.s 5) ?(drain = Sim.Sim_time.s 10)
-    ?min_confirmed ?kill ?trace () =
-  let t = create ~cfg ?load ?trace () in
+    ?min_confirmed ?kill ?trace ?verify_domains () =
+  let t = create ~cfg ?load ?trace ?verify_domains () in
   (* [close] on every exit path, normal or not: an exception mid-run must
      not leak n listeners plus O(n^2) connection fds into the process
      (repeated in-process runs — the chaos corpus — would exhaust the fd

@@ -21,6 +21,7 @@ val create :
   ?trace:Sim.Trace.t ->
   ?byzantine:(Net.Node_id.t * Core.Byzantine.t) list ->
   ?client_resend:Sim.Sim_time.span ->
+  ?verify_domains:int ->
   unit ->
   t
 (** Builds the cluster: binds [n] ephemeral loopback listeners, wires
@@ -30,7 +31,15 @@ val create :
     (default: all honest). [client_resend] makes the built-in client
     re-send unconfirmed batches after that span (resend-tagged, so
     receivers arm the view-change watchdog — required for any TCP-plane
-    view change, exactly as in [Core.Runner]). *)
+    view change, exactly as in [Core.Runner]).
+
+    [verify_domains] sizes the shared verification pool: crypto checks
+    run on worker domains ({!Core.Verify.pooled}) and completions are
+    drained by a loop tick plus the pool's notify fd, so [read(2)] and
+    [write(2)] never wait on crypto. Default: on, with
+    [min 4 (recommended_domain_count - 1)] workers (at least 1);
+    [Some 0] verifies inline on the loop thread (the pre-pool
+    behaviour). *)
 
 val loop : t -> Loop.t
 val replicas : t -> Core.Replica.t array
@@ -71,6 +80,9 @@ val view_changes : t -> int
 
 val vc_triggers : t -> int
 (** View-change triggers fired (replicas giving up on a view). *)
+
+val verify_stats : t -> Exec.Pool.stats option
+(** Verification-pool counters ([None] when verification is inline). *)
 
 val max_view : t -> int
 (** Highest view any up replica is in (1 = no view change yet). *)
@@ -115,6 +127,7 @@ val run :
   ?min_confirmed:int ->
   ?kill:Net.Node_id.t * Sim.Sim_time.span * Sim.Sim_time.span option ->
   ?trace:Sim.Trace.t ->
+  ?verify_domains:int ->
   unit ->
   report
 (** Creates a cluster, offers load for [duration] (default 5 s; stops

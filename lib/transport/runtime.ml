@@ -4,7 +4,7 @@ type node = {
   platform : Core.Platform.t;
 }
 
-let node ~loop ~id ~n ?max_frame ?outbuf_hwm ?pool () =
+let node ~loop ~id ~n ?max_frame ?outbuf_hwm ?pool ?(verify = Core.Verify.inline) () =
   (* The replica installs its handler via the platform after the conn
      exists; route deliveries through a cell to break the cycle. *)
   let handler = ref (fun ~src:_ (_ : Core.Msg.t) -> ()) in
@@ -26,7 +26,11 @@ let node ~loop ~id ~n ?max_frame ?outbuf_hwm ?pool () =
       submit = (fun ~cost:_ f -> ignore (Loop.schedule loop ~delay:0L f : Loop.handle));
       submit_ns =
         (fun ~cost_ns:_ f -> ignore (Loop.schedule loop ~delay:0L f : Loop.handle));
-      set_down = (fun down -> Conn.set_down conn down) }
+      set_down = (fun down -> Conn.set_down conn down);
+      (* Real crypto: no modeled cost to charge. The pooled dispatch
+         moves it onto worker domains; read/write syscalls keep going
+         while continuations wait for the next drain tick. *)
+      verify }
   in
   { loop; conn; platform }
 

@@ -19,8 +19,13 @@ val node :
   ?max_frame:int ->
   ?outbuf_hwm:int ->
   ?pool:Pool.t ->
+  ?verify:Core.Verify.dispatch ->
   unit ->
   node
+(** [verify] defaults to {!Core.Verify.inline}; the cluster harness
+    passes {!Core.Verify.pooled} so crypto checks run on worker domains
+    and their continuations are delivered by a loop tick draining the
+    pool (see {!Cluster.create}). *)
 
 val platform : node -> Core.Platform.t
 val conn : node -> Conn.t

@@ -1,0 +1,274 @@
+(* Exec.Pool: the bounded domain worker pool under the verification
+   pipeline. Futures, batches, drain-only async delivery, backpressure,
+   stats — and the crypto paths that now run on it: concurrent
+   Datablock.verify / Threshold.verify from several domains must agree,
+   and a corrupted block must be rejected from every domain. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* -- pool mechanics ----------------------------------------------------- *)
+
+let test_submit_await () =
+  let p = Exec.Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown p)
+    (fun () ->
+      let fut = Exec.Pool.submit p (fun () -> 6 * 7) in
+      checki "value" 42 (Exec.Pool.await fut);
+      (* await after completion is fine, and repeatable *)
+      checki "await twice" 42 (Exec.Pool.await fut))
+
+let test_submit_batch_order () =
+  let p = Exec.Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown p)
+    (fun () ->
+      let futs =
+        Exec.Pool.submit_batch p (List.init 100 (fun i () -> i * i))
+      in
+      List.iteri (fun i f -> checki "square" (i * i) (Exec.Pool.await f)) futs)
+
+let test_await_reraises () =
+  let p = Exec.Pool.create ~domains:1 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown p)
+    (fun () ->
+      let fut = Exec.Pool.submit p (fun () -> failwith "boom") in
+      checkb "exception re-raised in caller" true
+        (match Exec.Pool.await fut with
+        | _ -> false
+        | exception Failure m -> String.equal m "boom"))
+
+let test_async_delivered_only_at_drain () =
+  let p = Exec.Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown p)
+    (fun () ->
+      let delivered = ref [] in
+      let futs =
+        List.init 10 (fun i ->
+            let fut = Exec.Pool.submit p (fun () -> ()) in
+            Exec.Pool.async p (fun () -> i) (fun v -> delivered := v :: !delivered);
+            fut)
+      in
+      (* Wait for the work itself; the continuations must still be parked
+         in the done queue, not run from the worker domains. *)
+      List.iter Exec.Pool.await futs;
+      checki "nothing delivered before drain" 0 (List.length !delivered);
+      (* async completions enqueue after their task finishes; give the
+         last ones a moment, then drain until all ten are here. *)
+      let rec drain_all deadline =
+        ignore (Exec.Pool.drain p : int);
+        if List.length !delivered < 10 && Unix.gettimeofday () < deadline then begin
+          Unix.sleepf 0.001;
+          drain_all deadline
+        end
+      in
+      drain_all (Unix.gettimeofday () +. 5.);
+      checki "all delivered" 10 (List.length !delivered);
+      checki "delivered count in stats" 10 (Exec.Pool.stats p).Exec.Pool.drained)
+
+let test_async_all_order_and_notify_fd () =
+  let p = Exec.Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown p)
+    (fun () ->
+      let result = ref None in
+      Exec.Pool.async_all p
+        (List.init 50 (fun i () -> 2 * i))
+        (fun vs -> result := Some vs);
+      (* The notify fd must become readable once the batch completes. *)
+      let r, _, _ = Unix.select [ Exec.Pool.notify_fd p ] [] [] 5.0 in
+      checkb "notify fd readable" true (r <> []);
+      ignore (Exec.Pool.drain p : int);
+      match !result with
+      | None -> Alcotest.fail "batch completion not delivered"
+      | Some vs ->
+        checki "batch size" 50 (List.length vs);
+        List.iteri (fun i v -> checki "submission order" (2 * i) v) vs)
+
+let test_backpressure_runs_inline () =
+  (* One worker, blocked; a budget of 1 is exhausted by the blocked task,
+     so further submissions must run on the caller. *)
+  let p = Exec.Pool.create ~domains:1 ~budget:1 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown p)
+    (fun () ->
+      let gate = Semaphore.Binary.make false in
+      (* In-flight counts from submission, so the budget is full the
+         moment this is enqueued — no need to wait for pickup. *)
+      let blocked = Exec.Pool.submit p (fun () -> Semaphore.Binary.acquire gate) in
+      let caller_domain = Domain.self () in
+      let ran_on = ref None in
+      let fut = Exec.Pool.submit p (fun () -> ran_on := Some (Domain.self ())) in
+      checkb "inline fallback completed without the worker" true
+        (match Exec.Pool.await fut with () -> true);
+      checkb "ran on the caller domain" true (!ran_on = Some caller_domain);
+      checkb "inline_runs counted" true ((Exec.Pool.stats p).Exec.Pool.inline_runs >= 1);
+      Semaphore.Binary.release gate;
+      Exec.Pool.await blocked)
+
+let test_stats_sanity () =
+  let p = Exec.Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown p)
+    (fun () ->
+      let futs = Exec.Pool.submit_batch p (List.init 20 (fun i () -> i)) in
+      List.iter (fun f -> ignore (Exec.Pool.await f : int)) futs;
+      let s = Exec.Pool.stats p in
+      checki "tasks" 20 s.Exec.Pool.tasks;
+      checki "batches" 1 s.Exec.Pool.batches;
+      checki "size" 2 (Exec.Pool.size p))
+
+let test_shutdown_idempotent () =
+  let p = Exec.Pool.create ~domains:2 () in
+  let fut = Exec.Pool.submit p (fun () -> 1) in
+  Exec.Pool.shutdown p;
+  (* queued work was finished before the workers exited *)
+  checki "pending future fulfilled" 1 (Exec.Pool.await fut);
+  Exec.Pool.shutdown p (* second call is a no-op *)
+
+(* -- parallel crypto verification --------------------------------------- *)
+
+let mk_batches () =
+  List.init 8 (fun i ->
+      Workload.Request.make ~id:i ~count:4 ~size_each:64 ~born:0L ())
+
+let mk_db () =
+  let rng = Sim.Rng.create 7L in
+  let pk, sk = Crypto.Signature.keygen rng in
+  let db =
+    Core.Datablock.create ~sk ~creator:0 ~counter:1 ~now:Sim.Sim_time.zero (mk_batches ())
+  in
+  ([| pk |], db)
+
+let test_corrupted_block_rejected_from_every_domain () =
+  let pks, db = mk_db () in
+  checkb "original verifies" true (Core.Datablock.verify ~pks db);
+  let p = Exec.Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown p)
+    (fun () ->
+      (* Fresh tampered copy per task: every domain must recompute the
+         Merkle root (no shared warm memo) and reject. *)
+      let bad =
+        Exec.Pool.submit_batch p
+          (List.init 64 (fun _ ->
+               let forged = Core.Datablock.tamper db in
+               fun () -> Core.Datablock.verify ~pks forged))
+      in
+      List.iter (fun f -> checkb "tampered rejected" false (Exec.Pool.await f)) bad;
+      (* And one shared corrupted value hammered concurrently: the CAS'd
+         memo must never flip to Valid under the race. *)
+      let forged = Core.Datablock.tamper db in
+      let shared =
+        Exec.Pool.submit_batch p
+          (List.init 64 (fun _ () -> Core.Datablock.verify ~pks forged))
+      in
+      List.iter (fun f -> checkb "shared tampered rejected" false (Exec.Pool.await f)) shared;
+      (* Valid block accepted from every domain, ditto under sharing. *)
+      let good =
+        Exec.Pool.submit_batch p
+          (List.init 64 (fun _ () -> Core.Datablock.verify ~pks db))
+      in
+      List.iter (fun f -> checkb "valid accepted" true (Exec.Pool.await f)) good)
+
+let test_threshold_verdicts_agree_across_domains () =
+  let rng = Sim.Rng.create 11L in
+  let setup, keys = Crypto.Threshold.keygen rng ~threshold:2 ~parties:4 in
+  let msg = "payload under vote" in
+  let shares = Array.to_list (Array.map (fun k -> Crypto.Threshold.sign_share k msg) keys) in
+  let agg =
+    match Crypto.Threshold.combine setup msg shares with
+    | Some a -> a
+    | None -> Alcotest.fail "combine failed"
+  in
+  let forged = Crypto.Threshold.forge_attempt setup msg in
+  let p = Exec.Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown p)
+    (fun () ->
+      (* Same aggregate verified concurrently from every domain — the
+         atomic verdict memo and DLS mask memo must give one answer. *)
+      let oks =
+        Exec.Pool.submit_batch p
+          (List.init 64 (fun i () ->
+               if i mod 2 = 0 then Crypto.Threshold.verify setup agg msg
+               else not (Crypto.Threshold.verify setup forged msg)))
+      in
+      List.iter (fun f -> checkb "verdict" true (Exec.Pool.await f)) oks;
+      (* Shares too (leader path). *)
+      let share_oks =
+        Exec.Pool.submit_batch p
+          (List.map (fun s () -> Crypto.Threshold.verify_share setup s msg) shares)
+      in
+      List.iter (fun f -> checkb "share verdict" true (Exec.Pool.await f)) share_oks)
+
+let test_verify_facade_dispatchers_agree () =
+  let pks, db = mk_db () in
+  let rng = Sim.Rng.create 23L in
+  let setup, keys = Crypto.Threshold.keygen rng ~threshold:2 ~parties:4 in
+  let msg = "facade payload" in
+  let shares = Array.to_list (Array.map (fun k -> Crypto.Threshold.sign_share k msg) keys) in
+  let agg = Option.get (Crypto.Threshold.combine setup msg shares) in
+  let job =
+    Core.Verify.All
+      [ Core.Verify.Datablock_check { pks; db };
+        Core.Verify.Aggregate_check { setup; agg; msg };
+        Core.Verify.Share_check { setup; share = List.hd shares; msg } ]
+  in
+  let bad_job =
+    Core.Verify.All
+      [ Core.Verify.Datablock_check { pks; db };
+        Core.Verify.Aggregate_check
+          { setup; agg = Crypto.Threshold.forge_attempt setup msg; msg } ]
+  in
+  checkb "run: all good" true (Core.Verify.run job);
+  checkb "run: one bad poisons the batch" false (Core.Verify.run bad_job);
+  let got = ref None in
+  Core.Verify.inline job (fun ok -> got := Some ok);
+  checkb "inline" (Some true = !got) true;
+  let p = Exec.Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Exec.Pool.shutdown p)
+    (fun () ->
+      let got = ref None in
+      Core.Verify.blocking p job (fun ok -> got := Some ok);
+      checkb "blocking completes synchronously" (Some true = !got) true;
+      let got = ref None in
+      Core.Verify.blocking p bad_job (fun ok -> got := Some ok);
+      checkb "blocking bad" (Some false = !got) true;
+      let got = ref None in
+      Core.Verify.pooled p job (fun ok -> got := Some ok);
+      checkb "pooled never synchronous" (None = !got) true;
+      let rec drain_until deadline =
+        ignore (Exec.Pool.drain p : int);
+        if !got = None && Unix.gettimeofday () < deadline then begin
+          Unix.sleepf 0.001;
+          drain_until deadline
+        end
+      in
+      drain_until (Unix.gettimeofday () +. 5.);
+      checkb "pooled delivers at drain" (Some true = !got) true)
+
+let () =
+  Alcotest.run "exec"
+    [ ( "pool",
+        [ Alcotest.test_case "submit/await" `Quick test_submit_await;
+          Alcotest.test_case "batch order" `Quick test_submit_batch_order;
+          Alcotest.test_case "await re-raises" `Quick test_await_reraises;
+          Alcotest.test_case "async only at drain" `Quick test_async_delivered_only_at_drain;
+          Alcotest.test_case "async_all order + notify fd" `Quick
+            test_async_all_order_and_notify_fd;
+          Alcotest.test_case "backpressure inline fallback" `Quick
+            test_backpressure_runs_inline;
+          Alcotest.test_case "stats" `Quick test_stats_sanity;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent ] );
+      ( "parallel verification",
+        [ Alcotest.test_case "corrupted block rejected everywhere" `Quick
+            test_corrupted_block_rejected_from_every_domain;
+          Alcotest.test_case "threshold verdicts agree" `Quick
+            test_threshold_verdicts_agree_across_domains;
+          Alcotest.test_case "facade dispatchers agree" `Quick
+            test_verify_facade_dispatchers_agree ] ) ]

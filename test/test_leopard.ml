@@ -17,10 +17,10 @@ let small_cfg ?(n = 4) ?(k = 16) ?(view_timeout = Sim_time.s 2) () =
     ~fetch_grace:(Sim_time.ms 200) ~cost:Crypto.Cost_model.free ()
 
 let run_spec ?(load = 400.) ?(duration = 12) ?(load_until = 6) ?byzantine ?stop_leader_at
-    ?client_resend_timeout ?gst ?(seed = 42L) cfg =
+    ?client_resend_timeout ?gst ?(seed = 42L) ?verify_domains cfg =
   Core.Runner.spec ~cfg ~seed ~load ~duration:(Sim_time.s duration)
     ~warmup:(Sim_time.s 2) ~load_until:(Sim_time.s load_until)
-    ?byzantine ?stop_leader_at ?client_resend_timeout ?gst ()
+    ?byzantine ?stop_leader_at ?client_resend_timeout ?gst ?verify_domains ()
 
 (* -- Honest runs -------------------------------------------------------------- *)
 
@@ -59,6 +59,28 @@ let test_deterministic_report_bytes () =
   let b = Core.Runner.run spec in
   checkb "byte-identical reports" true
     (String.equal (Marshal.to_string a []) (Marshal.to_string b []))
+
+(* Determinism under parallelism: routing the heavy crypto through an
+   Exec.Pool of 1, 2 or 4 worker domains (Verify.blocking dispatch) must
+   leave the report byte-for-byte what the inline run produces — the
+   workers compute the same pure verdicts, and completion points are
+   unchanged. Any cross-domain leak (memo tearing, event reordering)
+   shows up as a byte difference here. *)
+let test_pool_size_determinism () =
+  let report_bytes verify_domains =
+    let spec =
+      run_spec ~seed:13L ~client_resend_timeout:(Sim_time.s 1) ?verify_domains (small_cfg ())
+    in
+    Marshal.to_string (Core.Runner.run spec) []
+  in
+  let inline = report_bytes None in
+  List.iter
+    (fun d ->
+      checkb
+        (Printf.sprintf "%d-domain pool byte-identical to inline" d)
+        true
+        (String.equal inline (report_bytes (Some d))))
+    [ 1; 2; 4 ]
 
 let test_latency_breakdown_components () =
   let r = Core.Runner.run (run_spec (small_cfg ())) in
@@ -403,6 +425,8 @@ let () =
           Alcotest.test_case "larger cluster" `Slow test_honest_larger_cluster;
           Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
           Alcotest.test_case "byte-identical reports" `Quick test_deterministic_report_bytes;
+          Alcotest.test_case "pool sizes 1/2/4 byte-identical" `Quick
+            test_pool_size_determinism;
           Alcotest.test_case "latency breakdown" `Quick test_latency_breakdown_components;
           Alcotest.test_case "bandwidth shape" `Quick test_bandwidth_accounting_shape ] );
       ( "silent faults",
