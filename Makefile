@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: check ci fmt fmt-check chaos build test bench bench-fast bench-micro bench-macro bench-net bench-verify clean
+.PHONY: check ci fmt fmt-check chaos build test bench bench-fast bench-micro bench-macro bench-net bench-verify bench-store clean
 
 check: ## build + full test suite (tier-1 gate)
 	dune build && dune runtest
@@ -48,6 +48,9 @@ bench-net: ## transport data-plane bench over loopback TCP, rewrite BENCH_net.js
 
 bench-verify: ## verification pool vs inline bench, rewrite BENCH_verify.json
 	dune exec bench/main.exe -- --only verify
+
+bench-store: ## WAL append/recovery bench, rewrite BENCH_store.json
+	dune exec bench/main.exe -- --only store
 
 clean:
 	dune clean

@@ -654,6 +654,12 @@ let verify () =
     ~paper:"crypto verification off the event loop (throughput preservation, §6.2)";
   Verify_bench.run ~fast:!fast_mode ~check:!check_regressions
 
+let store () =
+  header ~id:"store"
+    ~title:"Durable store: WAL append throughput and recovery time, with JSON baseline"
+    ~paper:"stable storage for vote safety across restarts (§3 system model)";
+  Store_bench.run ~fast:!fast_mode ~check:!check_regressions
+
 (* ------------------------------------------------------------------ *)
 (* Registry and entry point                                            *)
 (* ------------------------------------------------------------------ *)
@@ -683,7 +689,8 @@ let experiments =
     ("micro", micro);
     ("macro", macro);
     ("net", net);
-    ("verify", verify) ]
+    ("verify", verify);
+    ("store", store) ]
 
 let () =
   let args = Array.to_list Sys.argv in

@@ -93,7 +93,7 @@ let leopard_run n load duration warmup alpha bft_size payload silent stop_leader
 (* ---------------- local-cluster (real TCP) ---------------- *)
 
 let local_cluster_run n load duration drain alpha bft_size payload db_timeout prop_timeout
-    min_confirmed kill kill_at revive_at verify_domains trace_out =
+    min_confirmed kill kill_at revive_at verify_domains data_dir fsync trace_out =
   let cfg =
     Core.Config.make ~n ~alpha ~bft_size ~payload
       ~datablock_timeout:(span_of_sec db_timeout)
@@ -121,9 +121,19 @@ let local_cluster_run n load duration drain alpha bft_size payload db_timeout pr
                                       (Option.get revive_at)
                         | None -> "")
    | None -> ());
+  (match data_dir with
+   | Some dir -> Format.printf "durable state: %s (fsync=%s)@." dir fsync
+   | None -> ());
+  let fsync =
+    match fsync with
+    | "always" -> Store.Wal.Always
+    | "interval" -> Store.Wal.Interval 50_000_000
+    | _ -> Store.Wal.Never
+  in
   let r =
     Transport.Cluster.run ~cfg ~load ~duration:(span_of_sec duration)
-      ~drain:(span_of_sec drain) ?min_confirmed ?kill ?trace ?verify_domains ()
+      ~drain:(span_of_sec drain) ?min_confirmed ?kill ?trace ?verify_domains
+      ?data_dir ~fsync ()
   in
   Format.printf "%a@." Transport.Cluster.pp_report r;
   (match (trace, trace_out) with
@@ -186,7 +196,10 @@ let chaos_run list_only scenario plane sim_ns tcp_n seed trace_dir keep_traces f
             List.iter (fun b -> record (Faults.Sim_plane.run ~seed (b ~n))) builders)
           sim_ns;
       if plane = "tcp" || plane = "both" then
-        List.iter (fun b -> record (Faults.Tcp_plane.run ~seed (b ~n:tcp_n))) builders;
+        List.iter
+          (fun b ->
+            record (Faults.Tcp_plane.run ~seed ~data_root:trace_dir (b ~n:tcp_n)))
+          builders;
       let outcomes = List.rev !outcomes in
       Format.printf "@.%a@." Faults.Oracle.pp_outcomes outcomes;
       if List.for_all Faults.Oracle.outcome_ok outcomes then `Ok ()
@@ -344,6 +357,22 @@ let local_cluster_cmd =
                "Worker domains for parallel crypto verification (0 = verify inline on the \
                 event loop; default: auto, scaled to the host cores).")
   in
+  let data_dir =
+    Arg.(value & opt (some string) None
+         & info [ "data-dir" ]
+             ~doc:
+               "Keep each replica's write-ahead log and snapshots under this directory \
+                (node-0/, node-1/, …). Default: a temp directory, removed on exit.")
+  in
+  let fsync =
+    Arg.(value
+         & opt (enum [ ("always", "always"); ("interval", "interval"); ("never", "never") ])
+             "never"
+         & info [ "fsync" ]
+             ~doc:
+               "WAL durability policy: $(b,always) fsyncs every append, $(b,interval) \
+                fsyncs at most every 50ms, $(b,never) leaves durability to the page cache.")
+  in
   Cmd.v
     (Cmd.info "local-cluster"
        ~doc:"Run replicas over real loopback TCP sockets (the deployable transport stack)")
@@ -351,7 +380,7 @@ let local_cluster_cmd =
       ret
         (const local_cluster_run $ n $ load $ duration $ drain $ alpha $ bft_size $ payload_arg
         $ db_timeout $ prop_timeout $ min_confirmed $ kill $ kill_at $ revive_at
-        $ verify_domains $ trace_out_arg))
+        $ verify_domains $ data_dir $ fsync $ trace_out_arg))
 
 let chaos_cmd =
   let list_only =

@@ -351,6 +351,124 @@ let r_msg r : Msg.t =
   | 12 -> Msg.Fetch_reply (r_datablock r)
   | _ -> raise Decode_error
 
+(* -- durable-store records and snapshots --------------------------------- *)
+
+let w_option f b = function
+  | None -> W.bool b false
+  | Some v ->
+    W.bool b true;
+    f b v
+
+let r_option f r = if R.bool r then Some (f r) else None
+
+let w_record b (x : Store.record) =
+  match x with
+  | Store.Logged_msg m ->
+    W.u8 b 0;
+    w_msg b m
+  | Store.Confirmed_block blk ->
+    W.u8 b 1;
+    w_bftblock b blk
+  | Store.Entered_view v ->
+    W.u8 b 2;
+    W.u32 b v
+  | Store.Db_counter c ->
+    W.u8 b 3;
+    W.u32 b c
+
+let r_record r : Store.record =
+  match R.u8 r with
+  | 0 -> Store.Logged_msg (r_msg r)
+  | 1 -> Store.Confirmed_block (r_bftblock r)
+  | 2 -> Store.Entered_view (R.u32 r)
+  | 3 -> Store.Db_counter (R.u32 r)
+  | _ -> raise Decode_error
+
+let w_inst_snap b (i : Store.inst_snap) =
+  W.u32 b i.Store.s_sn;
+  W.u32 b i.Store.s_iview;
+  w_option w_bftblock b i.Store.s_block;
+  W.bool b i.Store.s_voted_prepare;
+  w_option w_hash b i.Store.s_voted_hash;
+  W.bool b i.Store.s_voted_commit;
+  W.u32 b i.Store.s_notarized_view;
+  w_option w_aggregate b i.Store.s_notarization
+
+let r_inst_snap r : Store.inst_snap =
+  let s_sn = R.u32 r in
+  let s_iview = R.u32 r in
+  let s_block = r_option r_bftblock r in
+  let s_voted_prepare = R.bool r in
+  let s_voted_hash = r_option r_hash r in
+  let s_voted_commit = R.bool r in
+  let s_notarized_view = R.u32 r in
+  let s_notarization = r_option r_aggregate r in
+  Store.
+    { s_sn;
+      s_iview;
+      s_block;
+      s_voted_prepare;
+      s_voted_hash;
+      s_voted_commit;
+      s_notarized_view;
+      s_notarization }
+
+let w_snapshot b (s : Store.snapshot) =
+  W.u32 b s.Store.snap_view;
+  W.u32 b s.Store.snap_lw;
+  W.u32 b s.Store.snap_next_sn;
+  W.u32 b s.Store.snap_db_counter;
+  w_hash b s.Store.snap_state_hash;
+  W.u32 b s.Store.snap_executed_up_to;
+  w_option w_cert b s.Store.snap_checkpoint;
+  W.list b w_bftblock s.Store.snap_blocks;
+  W.list b
+    (fun b (h, sn) ->
+      w_hash b h;
+      W.u32 b sn)
+    s.Store.snap_executed_links;
+  W.list b w_inst_snap s.Store.snap_instances;
+  W.list b
+    (fun b (db, linked) ->
+      w_datablock b db;
+      W.bool b linked)
+    s.Store.snap_datablocks
+
+let r_snapshot r : Store.snapshot =
+  let snap_view = R.u32 r in
+  let snap_lw = R.u32 r in
+  let snap_next_sn = R.u32 r in
+  let snap_db_counter = R.u32 r in
+  let snap_state_hash = r_hash r in
+  let snap_executed_up_to = R.u32 r in
+  let snap_checkpoint = r_option r_cert r in
+  let snap_blocks = R.list r r_bftblock in
+  let snap_executed_links =
+    R.list r (fun r ->
+        let h = r_hash r in
+        let sn = R.u32 r in
+        (h, sn))
+  in
+  let snap_instances = R.list r r_inst_snap in
+  let snap_datablocks =
+    R.list r (fun r ->
+        let db = r_datablock r in
+        let linked = R.bool r in
+        (db, linked))
+  in
+  Store.
+    { snap_view;
+      snap_lw;
+      snap_next_sn;
+      snap_db_counter;
+      snap_state_hash;
+      snap_executed_up_to;
+      snap_checkpoint;
+      snap_blocks;
+      snap_executed_links;
+      snap_instances;
+      snap_datablocks }
+
 (* -- public API ---------------------------------------------------------- *)
 
 let run_encoder f v =
@@ -367,6 +485,10 @@ let decode_bftblock = guard r_bftblock
 let encode_msg = run_encoder w_msg
 let decode_msg = guard r_msg
 let decode_msg_sub s ~off ~len = guard_sub r_msg s ~off ~len
+let encode_record = run_encoder w_record
+let decode_record = guard r_record
+let encode_snapshot = run_encoder w_snapshot
+let decode_snapshot = guard r_snapshot
 
 (* -- structural equality -------------------------------------------------- *)
 

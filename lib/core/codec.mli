@@ -35,6 +35,15 @@ val decode_bftblock : string -> Bftblock.t option
 val encode_msg : Msg.t -> string
 val decode_msg : string -> Msg.t option
 
+val encode_record : Store.record -> string
+val decode_record : string -> Store.record option
+
+val encode_snapshot : Store.snapshot -> string
+val decode_snapshot : string -> Store.snapshot option
+(** Durable-store payloads ({!Store.record} / {!Store.snapshot}): the
+    same deterministic format, used inside the write-ahead log's CRC'd
+    frames ([Store.Wal]). *)
+
 val decode_msg_sub : string -> off:int -> len:int -> Msg.t option
 (** [decode_msg_sub s ~off ~len] decodes the message occupying exactly
     [s.[off .. off+len-1]], without copying the slice out first — the

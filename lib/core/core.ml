@@ -38,6 +38,12 @@ module Msg = Msg
 module Codec = Codec
 (** Binary wire/persistence codec for the protocol values. *)
 
+module Store = Store
+(** The durable-state seam: write-ahead records and checkpoint snapshots
+    a replica persists before sending, replayed by [Replica.recover].
+    In-memory and fault-injecting sinks live here; the real-file
+    implementation is [Store_file] in the [store] library. *)
+
 module Byzantine = Byzantine
 (** Adversarial replica strategies. *)
 

@@ -106,6 +106,9 @@ let relink_pending t ~keep_linked ~also_executed =
       end)
     t.by_hash
 
+let fold t ~init ~f =
+  Crypto.Hash.Table.fold (fun _ e acc -> f acc e.db ~linked:e.linked) t.by_hash init
+
 let equivocations t = List.rev t.evidence
 let size t = Crypto.Hash.Table.length t.by_hash
 

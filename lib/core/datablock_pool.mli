@@ -54,6 +54,11 @@ val relink_pending :
     linked those in [keep_linked] (redo and still-confirmed blocks) and
     those for which [also_executed] holds. *)
 
+val fold : t -> init:'a -> f:('a -> Datablock.t -> linked:bool -> 'a) -> 'a
+(** Folds over every stored datablock with its linked flag, in
+    unspecified order (snapshot building; sort by (creator, counter) for
+    a deterministic serialization). *)
+
 val equivocations : t -> (Net.Node_id.t * Datablock.t * Datablock.t) list
 (** Collected equivocation evidence: (creator, first, second). *)
 

@@ -28,6 +28,10 @@ let fast_forward t sn = if sn > t.executed then t.executed <- sn
 let confirmed_count t = t.confirmed_count
 let highest_confirmed t = t.highest
 
+let blocks t =
+  Hashtbl.fold (fun _ b acc -> b :: acc) t.blocks []
+  |> List.sort (fun (a : Bftblock.t) (b : Bftblock.t) -> compare a.sn b.sn)
+
 let executed_range t ~from_ =
   let rec go sn acc =
     if sn > t.executed then List.rev acc

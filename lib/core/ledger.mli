@@ -41,6 +41,10 @@ val executed_range : t -> from_:int -> (int * Bftblock.t) list
 (** Confirmed blocks with serials in [(from_, executed_up_to]], for
     safety cross-checks in tests. *)
 
+val blocks : t -> Bftblock.t list
+(** Every retained confirmed block, in serial order (snapshot
+    building — blocks below a checkpoint are already pruned). *)
+
 val prune_below : t -> int -> unit
 (** Forgets block bodies with serials <= the argument (post-checkpoint
     garbage collection); the execution pointer and counters survive. *)

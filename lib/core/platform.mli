@@ -51,10 +51,18 @@ type t = {
           runtime may continue asynchronously at a later loop tick
           ({!Verify.pooled}), so continuations must re-check captured
           replica state. *)
+  store : Store.sink;
+      (** durable state. {!Replica} logs votes and certificates here
+          before sending them and [Replica.recover] replays them after a
+          process restart; {!Store.null} (the sim default) disables
+          persistence entirely. The log callback is synchronous and
+          schedules nothing, so attaching a sink never perturbs the
+          event order. *)
 }
 
 val of_sim :
   ?verify_pool:Exec.Pool.t ->
+  ?store:Store.sink ->
   engine:Sim.Engine.t ->
   network:Msg.t Net.Network.t ->
   id:Net.Node_id.t ->
@@ -66,4 +74,6 @@ val of_sim :
     fresh [cores]-core {!Net.Cpu}. [verify_pool] selects
     {!Verify.blocking} over that pool instead of {!Verify.inline}: real
     parallel crypto with unchanged completion points, so the report
-    bytes do not depend on the choice (pinned by test). *)
+    bytes do not depend on the choice (pinned by test). [store] defaults
+    to {!Store.null} (no persistence); restart scenarios pass
+    {!Store.mem} sinks. *)

@@ -34,6 +34,7 @@ type instance = {
   mutable iview : int;                     (* view of the current attempt *)
   mutable block : Bftblock.t option;
   mutable voted_prepare : bool;
+  mutable voted_hash : Hash.t option;      (* hash our prepare share covers *)
   mutable voted_commit : bool;
   mutable notarization : Ts.aggregate option;
   mutable notarized_view : int;            (* view in which notarized *)
@@ -94,6 +95,8 @@ type t = {
          messages repeat the same proofs 2f+1 times, and re-verifying an
          aggregate costs 10 ms of simulated BLS each time *)
   mutable crashed : bool;
+  (* replaying the durable log: no sends, no hooks, no snapshot saves *)
+  mutable recovering : bool;
   mutable last_partial_pack : Sim_time.t;
   mutable last_partial_propose : Sim_time.t;
   punished : (Net.Node_id.t, unit) Hashtbl.t;  (* kicked-out equivocators *)
@@ -137,9 +140,22 @@ let active t =
   (not t.crashed)
   && (match t.strategy with Byzantine.Silent -> false | _ -> true)
 
-let send t ~dst msg = t.platform.Platform.send ~dst msg
-let multicast t msg = t.platform.Platform.multicast msg
+(* Recovery replays the durable log through the normal handlers; the
+   replica must re-derive its state without re-emitting anything (the
+   messages were already sent before the restart — deterministic
+   threshold shares make any post-recovery re-send identical anyway). *)
+let send t ~dst msg = if not t.recovering then t.platform.Platform.send ~dst msg
+let multicast t msg = if not t.recovering then t.platform.Platform.multicast msg
 let schedule t ~delay f = t.platform.Platform.schedule ~delay f
+
+(* Write-ahead logging: called immediately BEFORE the send whose emission
+   is a binding commitment. [enabled] is false on the default sim
+   platform ([Store.null]), so the hot path skips even the record
+   allocation; the log callback is synchronous and schedules nothing, so
+   an attached sink never perturbs the event order. *)
+let log_store t r =
+  let s = t.platform.Platform.store in
+  if s.Store.enabled && not t.recovering then s.Store.log r
 
 (* Charge [cost] on the replica's CPU, then run [f]. *)
 let with_cpu t cost f = t.platform.Platform.submit ~cost f
@@ -164,6 +180,7 @@ let instance_of t sn =
         iview = t.view;
         block = None;
         voted_prepare = false;
+        voted_hash = None;
         voted_commit = false;
         notarization = None;
         notarized_view = 0;
@@ -182,10 +199,61 @@ let refresh_instance_view t inst =
   if inst.iview < t.view then begin
     inst.iview <- t.view;
     inst.voted_prepare <- false;
+    inst.voted_hash <- None;
     inst.voted_commit <- false;
     inst.prepare_quorum <- None;
     inst.commit_quorum <- None
   end
+
+(* ----------------------------------------------------------------- *)
+(* Durable snapshots                                                  *)
+(* ----------------------------------------------------------------- *)
+
+(* A serializable image of everything [recover] needs: the confirmed
+   ledger prefix, the live agreement instances above the watermark and
+   the datablock index backing them. Collections are sorted so the same
+   replica state always serializes to the same bytes. *)
+let snapshot_of t : Store.snapshot =
+  let insts =
+    Hashtbl.fold (fun _ i acc -> i :: acc) t.instances []
+    |> List.sort (fun a b -> compare a.sn b.sn)
+    |> List.map (fun i ->
+           Store.
+             { s_sn = i.sn;
+               s_iview = i.iview;
+               s_block = i.block;
+               s_voted_prepare = i.voted_prepare;
+               s_voted_hash = i.voted_hash;
+               s_voted_commit = i.voted_commit;
+               s_notarized_view = i.notarized_view;
+               s_notarization = i.notarization })
+  in
+  let dbs =
+    Datablock_pool.fold t.pool ~init:[] ~f:(fun acc db ~linked -> (db, linked) :: acc)
+    |> List.sort (fun ((a : Datablock.t), _) ((b : Datablock.t), _) ->
+           compare
+             (a.Datablock.header.creator, a.Datablock.header.counter)
+             (b.Datablock.header.creator, b.Datablock.header.counter))
+  in
+  let links =
+    Hash.Table.fold (fun h sn acc -> (h, sn) :: acc) t.executed_links []
+    |> List.sort (fun (h1, sn1) (h2, sn2) ->
+           match compare sn1 sn2 with 0 -> Hash.compare h1 h2 | c -> c)
+  in
+  Store.
+    { snap_view = t.view;
+      snap_lw = t.lw;
+      snap_next_sn = t.next_sn;
+      snap_db_counter = t.db_counter;
+      snap_state_hash = t.state_hash;
+      snap_executed_up_to = Ledger.executed_up_to t.ledger;
+      snap_checkpoint = t.latest_checkpoint;
+      snap_blocks = Ledger.blocks t.ledger;
+      snap_executed_links = links;
+      snap_instances = insts;
+      snap_datablocks = dbs }
+
+let save_snapshot t = (t.platform.Platform.store).Store.save (snapshot_of t)
 
 (* ----------------------------------------------------------------- *)
 (* Datablock preparation (Algorithm 1)                                *)
@@ -194,6 +262,9 @@ let refresh_instance_view t inst =
 let sign_and_send_datablock t batches =
   let counter = t.db_counter in
   t.db_counter <- counter + 1;
+  (* Durable BEFORE the multicast: re-using a counter after a restart
+     would manufacture equivocation evidence against an honest node. *)
+  log_store t (Store.Db_counter t.db_counter);
   let db = Datablock.create ~sk:t.sk ~creator:t.id ~counter ~now:(now t) batches in
   let cost =
     Sim_time.( + ) t.cfg.cost.sign
@@ -216,6 +287,7 @@ let sign_and_send_datablock t batches =
 let equivocate_datablocks t batches_a batches_b =
   let counter = t.db_counter in
   t.db_counter <- counter + 1;
+  log_store t (Store.Db_counter t.db_counter);
   let da = Datablock.create ~sk:t.sk ~creator:t.id ~counter ~now:(now t) batches_a in
   let db = Datablock.create ~sk:t.sk ~creator:t.id ~counter ~now:(now t) batches_b in
   let n = t.platform.Platform.n in
@@ -281,10 +353,13 @@ let propose_block t block justification =
         refresh_instance_view t inst;
         inst.block <- Some block;
         inst.voted_prepare <- true;
+        inst.voted_hash <- Some bh;
         let q = Quorum.create ~need:(quorum_size t) in
         ignore (Quorum.add q leader_share);
         inst.prepare_quorum <- Some q;
-        multicast t (Msg.Propose { block; leader_share; justification });
+        let msg = Msg.Propose { block; leader_share; justification } in
+        log_store t (Store.Logged_msg msg);
+        multicast t msg;
         t.hooks.on_propose ~id:t.id ~sn:block.Bftblock.sn ~at:(now t);
         tracef t "propose" "%a" Bftblock.pp block
       end)
@@ -332,14 +407,18 @@ let send_checkpoint_vote t sn =
       end)
 
 let rec fetch_missing t hashes =
-  let leader = leader_of t t.view in
-  List.iter
-    (fun h ->
-      if not (Hash.Set.mem h t.fetch_inflight) then begin
-        t.fetch_inflight <- Hash.Set.add h t.fetch_inflight;
-        send t ~dst:leader (Msg.Fetch { hash = h })
-      end)
-    hashes
+  (* Nothing to fetch from during log replay — the send would be dropped
+     anyway, and marking the hash in-flight would suppress the real fetch
+     issued once the replica is live again. *)
+  if not t.recovering then
+    let leader = leader_of t t.view in
+    List.iter
+      (fun h ->
+        if not (Hash.Set.mem h t.fetch_inflight) then begin
+          t.fetch_inflight <- Hash.Set.add h t.fetch_inflight;
+          send t ~dst:leader (Msg.Fetch { hash = h })
+        end)
+      hashes
 
 and try_execute t =
   match Ledger.next_executable t.ledger with
@@ -368,10 +447,12 @@ and try_execute t =
       Ledger.mark_executed t.ledger sn;
       t.last_execution_at <- now t;
       (* One acknowledgment per batch back to its client (response to
-         client, Fig. 5) — external egress, Table 4's "Miscellaneous". *)
-      if !batch_count > 0 then
+         client, Fig. 5) — external egress, Table 4's "Miscellaneous".
+         Replay re-executes without re-acking or re-firing hooks: the
+         clients were answered before the restart. *)
+      if !batch_count > 0 && not t.recovering then
         t.platform.Platform.charge_egress ~size:(ack_wire_bytes * !batch_count) ~category:"ack";
-      t.hooks.on_execute ~id:t.id ~sn block dbs;
+      if not t.recovering then t.hooks.on_execute ~id:t.id ~sn block dbs;
       tracef t "execute" "sn%d (%d datablocks)" sn (List.length dbs);
       if sn mod t.cfg.checkpoint_interval = 0 then send_checkpoint_vote t sn;
       try_execute t
@@ -387,6 +468,10 @@ let apply_checkpoint_cert t (cert : Msg.checkpoint_cert) =
     t.latest_checkpoint <- Some cert;
     if cert.cp_sn > t.lw then begin
       t.lw <- cert.cp_sn;
+      (* The certificate is the proof that everything below [cp_sn] is
+         final; it must survive a restart or recovery cannot trust its
+         own watermark. *)
+      log_store t (Store.Logged_msg (Msg.Checkpoint_cert_msg cert));
       (* State transfer: a replica that fell behind adopts the
          checkpointed execution state. *)
       if Ledger.executed_up_to t.ledger < cert.cp_sn then begin
@@ -406,8 +491,15 @@ let apply_checkpoint_cert t (cert : Msg.checkpoint_cert) =
       let stale = Hashtbl.fold (fun sn _ acc -> if sn <= lw then sn :: acc else acc) t.instances [] in
       List.iter (Hashtbl.remove t.instances) stale;
       tracef t "checkpoint.applied" "lw=%d" t.lw;
-      t.hooks.on_checkpoint ~id:t.id ~lw:t.lw;
-      maybe_propose t;
+      (* Checkpoint time is snapshot time: the pruned state is minimal,
+         and the store can truncate every log segment the snapshot
+         covers. Skipped during replay (the snapshot being replayed is
+         still the freshest one). *)
+      if (t.platform.Platform.store).Store.enabled && not t.recovering then save_snapshot t;
+      if not t.recovering then begin
+        t.hooks.on_checkpoint ~id:t.id ~lw:t.lw;
+        maybe_propose t
+      end;
       try_execute t
     end
   end
@@ -419,6 +511,7 @@ let apply_checkpoint_cert t (cert : Msg.checkpoint_cert) =
 let confirm_block t inst (block : Bftblock.t) proof =
   if inst.confirmation = None then begin
     inst.confirmation <- Some proof;
+    log_store t (Store.Confirmed_block block);
     Ledger.confirm t.ledger block;
     tracef t "confirmed" "%a" Bftblock.pp block;
     try_execute t
@@ -475,6 +568,7 @@ and cast_commit_vote t inst proof =
     let payload = Msg.commit_payload ~view:inst.iview ~notar_digest:nd in
     let share = Ts.sign_share t.tkey payload in
     let vote = Msg.Commit_vote { view = inst.iview; sn = inst.sn; notar_digest = nd; share } in
+    log_store t (Store.Logged_msg vote);
     if is_leader t then begin
       (* The leader is its own collector. *)
       match inst.commit_quorum with
@@ -502,7 +596,9 @@ let leader_finish_prepare t inst block_hash shares =
         match Ts.combine t.tsetup payload shares with
         | None -> tracef t "combine.failed" "prepare sn%d" inst.sn
         | Some proof ->
-          multicast t (Msg.Notarization { view = inst.iview; sn = inst.sn; block_hash; proof });
+          let msg = Msg.Notarization { view = inst.iview; sn = inst.sn; block_hash; proof } in
+          log_store t (Store.Logged_msg msg);
+          multicast t msg;
           with_cpu t t.cfg.cost.tsig_share (fun () ->
               if active t then accept_notarization t inst proof))
 
@@ -549,8 +645,32 @@ let try_vote_prepare t (msg : Msg.t) =
           old_view < t.view
           && Ts.verify t.tsetup proof (Msg.prepare_payload ~view:old_view ~block_hash:bh)
       in
-      if not (not inst.voted_prepare && not_equivocating && (not confirmed_conflict) && share_ok
-              && justification_ok)
+      let repeat_vote =
+        inst.voted_prepare
+        && (match inst.voted_hash with Some h -> Hash.equal h bh | None -> false)
+        && share_ok && justification_ok
+      in
+      if repeat_vote then begin
+        (* A re-delivery of a proposal we already voted for — typically
+           replayed at a replica that restarted between voting and the
+           notarization. Threshold shares are deterministic, so the
+           re-sent vote is bit-identical to the first; adopt the body if
+           it was lost with the process. *)
+        if inst.block = None then begin
+          inst.block <- Some block;
+          List.iter (Datablock_pool.mark_linked t.pool) block.Bftblock.links
+        end;
+        Hashtbl.remove t.waiting_propose sn;
+        let share = Ts.sign_share t.tkey (Msg.prepare_payload ~view:t.view ~block_hash:bh) in
+        send t ~dst:(leader_of t t.view)
+          (Msg.Prepare_vote { view = t.view; sn; block_hash = bh; share });
+        tracef t "vote.repeat" "sn%d" sn;
+        replay_stashed_confirmation t inst;
+        try_execute t
+      end
+      else if
+        not (not inst.voted_prepare && not_equivocating && (not confirmed_conflict) && share_ok
+             && justification_ok)
       then
         tracef t "vote.reject" "sn%d voted=%b equiv=%b confl=%b share=%b just=%b" sn
           inst.voted_prepare (not not_equivocating) confirmed_conflict share_ok justification_ok
@@ -561,10 +681,12 @@ let try_vote_prepare t (msg : Msg.t) =
           List.iter (Datablock_pool.mark_linked t.pool) block.Bftblock.links;
           inst.block <- Some block;
           inst.voted_prepare <- true;
+          inst.voted_hash <- Some bh;
           Hashtbl.remove t.waiting_propose sn;
           let share = Ts.sign_share t.tkey (Msg.prepare_payload ~view:t.view ~block_hash:bh) in
-          send t ~dst:(leader_of t t.view)
-            (Msg.Prepare_vote { view = t.view; sn; block_hash = bh; share });
+          let vote = Msg.Prepare_vote { view = t.view; sn; block_hash = bh; share } in
+          log_store t (Store.Logged_msg vote);
+          send t ~dst:(leader_of t t.view) vote;
           tracef t "vote.prepare" "sn%d" sn;
           (* A confirmation that overtook the proposal can complete now. *)
           replay_stashed_confirmation t inst;
@@ -798,6 +920,9 @@ let enter_view t ~nv_view ~vcs =
   t.view_entered_at <- now t;
   t.sent_timeout_for <- max t.sent_timeout_for (nv_view - 1);
   t.vc_sent_for <- max t.vc_sent_for nv_view;
+  (* Views only move forward: a restarted replica that forgot its view
+     could prepare-vote twice for one serial under two leaders. *)
+  log_store t (Store.Entered_view nv_view);
   (match highest_checkpoint vcs with
    | Some cert -> apply_checkpoint t cert
    | None -> ());
@@ -1138,7 +1263,14 @@ let on_notarization t ~view ~sn ~block_hash ~proof =
                     | Some block -> Hash.equal (Bftblock.hash block) block_hash
                     | None -> true
                   in
-                  if block_matches then accept_notarization t inst proof
+                  if block_matches then begin
+                    (* The commit vote about to be cast binds us to this
+                       σ¹; keep the proof so a restarted replica can
+                       rebuild the binding. *)
+                    log_store t
+                      (Store.Logged_msg (Msg.Notarization { view; sn; block_hash; proof }));
+                    accept_notarization t inst proof
+                  end
                 end)
         end)
 
@@ -1311,9 +1443,133 @@ let create ~platform ~cfg ~id ~sk ~pks ~tsetup ~tkey ?(strategy = Byzantine.Hone
       watched = Hashtbl.create 64;
       verified_notarizations = Notar_table.create 64;
       crashed = false;
+      recovering = false;
       last_partial_pack = Sim_time.zero;
       last_partial_propose = Sim_time.zero;
       punished = Hashtbl.create 4 }
   in
   platform.Platform.set_handler (fun ~src msg -> handle t ~src msg);
+  t
+
+(* ----------------------------------------------------------------- *)
+(* Crash-restart recovery                                             *)
+(* ----------------------------------------------------------------- *)
+
+let halt t =
+  t.crashed <- true;
+  t.platform.Platform.set_down true;
+  tracef t "halt" "%a" Net.Node_id.pp t.id
+
+(* Replay one durable record into a fresh replica. State is written
+   directly — the messages it describes were our own emissions, already
+   validated before they were logged — but always guarded so that a
+   record from before the snapshot's watermark (or from an abandoned
+   view) cannot roll newer state back. *)
+let replay_record t (r : Store.record) =
+  match r with
+  | Store.Db_counter c -> t.db_counter <- max t.db_counter c
+  | Store.Entered_view v ->
+    if v > t.view then begin
+      t.view <- v;
+      t.in_view_change <- false;
+      t.sent_timeout_for <- max t.sent_timeout_for (v - 1);
+      t.vc_sent_for <- max t.vc_sent_for v
+    end
+  | Store.Confirmed_block block -> Ledger.confirm t.ledger block
+  | Store.Logged_msg msg -> (
+    match msg with
+    | Msg.Propose { block; _ } ->
+      (* Our own proposal: as leader we also prepare-voted for it. *)
+      let sn = block.Bftblock.sn in
+      if block.Bftblock.view > t.view then t.view <- block.Bftblock.view;
+      if sn > t.lw then begin
+        let inst = instance_of t sn in
+        if block.Bftblock.view >= inst.iview then begin
+          inst.iview <- block.Bftblock.view;
+          inst.block <- Some block;
+          inst.voted_prepare <- true;
+          inst.voted_hash <- Some (Bftblock.hash block)
+        end
+      end;
+      List.iter (Datablock_pool.mark_linked t.pool) block.Bftblock.links;
+      t.next_sn <- max t.next_sn (sn + 1)
+    | Msg.Prepare_vote { view; sn; block_hash; _ } ->
+      if view > t.view then t.view <- view;
+      if sn > t.lw then begin
+        let inst = instance_of t sn in
+        if view >= inst.iview then begin
+          inst.iview <- view;
+          inst.voted_prepare <- true;
+          inst.voted_hash <- Some block_hash
+        end
+      end
+    | Msg.Commit_vote { view; sn; _ } ->
+      if sn > t.lw then begin
+        let inst = instance_of t sn in
+        if view >= inst.iview then begin
+          inst.iview <- view;
+          inst.voted_commit <- true
+        end
+      end
+    | Msg.Notarization { view; sn; proof; _ } ->
+      if sn > t.lw then begin
+        let inst = instance_of t sn in
+        if view >= inst.notarized_view then begin
+          inst.notarization <- Some proof;
+          inst.notarized_view <- view
+        end
+      end
+    | Msg.Checkpoint_cert_msg cert -> apply_checkpoint_cert t cert
+    | _ -> ())
+
+let recover ~platform ~cfg ~id ~sk ~pks ~tsetup ~tkey ?strategy ?hooks ?trace () =
+  let t = create ~platform ~cfg ~id ~sk ~pks ~tsetup ~tkey ?strategy ?hooks ?trace () in
+  let sink = platform.Platform.store in
+  if sink.Store.enabled then begin
+    t.recovering <- true;
+    let snap, records = sink.Store.load () in
+    (match snap with
+     | Some s ->
+       if s.Store.snap_view > t.view then t.view <- s.Store.snap_view;
+       t.sent_timeout_for <- max t.sent_timeout_for (t.view - 1);
+       t.vc_sent_for <- max t.vc_sent_for (t.view - 1);
+       t.lw <- s.Store.snap_lw;
+       t.next_sn <- s.Store.snap_next_sn;
+       t.db_counter <- s.Store.snap_db_counter;
+       t.state_hash <- s.Store.snap_state_hash;
+       t.latest_checkpoint <- s.Store.snap_checkpoint;
+       List.iter (fun (db, _) -> ignore (Datablock_pool.add t.pool db)) s.Store.snap_datablocks;
+       List.iter
+         (fun (db, linked) ->
+           if linked then Datablock_pool.mark_linked t.pool (Datablock.hash db))
+         s.Store.snap_datablocks;
+       List.iter (Ledger.confirm t.ledger) s.Store.snap_blocks;
+       Ledger.fast_forward t.ledger s.Store.snap_executed_up_to;
+       List.iter
+         (fun (h, sn) -> Hash.Table.replace t.executed_links h sn)
+         s.Store.snap_executed_links;
+       List.iter
+         (fun (i : Store.inst_snap) ->
+           let inst = instance_of t i.Store.s_sn in
+           inst.iview <- i.Store.s_iview;
+           inst.block <- i.Store.s_block;
+           inst.voted_prepare <- i.Store.s_voted_prepare;
+           inst.voted_hash <- i.Store.s_voted_hash;
+           inst.voted_commit <- i.Store.s_voted_commit;
+           inst.notarized_view <- i.Store.s_notarized_view;
+           inst.notarization <- i.Store.s_notarization)
+         s.Store.snap_instances
+     | None -> ());
+    List.iter (replay_record t) records;
+    (* Re-execute the confirmed suffix locally (acks and hooks stay
+       suppressed — the world already saw them). *)
+    try_execute t;
+    t.recovering <- false;
+    (* The clock moved while we were down; restart the progress markers
+       so the watchdog measures from the revival, not the crash. *)
+    t.view_entered_at <- now t;
+    t.last_execution_at <- now t;
+    tracef t "recovered" "view=%d lw=%d executed=%d" t.view t.lw
+      (Ledger.executed_up_to t.ledger)
+  end;
   t

@@ -55,6 +55,44 @@ val create :
 val start : t -> unit
 (** Starts the periodic datablock-packing timer (honest non-leaders). *)
 
+(** {2 Crash-restart recovery}
+
+    With a {!Store.sink} attached to the platform, the replica logs every
+    binding emission (proposals, prepare/commit votes, notarization and
+    checkpoint certificates, datablock counters, view entries) before
+    sending it, and snapshots its pruned state at each checkpoint.
+    {!recover} rebuilds an equivalent replica from that sink after a
+    process restart; the BFT stable-storage assumption — a replica never
+    votes differently for a serial it already voted on — holds as long as
+    the sink was durable up to the crash. *)
+
+val halt : t -> unit
+(** Simulates the process dying: the replica stops acting and its
+    transport goes down. The in-memory value is dead — build the
+    replacement with {!recover} on a fresh platform (or on the same
+    socket runtime, whose handler slot the replacement takes over). *)
+
+val recover :
+  platform:Platform.t ->
+  cfg:Config.t ->
+  id:Net.Node_id.t ->
+  sk:Crypto.Signature.private_key ->
+  pks:Crypto.Signature.public_key array ->
+  tsetup:Crypto.Threshold.setup ->
+  tkey:Crypto.Threshold.member_key ->
+  ?strategy:Byzantine.t ->
+  ?hooks:hooks ->
+  ?trace:Sim.Trace.t ->
+  unit ->
+  t
+(** {!create}, then restore state from the platform's store: load the
+    latest snapshot, replay the log suffix, re-execute the confirmed
+    prefix locally (without re-emitting client acks or firing hooks). The
+    recovered replica re-sends only deterministic threshold shares —
+    identical to the ones sent before the crash — so it can rejoin
+    without ever equivocating. With {!Store.null} attached this is
+    exactly [create]. *)
+
 val submit : t -> Workload.Request.t -> unit
 (** A client request batch has arrived (post ingress). Re-send-tagged
     batches are watched: if unconfirmed after the view timeout, the

@@ -14,11 +14,12 @@ type spec = {
   gst : Sim_time.span option;
   trace : bool;
   verify_domains : int option;
+  stores : Store.sink array option;
 }
 
 let spec ~cfg ?(link = Net.Network.default_link) ?(seed = 42L) ?(load = 1e5)
     ?(duration = Sim_time.s 20) ?(warmup = Sim_time.s 5) ?load_until ?(byzantine = [])
-    ?stop_leader_at ?client_resend_timeout ?gst ?(trace = false) ?verify_domains () =
+    ?stop_leader_at ?client_resend_timeout ?gst ?(trace = false) ?verify_domains ?stores () =
   { cfg;
     link;
     seed;
@@ -31,7 +32,8 @@ let spec ~cfg ?(link = Net.Network.default_link) ?(seed = 42L) ?(load = 1e5)
     client_resend_timeout;
     gst;
     trace;
-    verify_domains }
+    verify_domains;
+    stores }
 
 let silent_f cfg =
   let leader = Config.leader_of_view cfg 1 in
@@ -118,6 +120,12 @@ type t = {
      asks for one: workers only evaluate pure crypto, so sharing changes
      nothing observable and keeps domain count independent of n. *)
   verify_pool : Exec.Pool.t option;
+  (* retained so [restart_replica] can rebuild a replica mid-run *)
+  keys : (Crypto.Signature.public_key * Crypto.Signature.private_key) array;
+  pks : Crypto.Signature.public_key array;
+  tsetup : Crypto.Threshold.setup;
+  tkeys : Crypto.Threshold.member_key array;
+  hooks : Replica.hooks;
 }
 
 let engine t = t.engine
@@ -314,10 +322,12 @@ let create sp =
     | Some d when d > 0 -> Some (Exec.Pool.create ~domains:d ())
     | _ -> None
   in
+  let store_of id = Option.map (fun stores -> stores.(id)) sp.stores in
   let replicas =
     Array.init cfg.Config.n (fun id ->
         let platform =
-          Platform.of_sim ?verify_pool ~engine ~network ~id ~cores:cfg.Config.cores ()
+          Platform.of_sim ?verify_pool ?store:(store_of id) ~engine ~network ~id
+            ~cores:cfg.Config.cores ()
         in
         Replica.create ~platform ~cfg ~id ~sk:(snd keys.(id)) ~pks ~tsetup
           ~tkey:tkeys.(id) ~strategy:strategies.(id) ~hooks ~trace ())
@@ -402,7 +412,12 @@ let create sp =
       last_view_entry = None;
       view_changes = 0;
       resend_queue;
-      verify_pool }
+      verify_pool;
+      keys;
+      pks;
+      tsetup;
+      tkeys;
+      hooks }
   in
   t_ref := Some t;
   (* Bandwidth accounting restarts when the warmup window closes. *)
@@ -420,6 +435,27 @@ let create sp =
   t
 
 let run_until t at = Engine.run ~until:at t.engine
+
+(* Process restart mid-run: kill the replica, rebuild it from its durable
+   store (the spec must have attached [stores]; with none attached the
+   replacement restarts from genesis, which a safety check would catch).
+   The replacement registers its own delivery handler on a fresh sim
+   platform bound to the same network slot. *)
+let restart_replica t id =
+  Replica.halt t.replicas.(id);
+  let store = Option.map (fun stores -> stores.(id)) t.sp.stores in
+  let platform =
+    Platform.of_sim ?verify_pool:t.verify_pool ?store ~engine:t.engine ~network:t.network ~id
+      ~cores:t.sp.cfg.Config.cores ()
+  in
+  let r =
+    Replica.recover ~platform ~cfg:t.sp.cfg ~id ~sk:(snd t.keys.(id)) ~pks:t.pks
+      ~tsetup:t.tsetup ~tkey:t.tkeys.(id) ~strategy:t.strategies.(id) ~hooks:t.hooks
+      ~trace:t.trace ()
+  in
+  t.replicas.(id) <- r;
+  Net.Network.set_down t.network id false;
+  Replica.start r
 
 let check_safety t =
   let honest = honest_ids t in

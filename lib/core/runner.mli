@@ -26,6 +26,11 @@ type spec = {
           domains ({!Verify.blocking} dispatch: parallel compute,
           unchanged completion points — reports stay byte-identical for
           any value, pinned by test). [None]/[Some 0] = inline. *)
+  stores : Store.sink array option;
+      (** per-replica durable-state sinks (index = replica id), required
+          for {!restart_replica}; [None] (the default) attaches
+          {!Store.null} everywhere — no persistence, and the report
+          bytes are identical to a spec without the field. *)
 }
 
 val spec :
@@ -42,6 +47,7 @@ val spec :
   ?gst:Sim.Sim_time.span ->
   ?trace:bool ->
   ?verify_domains:int ->
+  ?stores:Store.sink array ->
   unit ->
   spec
 (** Defaults: the c5.xlarge-like link, seed 42, 10^5 req/s offered, 20 s
@@ -99,6 +105,13 @@ val generator : t -> Workload.Generator.t
 val trace : t -> Sim.Trace.t
 val run_until : t -> Sim.Sim_time.span -> unit
 (** Advances the simulation to the given instant (absolute). *)
+
+val restart_replica : t -> Net.Node_id.t -> unit
+(** Process restart: halts the replica, rebuilds it from its sink in
+    [spec.stores] via [Replica.recover] (from genesis if no stores were
+    attached), brings its network endpoint back up and restarts its
+    timers. Distinct from a transport-level crash ([Network.set_down]),
+    which keeps the replica's memory intact. *)
 
 val report : t -> report
 (** Summarizes the run so far. *)

@@ -95,6 +95,44 @@ let duplicate_storm ~n =
     ~events:[ ev (s 1) (Duplicate (rule ())); ev (s 6) Heal ]
     ~settle:(s 8) ()
 
+let expect_no_double_vote = { no_expect with no_equivocation = true }
+
+let leader_restart ~n =
+  make ~name:"leader-restart"
+    ~summary:"process-restart the leader mid-serial; it recovers from its store and never double-votes"
+    ~n
+    ~events:[ ev (s 3) (Restart leader) ]
+    ~settle:(s 12) ~expect:expect_no_double_vote ()
+
+let restart_checkpoint ~n =
+  let victim = 0 in
+  make ~name:"restart-checkpoint"
+    ~summary:"restart a replica while checkpoints truncate its log (interval 2); snapshot + replay agree"
+    ~n ~checkpoint_interval:2
+    ~events:[ ev (s 3) (Restart victim) ]
+    ~settle:(s 12)
+    ~expect:{ expect_no_double_vote with state_sync = Some victim } ()
+
+(* No [no_equivocation] here: the torn tail can lose a [Db_counter]
+   record, so the recovered replica may legitimately reuse a counter —
+   genuine evidence against it. Safety and liveness must still hold. *)
+let restart_torn_tail ~n =
+  let victim = 0 in
+  make ~name:"restart-torn-tail"
+    ~summary:"restart a replica whose WAL lost its last 64 records; the cluster stays safe and live"
+    ~n ~torn_tail:[ (victim, 64) ]
+    ~events:[ ev (s 3) (Restart victim) ]
+    ~settle:(s 12) ()
+
+let restart_storm ~n =
+  let victims = List.filteri (fun i _ -> i < fault_bound n) (non_leaders n) in
+  make ~name:"restart-storm"
+    ~summary:"restart f non-leaders back-to-back; every recovery re-votes identically"
+    ~n
+    ~events:
+      (List.mapi (fun i id -> ev (ms (3000 + (500 * i))) (Restart id)) victims)
+    ~settle:(s 12) ~expect:expect_no_double_vote ()
+
 let all =
   [ (fun ~n -> leader_crash ~n);
     (fun ~n -> leader_crash_checkpoint ~n);
@@ -104,7 +142,11 @@ let all =
     (fun ~n -> silence_leader ~n);
     (fun ~n -> equivocating_leader ~n);
     (fun ~n -> lagging_replica ~n);
-    (fun ~n -> duplicate_storm ~n) ]
+    (fun ~n -> duplicate_storm ~n);
+    (fun ~n -> leader_restart ~n);
+    (fun ~n -> restart_checkpoint ~n);
+    (fun ~n -> restart_torn_tail ~n);
+    (fun ~n -> restart_storm ~n) ]
 
 let names = List.map (fun b -> (b ~n:4).name) all
 

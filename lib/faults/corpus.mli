@@ -10,7 +10,14 @@
     simultaneous crashes, an asymmetric partition across the quorum
     boundary, a slow leader tripping the timeout/view-change path, a
     silent and an equivocating Byzantine leader, a lagging replica
-    forced through state synchronization, and a duplicate storm. *)
+    forced through state synchronization, and a duplicate storm.
+
+    The restart quartet exercises durable-state recovery ([Restart] is a
+    process fault — see {!Scenario.action}): the leader restarted
+    mid-serial, a replica restarted while checkpoints truncate its log,
+    a restart from a torn WAL tail, and a back-to-back restart storm of
+    [f] replicas. All but the torn-tail case assert the no-double-vote
+    oracle. *)
 
 val leader : Net.Node_id.t
 (** The initial leader (view 1): replica [1]. *)
@@ -33,3 +40,7 @@ val silence_leader : n:int -> Scenario.t
 val equivocating_leader : n:int -> Scenario.t
 val lagging_replica : n:int -> Scenario.t
 val duplicate_storm : n:int -> Scenario.t
+val leader_restart : n:int -> Scenario.t
+val restart_checkpoint : n:int -> Scenario.t
+val restart_torn_tail : n:int -> Scenario.t
+val restart_storm : n:int -> Scenario.t

@@ -27,7 +27,7 @@ let set_partition t groups =
 
 let apply t (a : Scenario.action) =
   match a with
-  | Scenario.Crash _ | Scenario.Revive _ -> false
+  | Scenario.Crash _ | Scenario.Revive _ | Scenario.Restart _ -> false
   | Scenario.Partition groups ->
     set_partition t groups;
     true

@@ -48,6 +48,17 @@ let evaluate ~(scenario : Scenario.t) ~safety ~confirmed_at_heal ~confirmed
             detail = Printf.sprintf "%d equivocation pairs collected" equivocations } ]
     else checks
   in
+  let checks =
+    if scenario.expect.no_equivocation then
+      checks
+      @ [ { label = "no-double-vote";
+            ok = equivocations = 0;
+            detail =
+              Printf.sprintf
+                "%d equivocation pairs (restarted replicas must re-vote identically)"
+                equivocations } ]
+    else checks
+  in
   match scenario.expect.state_sync with
   | None -> checks
   | Some id ->

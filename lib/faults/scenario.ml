@@ -10,6 +10,7 @@ let rule ?src ?dst ?kinds ?(prob = 1.0) () = { src; dst; kinds; prob }
 type action =
   | Crash of Net.Node_id.t
   | Revive of Net.Node_id.t
+  | Restart of Net.Node_id.t
   | Partition of Net.Node_id.t list list
   | Heal
   | Drop of rule
@@ -23,10 +24,13 @@ let ev at action = { at; action }
 type expect = {
   view_change : bool;
   equivocation : bool;
+  no_equivocation : bool;
   state_sync : Net.Node_id.t option;
 }
 
-let no_expect = { view_change = false; equivocation = false; state_sync = None }
+let no_expect =
+  { view_change = false; equivocation = false; no_equivocation = false;
+    state_sync = None }
 
 type t = {
   name : string;
@@ -35,16 +39,17 @@ type t = {
   byzantine : (Net.Node_id.t * Core.Byzantine.t) list;
   leader_generates : bool;
   checkpoint_interval : int option;
+  torn_tail : (Net.Node_id.t * int) list;
   events : event list;
   settle : Sim.Sim_time.span;
   expect : expect;
 }
 
 let make ~name ~summary ~n ?(byzantine = []) ?(leader_generates = false)
-    ?checkpoint_interval ?(events = []) ?(settle = Sim.Sim_time.s 12)
-    ?(expect = no_expect) () =
-  { name; summary; n; byzantine; leader_generates; checkpoint_interval; events;
-    settle; expect }
+    ?checkpoint_interval ?(torn_tail = []) ?(events = [])
+    ?(settle = Sim.Sim_time.s 12) ?(expect = no_expect) () =
+  { name; summary; n; byzantine; leader_generates; checkpoint_interval;
+    torn_tail; events; settle; expect }
 
 let last_event_at t =
   List.fold_left (fun acc e -> Int64.max acc e.at) 0L t.events
@@ -77,6 +82,7 @@ let pp_rule fmt r =
 let pp_action fmt = function
   | Crash id -> Format.fprintf fmt "crash %a" Net.Node_id.pp id
   | Revive id -> Format.fprintf fmt "revive %a" Net.Node_id.pp id
+  | Restart id -> Format.fprintf fmt "restart %a" Net.Node_id.pp id
   | Partition groups ->
     Format.fprintf fmt "partition %a"
       (Format.pp_print_list

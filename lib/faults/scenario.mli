@@ -10,16 +10,21 @@
     {v
       scenario := name summary n byzantine* tweak* event* settle expect
       event    := at action
-      action   := Crash id | Revive id
+      action   := Crash id | Revive id | Restart id
                 | Partition [[ids];[ids];…] | Heal
                 | Drop rule | Delay (rule, span) | Duplicate rule
       rule     := src? dst? kinds? prob?
     v}
 
-    [Crash]/[Revive] are process faults (the node's transport goes
-    down, state survives — {!Net.Network.set_down} / cluster
-    [set_replica_down]). Everything else is a link fault evaluated
-    per wire crossing by [Injector]. *)
+    [Crash]/[Revive] are {e transport-partition} faults: the node's
+    links go down and come back ({!Net.Network.set_down} / cluster
+    [set_replica_down]), but its in-memory state survives untouched —
+    they model an unreachable replica, not a dead one. [Restart] is the
+    {e process} fault: the replica loses everything it did not make
+    durable and is rebuilt from its store via [Core.Replica.recover]
+    ([Core.Runner.restart_replica] / cluster [restart_replica]).
+    Everything else is a link fault evaluated per wire crossing by
+    [Injector]. *)
 
 (** A message predicate for link faults. [None] fields match anything;
     [prob] applies the fault to each matching message independently with
@@ -39,6 +44,10 @@ val rule :
 type action =
   | Crash of Net.Node_id.t
   | Revive of Net.Node_id.t
+  | Restart of Net.Node_id.t
+      (** kill the process and recover it from its durable store: the
+          WAL-backed stores on the TCP plane, in-memory sinks in the
+          simulator. Un-flushed writes are lost. *)
   | Partition of Net.Node_id.t list list
       (** disjoint groups; unlisted replicas form one implicit further
           group. Messages crossing a group boundary are dropped (both
@@ -58,6 +67,11 @@ val ev : Sim.Sim_time.span -> action -> event
 type expect = {
   view_change : bool;     (** some honest replica must reach view >= 2 *)
   equivocation : bool;    (** equivocation evidence must be collected *)
+  no_equivocation : bool;
+      (** no equivocation evidence may exist — the restart-safety
+          oracle: a recovering replica must never vote differently for
+          a serial it already voted on. (Not the default: torn-tail
+          runs legitimately produce counter-reuse evidence.) *)
   state_sync : Net.Node_id.t option;
       (** this replica must catch back up to the honest execution
           frontier (within one watermark window) *)
@@ -74,6 +88,11 @@ type t = {
       (** config tweak: let the leader generate datablocks (needed for
           the equivocating-leader scenario) *)
   checkpoint_interval : int option;  (** config tweak *)
+  torn_tail : (Net.Node_id.t * int) list;
+      (** store fault: drop the last [k] appended records of this
+          replica's log before any recovery reads it
+          ([Core.Store.with_torn_tail]) — models a truncated WAL tail
+          surviving an fsync-less crash *)
   events : event list;
   settle : Sim.Sim_time.span;
       (** extra run time after the last event; the liveness bound *)
@@ -87,6 +106,7 @@ val make :
   ?byzantine:(Net.Node_id.t * Core.Byzantine.t) list ->
   ?leader_generates:bool ->
   ?checkpoint_interval:int ->
+  ?torn_tail:(Net.Node_id.t * int) list ->
   ?events:event list ->
   ?settle:Sim.Sim_time.span ->
   ?expect:expect ->

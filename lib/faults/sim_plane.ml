@@ -18,10 +18,30 @@ let run ?(seed = 42L) ?load (sc : Scenario.t) =
   let heal = Scenario.last_event_at sc in
   let duration = Scenario.duration sc in
   let load_until = Sim_time.(heal + Int64.div sc.Scenario.settle 2L) in
+  (* Durable stores only when the scenario needs them (a [Restart] event
+     or a torn-tail fault): [None] keeps the hot path — and thus every
+     pre-existing scenario's trace — byte-identical to the null sink. *)
+  let needs_store =
+    sc.Scenario.torn_tail <> []
+    || List.exists
+         (fun (e : Scenario.event) ->
+           match e.Scenario.action with Scenario.Restart _ -> true | _ -> false)
+         sc.Scenario.events
+  in
+  let stores =
+    if not needs_store then None
+    else
+      Some
+        (Array.init n (fun i ->
+             let s = Core.Store.mem () in
+             match List.assoc_opt i sc.Scenario.torn_tail with
+             | None -> s
+             | Some drop -> Core.Store.with_torn_tail ~drop s))
+  in
   let spec =
     Core.Runner.spec ~cfg ~seed ~load ~duration ~warmup:(Sim_time.s 1)
       ~load_until ~byzantine:sc.Scenario.byzantine
-      ~client_resend_timeout:(Sim_time.s 1) ~trace:true ()
+      ~client_resend_timeout:(Sim_time.s 1) ?stores ~trace:true ()
   in
   let t = Core.Runner.create spec in
   let engine = Core.Runner.engine t in
@@ -44,6 +64,7 @@ let run ?(seed = 42L) ?load (sc : Scenario.t) =
              match e.Scenario.action with
              | Scenario.Crash id -> Net.Network.set_down network id true
              | Scenario.Revive id -> Net.Network.set_down network id false
+             | Scenario.Restart id -> Core.Runner.restart_replica t id
              | link_fault -> ignore (Injector.apply inj link_fault : bool))
           : Engine.handle))
     sc.Scenario.events;

@@ -8,15 +8,33 @@ let cfg_of (sc : Scenario.t) =
     ~cost:Crypto.Cost_model.free
     ~leader_generates_datablocks:sc.Scenario.leader_generates ()
 
-let run ?(seed = 42L) ?(load = 800.) (sc : Scenario.t) =
+let run ?(seed = 42L) ?(load = 800.) ?data_root (sc : Scenario.t) =
   let t0 = Unix.gettimeofday () in
   let cfg = cfg_of sc in
   let n = sc.Scenario.n in
   let trace = Trace.create ~enabled:true () in
+  (* With a [data_root], node WAL directories live under
+     <root>/<scenario>/ and survive a failing run as artifacts; a
+     passing run deletes them. Without one the cluster's own temp dir is
+     used and always removed in [close]. *)
+  let data_dir =
+    Option.map (fun root -> Filename.concat root sc.Scenario.name) data_root
+  in
+  let store_wrap =
+    match sc.Scenario.torn_tail with
+    | [] -> None
+    | faults ->
+      Some
+        (fun id sink ->
+          match List.assoc_opt id faults with
+          | None -> sink
+          | Some drop -> Core.Store.with_torn_tail ~drop sink)
+  in
   let cl =
     Transport.Cluster.create ~cfg ~load ~trace ~byzantine:sc.Scenario.byzantine
-      ~client_resend:(Sim_time.ms 500) ()
+      ~client_resend:(Sim_time.ms 500) ?data_dir ?store_wrap ()
   in
+  let outcome =
   Fun.protect
     ~finally:(fun () -> Transport.Cluster.close cl)
     (fun () ->
@@ -43,6 +61,7 @@ let run ?(seed = 42L) ?(load = 800.) (sc : Scenario.t) =
                  | Scenario.Crash id -> Transport.Cluster.set_replica_down cl id true
                  | Scenario.Revive id ->
                    Transport.Cluster.set_replica_down cl id false
+                 | Scenario.Restart id -> Transport.Cluster.restart_replica cl id
                  | link_fault -> ignore (Injector.apply inj link_fault : bool))
               : Transport.Loop.handle))
         sc.Scenario.events;
@@ -109,3 +128,9 @@ let run ?(seed = 42L) ?(load = 800.) (sc : Scenario.t) =
         equivocations = equivocations ();
         wall_sec = Unix.gettimeofday () -. t0;
         trace = Oracle.render_trace trace })
+  in
+  (match data_dir with
+  | Some dir when Oracle.outcome_ok outcome ->
+    Store.Store_file.remove_dir dir
+  | _ -> ());
+  outcome

@@ -1,0 +1,23 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), the checksum
+   guarding every WAL frame. Hand-rolled over a 256-entry table: the
+   container has no checksum package, and OCaml's 63-bit ints hold the
+   32-bit registers directly (masked on the way out). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+let string s = update 0 s ~pos:0 ~len:(String.length s)

@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3), the per-frame checksum of the {!Wal}. *)
+
+val string : string -> int
+(** Checksum of a whole string, in [0, 0xFFFFFFFF]. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** Extends a previous checksum over [len] bytes of [s] at [pos];
+    [update 0 s ~pos:0 ~len:(String.length s) = string s]. *)

@@ -1,0 +1,46 @@
+(* The real-file [Core.Store.sink]: Codec-encoded records into a {!Wal},
+   snapshots as its checkpoint files. One value per replica, one
+   directory per replica. *)
+
+type t = { wal : Wal.t }
+
+let create ?segment_bytes ?fsync ?now_ns ~dir () =
+  { wal = Wal.create ?segment_bytes ?fsync ?now_ns ~dir () }
+
+let dir t = Wal.dir t.wal
+let flush t = Wal.flush t.wal
+let crash t = Wal.crash t.wal
+let close t = Wal.close t.wal
+let appended t = Wal.appended t.wal
+
+let load_dir dir =
+  let snap, records, _corruption = Wal.load ~dir in
+  (* A frame that passed its CRC but fails to decode means a codec
+     version skew; treat it like the torn tail — keep what decodes. *)
+  ( Option.bind snap Core.Codec.decode_snapshot,
+    List.filter_map Core.Codec.decode_record records )
+
+let log t r = Wal.append t.wal (Core.Codec.encode_record r)
+let save t s = Wal.save_snapshot t.wal (Core.Codec.encode_snapshot s)
+let load t = load_dir (Wal.dir t.wal)
+let sync t = Wal.sync t.wal
+
+let sink t =
+  Core.Store.
+    { enabled = true;
+      log = (fun r -> log t r);
+      save = (fun s -> save t s);
+      load = (fun () -> load t);
+      sync = (fun () -> sync t) }
+
+let rec remove_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+    Array.iter
+      (fun name ->
+        let path = Filename.concat dir name in
+        if Sys.is_directory path then remove_dir path
+        else try Sys.remove path with Sys_error _ -> ())
+      entries;
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ())

@@ -1,0 +1,60 @@
+(** The real-file durable store: a [Core.Store.sink] over a {!Wal} in one
+    directory per replica.
+
+    Records and snapshots cross the seam through the frozen [Core.Codec]
+    (same encodings the wire uses), so the on-disk format is pinned by
+    the codec's round-trip tests. [sink] is what gets threaded into the
+    replica's platform; the handle's lifecycle operations ({!flush} on
+    the event-loop tick, {!crash} on simulated death, {!close} on
+    teardown) stay with the owner — the transport cluster. *)
+
+type t
+
+val create :
+  ?segment_bytes:int ->
+  ?fsync:Wal.fsync_policy ->
+  ?now_ns:(unit -> int) ->
+  dir:string ->
+  unit ->
+  t
+(** Opens (or creates) the replica's data directory. See {!Wal.create}
+    for the parameters; [fsync] defaults to [Never]. *)
+
+val sink : t -> Core.Store.sink
+(** The seam value: log appends Codec-encoded records, save writes
+    checkpoint snapshots (truncating the log), load runs the recovery
+    scan — undecodable suffixes degrade to a shorter clean prefix, never
+    an exception. *)
+
+val flush : t -> unit
+(** Group-commit flush; call once per event-loop tick. *)
+
+val crash : t -> unit
+(** Simulated process death: un-flushed records are lost, the files keep
+    a clean prefix. Idempotent. *)
+
+val close : t -> unit
+(** Graceful flush-and-close. Idempotent. *)
+
+val dir : t -> string
+val appended : t -> int
+
+(** The sink operations as direct calls, so a harness that swaps handles
+    across a restart can build one indirection-stable sink over a
+    [t ref] instead of re-threading a new sink into a live platform. *)
+
+val log : t -> Core.Store.record -> unit
+
+val save : t -> Core.Store.snapshot -> unit
+
+val load : t -> Core.Store.snapshot option * Core.Store.record list
+
+val sync : t -> unit
+
+val load_dir : string -> Core.Store.snapshot option * Core.Store.record list
+(** The recovery scan of a directory without opening a write handle
+    (recovery-time measurement, tests). *)
+
+val remove_dir : string -> unit
+(** Recursive best-effort delete of a data directory tree (teardown of
+    per-run temp dirs). Never raises. *)

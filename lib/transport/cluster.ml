@@ -39,6 +39,22 @@ type t = {
   (* verification pool (None = inline verification on the loop thread) *)
   verify_pool : Exec.Pool.t option;
   mutable verify_tick : Loop.tick_handle option;
+  (* durable state: one WAL directory per node under [data_dir]. The
+     cells hold the live file handles — [restart_replica] crashes the old
+     handle and installs a fresh one, and the sinks threaded into the
+     node platforms dereference the cell on every call, so a recovered
+     replica writes to the new handle through the same platform value. *)
+  stores : Store.Store_file.t ref array;
+  data_dir : string;
+  keep_data : bool;
+  fsync : Store.Wal.fsync_policy;
+  mutable store_tick : Loop.tick_handle option;
+  (* retained for [restart_replica] *)
+  keys : (Crypto.Signature.public_key * Crypto.Signature.private_key) array;
+  tsetup : Crypto.Threshold.setup;
+  tkeys : Crypto.Threshold.member_key array;
+  strategies : Core.Byzantine.t array;
+  hooks : Core.Replica.hooks;
   mutable closed : bool;
 }
 
@@ -215,10 +231,44 @@ let stop_load t =
 
 (* -- construction ------------------------------------------------------- *)
 
+let temp_counter = ref 0
+
+let fresh_data_dir () =
+  incr temp_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "leopard-data.%d.%d" (Unix.getpid ()) !temp_counter)
+
+let node_dir data_dir id = Filename.concat data_dir (Printf.sprintf "node-%d" id)
+
 let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:false ())
-    ?(byzantine = []) ?client_resend ?verify_domains () =
+    ?(byzantine = []) ?client_resend ?verify_domains ?data_dir
+    ?(fsync = Store.Wal.Never) ?store_wrap () =
   let n = cfg.Core.Config.n in
   let loop = Loop.create () in
+  (* An explicit data dir is the caller's (kept at teardown, e.g. as a
+     failure artifact); an automatic one is a per-run temp dir removed by
+     [close]. *)
+  let data_dir, keep_data =
+    match data_dir with Some d -> (d, true) | None -> (fresh_data_dir (), false)
+  in
+  let now_ns () = Loop.now_ns loop in
+  let stores =
+    Array.init n (fun id ->
+        ref (Store.Store_file.create ~fsync ~now_ns ~dir:(node_dir data_dir id) ()))
+  in
+  let store_sink id =
+    let cell = stores.(id) in
+    let base =
+      Core.Store.
+        { enabled = true;
+          log = (fun r -> Store.Store_file.log !cell r);
+          save = (fun s -> Store.Store_file.save !cell s);
+          load = (fun () -> Store.Store_file.load !cell);
+          sync = (fun () -> Store.Store_file.sync !cell) }
+    in
+    match store_wrap with None -> base | Some w -> w id base
+  in
   (* One buffer pool for the whole in-process cluster: a redialing node
      reuses buffers any node released. *)
   let pool = Pool.create () in
@@ -244,7 +294,8 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
     | Some p -> Core.Verify.pooled p
   in
   let nodes =
-    Array.init n (fun id -> Runtime.node ~loop ~id ~n ?outbuf_hwm ~pool ~verify ())
+    Array.init n (fun id ->
+        Runtime.node ~loop ~id ~n ?outbuf_hwm ~pool ~verify ~store:(store_sink id) ())
   in
   let ports = Array.map (fun node -> Runtime.listen node ()) nodes in
   Array.iteri
@@ -263,15 +314,16 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
   in
   let t_ref = ref None in
   let hooks = make_hooks t_ref in
+  let strategies =
+    Array.init n (fun id ->
+        Option.value ~default:Core.Byzantine.Honest (List.assoc_opt id byzantine))
+  in
   let replicas =
     Array.init n (fun id ->
-        let strategy =
-          Option.value ~default:Core.Byzantine.Honest (List.assoc_opt id byzantine)
-        in
         Core.Replica.create
           ~platform:(Runtime.platform nodes.(id))
-          ~cfg ~id ~sk:(snd keys.(id)) ~pks ~tsetup ~tkey:tkeys.(id) ~strategy ~hooks
-          ~trace ())
+          ~cfg ~id ~sk:(snd keys.(id)) ~pks ~tsetup ~tkey:tkeys.(id)
+          ~strategy:strategies.(id) ~hooks ~trace ())
   in
   let t =
     { loop;
@@ -300,9 +352,23 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
       vc_triggers = 0;
       verify_pool;
       verify_tick = None;
+      stores;
+      data_dir;
+      keep_data;
+      fsync;
+      store_tick = None;
+      keys;
+      tsetup;
+      tkeys;
+      strategies;
+      hooks;
       closed = false }
   in
   t_ref := Some t;
+  (* Group commit: buffered WAL records hit the files once per loop
+     iteration (and fsync per the policy), not once per append. *)
+  t.store_tick <-
+    Some (Loop.on_tick loop (fun () -> Array.iter (fun c -> Store.Store_file.flush !c) stores));
   (match verify_pool with
    | None -> ()
    | Some p ->
@@ -323,6 +389,34 @@ let set_replica_down t id down =
   Sim.Trace.recordf t.trace ~at:(Loop.now t.loop)
     ~tag:(if down then "cluster.kill" else "cluster.revive")
     "%a" Net.Node_id.pp id
+
+let data_dir t = if t.keep_data then Some t.data_dir else None
+
+(* Process restart: the replica value dies with whatever state was only
+   in memory (including the store's un-flushed buffer — [crash] drops
+   it), and the replacement rebuilds itself from the node's WAL directory
+   via [Replica.recover]. The replacement takes over the same [Runtime]
+   node: its [set_handler] overwrites the delivery cell, and the
+   cell-indirect store sink starts hitting the fresh file handle. *)
+let restart_replica t id =
+  Core.Replica.halt t.replicas.(id);
+  Store.Store_file.crash !(t.stores.(id));
+  t.stores.(id) :=
+    Store.Store_file.create ~fsync:t.fsync
+      ~now_ns:(fun () -> Loop.now_ns t.loop)
+      ~dir:(node_dir t.data_dir id) ();
+  let pks = Array.map fst t.keys in
+  let r =
+    Core.Replica.recover
+      ~platform:(Runtime.platform t.nodes.(id))
+      ~cfg:t.cfg ~id ~sk:(snd t.keys.(id)) ~pks ~tsetup:t.tsetup ~tkey:t.tkeys.(id)
+      ~strategy:t.strategies.(id) ~hooks:t.hooks ~trace:t.trace ()
+  in
+  t.replicas.(id) <- r;
+  Runtime.set_down t.nodes.(id) false;
+  Core.Replica.start r;
+  Sim.Trace.recordf t.trace ~at:(Loop.now t.loop) ~tag:"cluster.restart" "%a" Net.Node_id.pp
+    id
 
 let set_fault_filter t id f = Conn.set_fault (Runtime.conn t.nodes.(id)) f
 
@@ -416,7 +510,18 @@ let close t =
         | None -> ());
        Loop.unwatch t.loop (Exec.Pool.notify_fd p);
        Exec.Pool.shutdown p);
+    (* Same discipline for the store flush tick (idempotent like the
+       verify tick): unhook before the handles close. *)
+    (match t.store_tick with
+     | Some h ->
+       Loop.remove_tick t.loop h;
+       t.store_tick <- None
+     | None -> ());
     Array.iter (fun node -> Conn.close (Runtime.conn node)) t.nodes;
+    Array.iter (fun c -> Store.Store_file.close !c) t.stores;
+    (* Auto (temp) data dirs leave nothing behind; explicit ones are the
+       caller's artifacts. *)
+    if not t.keep_data then Store.Store_file.remove_dir t.data_dir;
     (* Reap the joined accounting state too, so a harness that builds
        clusters in a loop (the chaos corpus) cannot accrete per-run
        tables behind a still-reachable [t]. *)
@@ -494,8 +599,8 @@ let report_of t =
     ledgers_agree = ledgers_agree t }
 
 let run ~cfg ?load ?(duration = Sim.Sim_time.s 5) ?(drain = Sim.Sim_time.s 10)
-    ?min_confirmed ?kill ?trace ?verify_domains () =
-  let t = create ~cfg ?load ?trace ?verify_domains () in
+    ?min_confirmed ?kill ?trace ?verify_domains ?data_dir ?fsync () =
+  let t = create ~cfg ?load ?trace ?verify_domains ?data_dir ?fsync () in
   (* [close] on every exit path, normal or not: an exception mid-run must
      not leak n listeners plus O(n^2) connection fds into the process
      (repeated in-process runs — the chaos corpus — would exhaust the fd

@@ -22,6 +22,9 @@ val create :
   ?byzantine:(Net.Node_id.t * Core.Byzantine.t) list ->
   ?client_resend:Sim.Sim_time.span ->
   ?verify_domains:int ->
+  ?data_dir:string ->
+  ?fsync:Store.Wal.fsync_policy ->
+  ?store_wrap:(Net.Node_id.t -> Core.Store.sink -> Core.Store.sink) ->
   unit ->
   t
 (** Builds the cluster: binds [n] ephemeral loopback listeners, wires
@@ -39,7 +42,16 @@ val create :
     [write(2)] never wait on crypto. Default: on, with
     [min 4 (recommended_domain_count - 1)] workers (at least 1);
     [Some 0] verifies inline on the loop thread (the pre-pool
-    behaviour). *)
+    behaviour).
+
+    Every replica gets a durable store ([Store.Store_file]) in its own
+    WAL directory [node-<id>/] under [data_dir]. With no [data_dir] the
+    cluster uses a per-run temp directory and removes it in {!close};
+    an explicit [data_dir] is kept (failure artifacts, external
+    inspection). [fsync] is the WAL durability policy (default
+    [Never] — group-committed writes, durability left to the page
+    cache). [store_wrap] decorates each node's sink (fault injection:
+    [Core.Store.with_torn_tail]). *)
 
 val loop : t -> Loop.t
 val replicas : t -> Core.Replica.t array
@@ -58,6 +70,18 @@ val set_replica_down : t -> Net.Node_id.t -> bool -> unit
 (** Fail-stop / revive a replica's transport (the state machine keeps
     its state, as with the simulator's [set_down]). A down replica is
     also dropped from the client's target rotation. *)
+
+val restart_replica : t -> Net.Node_id.t -> unit
+(** Process restart of one replica: the state machine dies (with its
+    store's un-flushed buffer), a replacement is rebuilt from the node's
+    WAL directory via [Core.Replica.recover], takes over the node's
+    delivery handler and rejoins immediately. Unlike
+    {!set_replica_down}, in-memory state does NOT survive — only what
+    the store made durable. *)
+
+val data_dir : t -> string option
+(** The explicit data directory, when one was passed to {!create}
+    ([None] for the auto temp dir, which {!close} removes). *)
 
 val set_fault_filter :
   t -> Net.Node_id.t -> (dst:Net.Node_id.t -> Core.Msg.t -> Conn.fault_verdict) option -> unit
@@ -128,11 +152,14 @@ val run :
   ?kill:Net.Node_id.t * Sim.Sim_time.span * Sim.Sim_time.span option ->
   ?trace:Sim.Trace.t ->
   ?verify_domains:int ->
+  ?data_dir:string ->
+  ?fsync:Store.Wal.fsync_policy ->
   unit ->
   report
 (** Creates a cluster, offers load for [duration] (default 5 s; stops
     early once [min_confirmed] is reached, when given), then drains —
     load off, loop running — until {!state_converged} or the [drain]
     bound (default 10 s). [kill] fail-stops a replica at an offset into
-    the run and optionally revives it later. The cluster is closed
-    before returning. *)
+    the run and optionally revives it later. [data_dir]/[fsync]
+    configure the per-node durable stores (see {!create}). The cluster
+    is closed before returning. *)

@@ -4,7 +4,8 @@ type node = {
   platform : Core.Platform.t;
 }
 
-let node ~loop ~id ~n ?max_frame ?outbuf_hwm ?pool ?(verify = Core.Verify.inline) () =
+let node ~loop ~id ~n ?max_frame ?outbuf_hwm ?pool ?(verify = Core.Verify.inline)
+    ?(store = Core.Store.null) () =
   (* The replica installs its handler via the platform after the conn
      exists; route deliveries through a cell to break the cycle. *)
   let handler = ref (fun ~src:_ (_ : Core.Msg.t) -> ()) in
@@ -30,7 +31,8 @@ let node ~loop ~id ~n ?max_frame ?outbuf_hwm ?pool ?(verify = Core.Verify.inline
       (* Real crypto: no modeled cost to charge. The pooled dispatch
          moves it onto worker domains; read/write syscalls keep going
          while continuations wait for the next drain tick. *)
-      verify }
+      verify;
+      store }
   in
   { loop; conn; platform }
 

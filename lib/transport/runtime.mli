@@ -20,12 +20,15 @@ val node :
   ?outbuf_hwm:int ->
   ?pool:Pool.t ->
   ?verify:Core.Verify.dispatch ->
+  ?store:Core.Store.sink ->
   unit ->
   node
 (** [verify] defaults to {!Core.Verify.inline}; the cluster harness
     passes {!Core.Verify.pooled} so crypto checks run on worker domains
     and their continuations are delivered by a loop tick draining the
-    pool (see {!Cluster.create}). *)
+    pool (see {!Cluster.create}). [store] defaults to {!Core.Store.null};
+    the cluster harness passes a per-node file-backed sink so replicas
+    survive process restarts. *)
 
 val platform : node -> Core.Platform.t
 val conn : node -> Conn.t

@@ -37,6 +37,7 @@ run_step bench-micro dune exec bench/main.exe -- --only micro --fast --check-reg
 run_step bench-macro dune exec bench/main.exe -- --only macro --fast --check-regressions
 run_step bench-net dune exec bench/main.exe -- --only net --fast --check-regressions
 run_step bench-verify dune exec bench/main.exe -- --only verify --fast --check-regressions
+run_step bench-store dune exec bench/main.exe -- --only store --fast --check-regressions
 run_step tcp-smoke dune exec bin/leopard_cli.exe -- local-cluster -n 4 --load 2000 \
   --duration 3 --min-confirmed 1000 --drain 10
 run_step chaos dune exec bin/leopard_cli.exe -- chaos --fast --trace-dir _chaos

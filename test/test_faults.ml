@@ -133,12 +133,7 @@ let test_view_change_tcp () =
     (fun build -> assert_view_change_recovery (Tcp_plane.run ~seed:42L (build ~n:4)))
     vc_scenarios
 
-(* -- TCP teardown hygiene ------------------------------------------------ *)
-
-let live_fds () =
-  match Sys.readdir "/proc/self/fd" with
-  | fds -> Some (Array.length fds)
-  | exception Sys_error _ -> None
+(* -- both planes: process restart must recover from the durable store ---- *)
 
 let small_cfg =
   Core.Config.make ~n:4 ~alpha:10 ~bft_size:2 ~k:16 ~payload:64
@@ -146,8 +141,89 @@ let small_cfg =
     ~view_timeout:(Sim.Sim_time.ms 1500) ~fetch_grace:(Sim.Sim_time.ms 200)
     ~cost:Crypto.Cost_model.free ()
 
+let restart_scenarios = [ Corpus.leader_restart; Corpus.restart_storm ]
+
+let assert_restart_recovery (o : Oracle.outcome) =
+  let name = o.Oracle.scenario.Scenario.name in
+  if not (Oracle.outcome_ok o) then
+    Alcotest.failf "%s %s failed:@.%a" o.Oracle.plane name Oracle.pp_verdict
+      o.Oracle.verdict;
+  checki (o.Oracle.plane ^ " " ^ name ^ " no double-vote evidence") 0
+    o.Oracle.equivocations
+
+let test_restart_sim () =
+  List.iter
+    (fun build -> assert_restart_recovery (run_sim build ~n:4))
+    restart_scenarios
+
+let test_restart_tcp () =
+  List.iter
+    (fun build -> assert_restart_recovery (Tcp_plane.run ~seed:42L (build ~n:4)))
+    restart_scenarios
+
+(* The acceptance run in one test: confirm >= 1000 requests, process-kill
+   a replica, recover it from its WAL directory, and require it to rejoin
+   and re-converge on the same state hash. *)
+let test_tcp_restart_catches_up () =
+  let cl = Transport.Cluster.create ~cfg:small_cfg ~load:2000. () in
+  Fun.protect
+    ~finally:(fun () -> Transport.Cluster.close cl)
+    (fun () ->
+      let loop = Transport.Cluster.loop cl in
+      Transport.Cluster.start_load cl;
+      let deadline =
+        Transport.Loop.now_ns loop + Int64.to_int (Sim.Sim_time.s 20)
+      in
+      Transport.Cluster.run_while cl (fun cl ->
+          Transport.Cluster.confirmed cl < 1000
+          && Transport.Loop.now_ns loop < deadline);
+      checkb "confirmed >= 1000 before the restart" true
+        (Transport.Cluster.confirmed cl >= 1000);
+      Transport.Cluster.restart_replica cl 2;
+      (* Load keeps flowing over the restart; the recovered replica must
+         keep voting without forking. *)
+      let go_until = Transport.Loop.now_ns loop + Int64.to_int (Sim.Sim_time.s 1) in
+      Transport.Cluster.run_while cl (fun _ -> Transport.Loop.now_ns loop < go_until);
+      Transport.Cluster.stop_load cl;
+      let drain =
+        Transport.Loop.now_ns loop + Int64.to_int (Sim.Sim_time.s 10)
+      in
+      Transport.Cluster.run_while cl (fun cl ->
+          Transport.Loop.now_ns loop < drain
+          && not (Transport.Cluster.state_converged cl));
+      checkb "restarted replica converged to the same state hash" true
+        (Transport.Cluster.state_converged cl);
+      checkb "ledgers agree after the restart" true
+        (Transport.Cluster.ledgers_agree cl);
+      Array.iter
+        (fun r ->
+          checki "no equivocation evidence" 0
+            (List.length
+               (Core.Datablock_pool.equivocations (Core.Replica.pool r))))
+        (Transport.Cluster.replicas cl))
+
+(* -- TCP teardown hygiene ------------------------------------------------ *)
+
+(* Per-run temp data directories must go with the cluster (the WAL dirs
+   are part of teardown hygiene, like the fds). *)
+let leopard_tmp_dirs () =
+  let tmp = Filename.get_temp_dir_name () in
+  Array.fold_left
+    (fun acc name ->
+      if String.length name >= 12 && String.equal (String.sub name 0 12) "leopard-data"
+      then acc + 1
+      else acc)
+    0
+    (try Sys.readdir tmp with Sys_error _ -> [||])
+
+let live_fds () =
+  match Sys.readdir "/proc/self/fd" with
+  | fds -> Some (Array.length fds)
+  | exception Sys_error _ -> None
+
 let test_cluster_close_reaps_fds () =
   let baseline = ref None in
+  let dirs_before = leopard_tmp_dirs () in
   for _round = 1 to 4 do
     let cl = Transport.Cluster.create ~cfg:small_cfg ~load:200. () in
     Transport.Cluster.start_load cl;
@@ -160,6 +236,7 @@ let test_cluster_close_reaps_fds () =
     Transport.Cluster.close cl;
     Transport.Cluster.close cl;
     (* idempotent *)
+    checki "no leftover data directories" dirs_before (leopard_tmp_dirs ());
     match (live_fds (), !baseline) with
     | None, _ -> () (* no /proc: nothing to measure on this platform *)
     | Some n, None -> baseline := Some n
@@ -171,6 +248,7 @@ let test_cluster_close_reaps_fds () =
 let test_cluster_close_after_kill () =
   (* Abnormal exit path: a replica marked down mid-run must not leave
      the teardown unable to reap the rest. *)
+  let dirs_before = leopard_tmp_dirs () in
   let cl = Transport.Cluster.create ~cfg:small_cfg ~load:200. () in
   Transport.Cluster.start_load cl;
   Transport.Cluster.set_replica_down cl 2 true;
@@ -182,6 +260,7 @@ let test_cluster_close_after_kill () =
       Transport.Loop.now_ns (Transport.Cluster.loop cl) < stop_at);
   Transport.Cluster.close cl;
   Transport.Cluster.close cl;
+  checki "no leftover data directories after kill" dirs_before (leopard_tmp_dirs ());
   checkb "close survived a downed replica" true true
 
 let () =
@@ -202,6 +281,13 @@ let () =
             test_view_change_sim;
           Alcotest.test_case "tcp plane recovers via view change" `Slow
             test_view_change_tcp ] );
+      ( "restart",
+        [ Alcotest.test_case "sim plane recovers from the store" `Quick
+            test_restart_sim;
+          Alcotest.test_case "tcp plane recovers from the store" `Slow
+            test_restart_tcp;
+          Alcotest.test_case "tcp restart catches up to the same state" `Quick
+            test_tcp_restart_catches_up ] );
       ( "teardown",
         [ Alcotest.test_case "close reaps fds" `Quick test_cluster_close_reaps_fds;
           Alcotest.test_case "close after kill" `Quick test_cluster_close_after_kill ] )

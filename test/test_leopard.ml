@@ -416,6 +416,95 @@ let test_leader_generates_datablocks_still_correct () =
   checkb "leader produced datablocks" true
     (Core.Replica.datablocks_created (Core.Runner.replicas t).(leader) > 0)
 
+(* -- Durable store: the sim-plane side of PR 8 --------------------------- *)
+
+(* Wiring in-memory durable stores must not perturb the protocol at all:
+   the sink is written to synchronously off the hot path and never read
+   until a recovery. Pinned as a full-report byte comparison, like the
+   verify-pool determinism test above. *)
+let test_mem_store_report_identical () =
+  let bytes stores =
+    let spec =
+      Core.Runner.spec ~cfg:(small_cfg ()) ~seed:13L ~load:400.
+        ~duration:(Sim_time.s 12) ~warmup:(Sim_time.s 2) ~load_until:(Sim_time.s 6)
+        ~client_resend_timeout:(Sim_time.s 1) ?stores ()
+    in
+    Marshal.to_string (Core.Runner.run spec) []
+  in
+  let without = bytes None in
+  let with_mem = bytes (Some (Array.init 4 (fun _ -> Core.Store.mem ()))) in
+  checkb "mem-store report byte-identical to null-store" true
+    (String.equal without with_mem)
+
+(* The vote-safety heart of recovery: restart a replica after it emitted
+   a prepare share (and before the notarization settles), then re-deliver
+   the same proposal. The recovered replica must answer with the very
+   same share — deterministic threshold shares make the repeat vote
+   bit-identical, so no equivocation evidence can form against it. *)
+let test_restart_resends_same_share () =
+  let stores = Array.init 4 (fun _ -> Core.Store.mem ()) in
+  let spec =
+    Core.Runner.spec ~cfg:(small_cfg ()) ~seed:21L ~load:400.
+      ~duration:(Sim_time.s 12) ~warmup:(Sim_time.s 1) ~load_until:(Sim_time.s 8)
+      ~stores ()
+  in
+  let t = Core.Runner.create spec in
+  let network = Core.Runner.network t in
+  let victim = 0 in
+  let leader = 1 in
+  let votes : (int, Crypto.Threshold.share list) Hashtbl.t = Hashtbl.create 16 in
+  let proposes : (int, Core.Msg.t) Hashtbl.t = Hashtbl.create 16 in
+  Net.Network.set_fault_hook network (fun ~now:_ ~src ~dst msg ->
+      (match msg with
+      | Core.Msg.Prepare_vote { sn; share; _ } when src = victim ->
+        Hashtbl.replace votes sn
+          (share :: Option.value ~default:[] (Hashtbl.find_opt votes sn))
+      | Core.Msg.Propose { block; _ } when dst = victim ->
+        Hashtbl.replace proposes block.Core.Bftblock.sn msg
+      | _ -> ());
+      Net.Network.Pass);
+  (* Advance in small steps until the victim has voted on a proposal we
+     captured — mid-agreement, before that serial's checkpoint. *)
+  let cursor = ref Sim_time.zero in
+  let voted_sn () =
+    Hashtbl.fold
+      (fun sn _ acc ->
+        if Hashtbl.mem proposes sn then Some sn else acc)
+      votes None
+  in
+  while voted_sn () = None && Sim_time.compare !cursor (Sim_time.s 8) < 0 do
+    cursor := Sim_time.(!cursor + ms 250);
+    Core.Runner.run_until t !cursor
+  done;
+  let sn =
+    match voted_sn () with
+    | Some sn -> sn
+    | None -> Alcotest.fail "victim never voted within 8 simulated seconds"
+  in
+  let shares_before = Hashtbl.find votes sn in
+  (* Process restart: in-memory agreement state is gone, the store
+     remains. *)
+  Core.Runner.restart_replica t victim;
+  Net.Network.send network ~src:leader ~dst:victim (Hashtbl.find proposes sn);
+  cursor := Sim_time.(!cursor + s 1);
+  Core.Runner.run_until t !cursor;
+  let shares_after = Hashtbl.find votes sn in
+  Net.Network.clear_fault_hook network;
+  checkb "recovered replica re-voted" true
+    (List.length shares_after > List.length shares_before);
+  let raw = Crypto.Threshold.share_raw in
+  List.iter
+    (fun s ->
+      checkb "every share for the serial is bit-identical" true
+        (raw s = raw (List.hd shares_before)))
+    shares_after;
+  (* And the cluster as a whole never collected double-vote evidence. *)
+  Array.iter
+    (fun r ->
+      checki "no equivocation evidence" 0
+        (List.length (Core.Datablock_pool.equivocations (Core.Replica.pool r))))
+    (Core.Runner.replicas t)
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -457,6 +546,11 @@ let () =
       ( "partial synchrony",
         [ Alcotest.test_case "pre-GST reordering" `Quick test_pre_gst_reordering_safe_and_live ]
         @ qsuite [ prop_safety_under_random_faults ] );
+      ( "durable store",
+        [ Alcotest.test_case "mem store keeps reports byte-identical" `Quick
+            test_mem_store_report_identical;
+          Alcotest.test_case "restart re-sends the same prepare share" `Quick
+            test_restart_resends_same_share ] );
       ( "internals",
         [ Alcotest.test_case "watermarks bound parallelism" `Quick test_watermarks_bound_parallelism;
           Alcotest.test_case "checkpoints advance lw" `Quick test_checkpoints_advance_watermark;
