@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: check ci fmt fmt-check chaos build test bench bench-fast bench-micro bench-macro bench-net bench-verify bench-store clean
+.PHONY: check ci fmt fmt-check chaos build test bench bench-fast bench-micro bench-macro bench-net bench-verify bench-store bench-trend clean
 
 check: ## build + full test suite (tier-1 gate)
 	dune build && dune runtest
@@ -51,6 +51,9 @@ bench-verify: ## verification pool vs inline bench, rewrite BENCH_verify.json
 
 bench-store: ## WAL append/recovery bench, rewrite BENCH_store.json
 	dune exec bench/main.exe -- --only store
+
+bench-trend: ## one-line delta per bench id, working tree vs committed baselines
+	bash scripts/bench_trend.sh
 
 clean:
 	dune clean

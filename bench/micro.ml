@@ -30,6 +30,11 @@ type result = {
 let baseline_file = "BENCH_micro.json"
 let regression_factor = 2.0
 
+(* A pure ratio gate is meaningless for single-digit-ns primitives (the
+   obs counter bump): scheduler jitter alone doubles them. A regression
+   must also lose this many absolute ns/op to count. *)
+let regression_floor_ns = 25.
+
 (* ------------------------------------------------------------------ *)
 (* Measurement                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -118,7 +123,21 @@ let run_all ~fast =
       (let e = Sim.Engine.create () in
        fun () ->
          ignore (Sim.Engine.schedule e ~delay:0L (fun () -> ()));
-         Sim.Engine.step e) ]
+         Sim.Engine.step e);
+    (* the observability hot path: one counter bump per protocol event.
+       [alloc_gate] holds this one to zero minor words/op. *)
+    bench "obs/counter-bump"
+      (let reg = Obs.Registry.create () in
+       let c = Obs.Registry.counter reg "bench_events_total" in
+       fun () -> Obs.Counter.incr c);
+    bench "obs/gauge-set"
+      (let reg = Obs.Registry.create () in
+       let g = Obs.Registry.gauge reg "bench_depth" in
+       fun () -> Obs.Gauge.set g 42);
+    bench "obs/hist-record"
+      (let reg = Obs.Registry.create () in
+       let h = Obs.Registry.histogram reg "bench_lat_ns" in
+       fun () -> Obs.Histogram.record h 48_213) ]
 
 (* ------------------------------------------------------------------ *)
 (* JSON baseline                                                       *)
@@ -196,7 +215,9 @@ let check_regressions ~baseline results =
     List.filter_map
       (fun r ->
         match List.find_opt (fun b -> b.name = r.name) baseline with
-        | Some b when r.ns_per_op > regression_factor *. b.ns_per_op ->
+        | Some b
+          when r.ns_per_op > regression_factor *. b.ns_per_op
+               && r.ns_per_op -. b.ns_per_op > regression_floor_ns ->
           let factor = r.ns_per_op /. b.ns_per_op in
           Some
             ( Printf.sprintf "%s: %.1f ns/op vs baseline %.1f ns/op (%.1fx)" r.name r.ns_per_op
@@ -221,16 +242,35 @@ let check_regressions ~baseline results =
       worst_factor;
     false
 
+(* The observability promise is "a counter bump costs nothing": gate it
+   absolutely, independent of any baseline. OLS noise on a free op sits
+   well under half a word. *)
+let alloc_budget_words = 0.5
+
+let check_alloc_gate results =
+  match List.find_opt (fun r -> r.name = "obs/counter-bump") results with
+  | None -> true
+  | Some r when r.minor_words_per_op <= alloc_budget_words ->
+    Harness.say "micro: PASS obs/counter-bump allocates %.2f minor words/op (budget %.1f)"
+      r.minor_words_per_op alloc_budget_words;
+    true
+  | Some r ->
+    Harness.say "micro: FAIL obs/counter-bump allocates %.2f minor words/op (budget %.1f)"
+      r.minor_words_per_op alloc_budget_words;
+    false
+
 let run ~fast ~check =
   let results = run_all ~fast in
   Harness.say "%s" (render results);
   Harness.say "";
   if check then begin
-    match read_baseline baseline_file with
-    | None | Some [] ->
-      Harness.say "no baseline %s found; writing a fresh one" baseline_file;
-      write_baseline baseline_file results
-    | Some baseline -> if not (check_regressions ~baseline results) then exit 1
+    let alloc_ok = check_alloc_gate results in
+    (match read_baseline baseline_file with
+     | None | Some [] ->
+       Harness.say "no baseline %s found; writing a fresh one" baseline_file;
+       write_baseline baseline_file results
+     | Some baseline -> if not (check_regressions ~baseline results) then exit 1);
+    if not alloc_ok then exit 1
   end
   else begin
     write_baseline baseline_file results;

@@ -40,7 +40,7 @@ let pp_bandwidth_view title (v : Core.Runner.bandwidth_view) =
     v.Core.Runner.received_by_category
 
 let leopard_run n load duration warmup alpha bft_size payload silent stop_leader resend gst seed
-    bandwidth_mbps db_timeout prop_timeout trace_out verbose =
+    bandwidth_mbps db_timeout prop_timeout trace_out metrics_out verbose =
   let cfg =
     Core.Config.make ~n ?alpha ?bft_size ~payload
       ~datablock_timeout:(span_of_sec db_timeout) ~proposal_timeout:(span_of_sec prop_timeout) ()
@@ -52,12 +52,13 @@ let leopard_run n load duration warmup alpha bft_size payload silent stop_leader
     | None -> Net.Network.default_link
   in
   let byzantine = if silent then Core.Runner.silent_f cfg else [] in
+  let obs = Option.map (fun _ -> Obs.Registry.create ()) metrics_out in
   let spec =
     Core.Runner.spec ~cfg ~link ~seed ~load ~duration:(span_of_sec duration)
       ~warmup:(span_of_sec warmup) ~byzantine
       ?stop_leader_at:(Option.map span_of_sec stop_leader)
       ?client_resend_timeout:(Option.map span_of_sec resend)
-      ?gst:(Option.map span_of_sec gst) ~trace:(trace_out <> None) ()
+      ?gst:(Option.map span_of_sec gst) ~trace:(trace_out <> None) ?obs ()
   in
   Format.printf "running Leopard: %a, load %.0f req/s, %.0fs (+%d silent Byzantine)@."
     Core.Config.pp cfg load duration (List.length byzantine);
@@ -67,6 +68,11 @@ let leopard_run n load duration warmup alpha bft_size payload silent stop_leader
   (match trace_out with
    | Some file -> dump_trace (Core.Runner.trace t) file
    | None -> ());
+  (match (obs, metrics_out) with
+   | Some reg, Some file ->
+     Obs.Registry.dump_file reg file;
+     Format.printf "metrics -> %s@." file
+   | _ -> ());
   Format.printf "throughput:       %.0f req/s@." r.Core.Runner.throughput;
   Format.printf "goodput:          %.1f Mbps@." (r.Core.Runner.goodput_bps /. 1e6);
   Format.printf "offered/confirmed %d/%d@." r.Core.Runner.offered r.Core.Runner.confirmed;
@@ -93,7 +99,8 @@ let leopard_run n load duration warmup alpha bft_size payload silent stop_leader
 (* ---------------- local-cluster (real TCP) ---------------- *)
 
 let local_cluster_run n load duration drain alpha bft_size payload db_timeout prop_timeout
-    min_confirmed kill kill_at revive_at verify_domains data_dir fsync trace_out =
+    min_confirmed kill kill_at revive_at verify_domains data_dir fsync trace_out metrics_out
+    metrics_interval_ns =
   let cfg =
     Core.Config.make ~n ~alpha ~bft_size ~payload
       ~datablock_timeout:(span_of_sec db_timeout)
@@ -133,8 +140,11 @@ let local_cluster_run n load duration drain alpha bft_size payload db_timeout pr
   let r =
     Transport.Cluster.run ~cfg ~load ~duration:(span_of_sec duration)
       ~drain:(span_of_sec drain) ?min_confirmed ?kill ?trace ?verify_domains
-      ?data_dir ~fsync ()
+      ?data_dir ~fsync ?metrics_out ~metrics_interval_ns ()
   in
+  (match metrics_out with
+   | Some file -> Format.printf "metrics -> %s@." file
+   | None -> ());
   Format.printf "%a@." Transport.Cluster.pp_report r;
   (match (trace, trace_out) with
    | Some tr, Some file -> dump_trace tr file
@@ -158,7 +168,8 @@ let write_chaos_trace dir (o : Faults.Oracle.outcome) =
   close_out oc;
   file
 
-let chaos_run list_only scenario plane sim_ns tcp_n seed trace_dir keep_traces fast =
+let chaos_run list_only scenario plane sim_ns tcp_n seed trace_dir keep_traces metrics_out
+    fast =
   if list_only then begin
     List.iter
       (fun b -> Format.printf "%a@." Faults.Scenario.pp (b ~n:4))
@@ -198,7 +209,15 @@ let chaos_run list_only scenario plane sim_ns tcp_n seed trace_dir keep_traces f
       if plane = "tcp" || plane = "both" then
         List.iter
           (fun b ->
-            record (Faults.Tcp_plane.run ~seed ~data_root:trace_dir (b ~n:tcp_n)))
+            let sc = b ~n:tcp_n in
+            (* one dump file per scenario: <base>.<scenario>-n<k>.prom *)
+            let metrics_out =
+              Option.map
+                (fun base ->
+                  Printf.sprintf "%s.%s-n%d.prom" base sc.Faults.Scenario.name tcp_n)
+                metrics_out
+            in
+            record (Faults.Tcp_plane.run ~seed ~data_root:trace_dir ?metrics_out sc))
           builders;
       let outcomes = List.rev !outcomes in
       Format.printf "@.%a@." Faults.Oracle.pp_outcomes outcomes;
@@ -285,6 +304,16 @@ let bw_arg =
 let trace_out_arg =
   Arg.(value & opt (some string) None
        & info [ "trace-out" ] ~doc:"Record a protocol trace and write it to $(docv)." ~docv:"FILE")
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ]
+           ~doc:
+             "Write a Prometheus-style text metrics dump to $(docv): periodically and on \
+              exit for wall-clock runs, at end-of-run for the simulator." ~docv:"FILE")
+let metrics_interval_arg =
+  Arg.(value & opt int 1_000_000_000
+       & info [ "metrics-interval-ns" ]
+           ~doc:"Nanoseconds between periodic metrics dumps (wall-clock runs; default 1s).")
 
 let run_cmd =
   let alpha = Arg.(value & opt (some int) None & info [ "alpha" ] ~doc:"Datablock size, requests.") in
@@ -316,7 +345,7 @@ let run_cmd =
       ret
         (const leopard_run $ n_arg $ load_arg $ duration_arg $ warmup_arg $ alpha $ bft_size
         $ payload_arg $ silent $ stop_leader $ resend $ gst $ seed_arg $ bw_arg $ db_timeout
-        $ prop_timeout $ trace_out_arg $ verbose))
+        $ prop_timeout $ trace_out_arg $ metrics_out_arg $ verbose))
 
 let local_cluster_cmd =
   let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of replicas (3f+1).") in
@@ -380,7 +409,8 @@ let local_cluster_cmd =
       ret
         (const local_cluster_run $ n $ load $ duration $ drain $ alpha $ bft_size $ payload_arg
         $ db_timeout $ prop_timeout $ min_confirmed $ kill $ kill_at $ revive_at
-        $ verify_domains $ data_dir $ fsync $ trace_out_arg))
+        $ verify_domains $ data_dir $ fsync $ trace_out_arg $ metrics_out_arg
+        $ metrics_interval_arg))
 
 let chaos_cmd =
   let list_only =
@@ -409,6 +439,13 @@ let chaos_cmd =
     Arg.(value & flag
          & info [ "keep-traces" ] ~doc:"Also write traces of passing scenarios.")
   in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ]
+             ~doc:
+               "TCP plane: write a per-scenario metrics dump to \
+                $(docv).<scenario>-n<k>.prom." ~docv:"BASE")
+  in
   let fast =
     Arg.(value & flag & info [ "fast" ] ~doc:"Sim plane at n=4 only (quick gate).")
   in
@@ -419,7 +456,7 @@ let chaos_cmd =
     Term.(
       ret
         (const chaos_run $ list_only $ scenario $ plane $ sim_ns $ tcp_n $ seed_arg
-        $ trace_dir $ keep_traces $ fast))
+        $ trace_dir $ keep_traces $ metrics_out $ fast))
 
 let hotstuff_cmd =
   let batch = Arg.(value & opt int 800 & info [ "batch" ] ~doc:"Requests per block.") in

@@ -49,6 +49,18 @@ type instance = {
   mutable stashed_confirmation : (int * Hash.t * Ts.aggregate) option;
 }
 
+(* Consensus counters, one set per replica (label [replica="<id>"]).
+   Pure observation: nothing here feeds back into protocol behavior, so
+   an attached registry cannot perturb a deterministic run. *)
+type metrics = {
+  commits : Obs.Counter.t;
+  datablocks : Obs.Counter.t;
+  views : Obs.Counter.t;
+  vc_triggers : Obs.Counter.t;
+  equivocations : Obs.Counter.t;
+  checkpoints : Obs.Counter.t;
+}
+
 type t = {
   platform : Platform.t;
   cfg : Config.t;
@@ -60,6 +72,7 @@ type t = {
   strategy : Byzantine.t;
   hooks : hooks;
   trace : Trace.t;
+  ms : metrics option;
   mempool : Mempool.t;
   pool : Datablock_pool.t;
   instances : (int, instance) Hashtbl.t;
@@ -101,6 +114,8 @@ type t = {
   mutable last_partial_propose : Sim_time.t;
   punished : (Net.Node_id.t, unit) Hashtbl.t;  (* kicked-out equivocators *)
 }
+
+let bump t sel = match t.ms with Some m -> Obs.Counter.incr (sel m) | None -> ()
 
 let id t = t.id
 let view t = t.view
@@ -260,6 +275,7 @@ let save_snapshot t = (t.platform.Platform.store).Store.save (snapshot_of t)
 (* ----------------------------------------------------------------- *)
 
 let sign_and_send_datablock t batches =
+  bump t (fun m -> m.datablocks);
   let counter = t.db_counter in
   t.db_counter <- counter + 1;
   (* Durable BEFORE the multicast: re-using a counter after a restart
@@ -452,7 +468,10 @@ and try_execute t =
          clients were answered before the restart. *)
       if !batch_count > 0 && not t.recovering then
         t.platform.Platform.charge_egress ~size:(ack_wire_bytes * !batch_count) ~category:"ack";
-      if not t.recovering then t.hooks.on_execute ~id:t.id ~sn block dbs;
+      if not t.recovering then begin
+        bump t (fun m -> m.commits);
+        t.hooks.on_execute ~id:t.id ~sn block dbs
+      end;
       tracef t "execute" "sn%d (%d datablocks)" sn (List.length dbs);
       if sn mod t.cfg.checkpoint_interval = 0 then send_checkpoint_vote t sn;
       try_execute t
@@ -497,6 +516,7 @@ let apply_checkpoint_cert t (cert : Msg.checkpoint_cert) =
          still the freshest one). *)
       if (t.platform.Platform.store).Store.enabled && not t.recovering then save_snapshot t;
       if not t.recovering then begin
+        bump t (fun m -> m.checkpoints);
         t.hooks.on_checkpoint ~id:t.id ~lw:t.lw;
         maybe_propose t
       end;
@@ -803,6 +823,7 @@ let rec trigger_view_change t ~abandoned =
     let target = abandoned + 1 in
     t.in_view_change <- true;
     t.vc_sent_for <- target;
+    bump t (fun m -> m.vc_triggers);
     t.hooks.on_view_change_trigger ~id:t.id ~abandoned;
     tracef t "viewchange.trigger" "abandoning v%d" abandoned;
     (* Amplify: make sure our own timeout vote is out so every honest
@@ -927,6 +948,7 @@ let enter_view t ~nv_view ~vcs =
    | Some cert -> apply_checkpoint t cert
    | None -> ());
   let plan, max_sn = new_view_redo_plan vcs t.lw in
+  bump t (fun m -> m.views);
   t.hooks.on_view_change ~id:t.id ~view:nv_view;
   tracef t "view.entered" "v%d (redo %d serials)" nv_view (List.length plan);
   (* Proposals from this view that overtook the new-view message. *)
@@ -1133,6 +1155,7 @@ let on_datablock_verified t (db : Datablock.t) ~is_fetch_reply =
     maybe_propose t
   | Datablock_pool.Duplicate -> ()
   | Datablock_pool.Equivocation first ->
+    bump t (fun m -> m.equivocations);
     tracef t "equivocation" "from %a (first %a)" Net.Node_id.pp db.Datablock.header.creator
       Datablock.pp first;
     if t.cfg.punish_equivocators then begin
@@ -1403,11 +1426,28 @@ let start t =
      ());
   if active t then pack_tick t
 
-let create ~platform ~cfg ~id ~sk ~pks ~tsetup ~tkey ?(strategy = Byzantine.Honest)
+let create ~platform ~cfg ~id ~sk ~pks ~tsetup ~tkey ?obs ?(strategy = Byzantine.Honest)
     ?(hooks = no_hooks) ?trace () =
   let trace = match trace with Some tr -> tr | None -> Trace.create ~enabled:false () in
+  let ms =
+    Option.map
+      (fun reg ->
+        (* Idempotent registration: a replica recovered after a crash
+           re-attaches to the same counters instead of shadowing them. *)
+        let labels = [ ("replica", string_of_int id) ] in
+        let c name help = Obs.Registry.counter reg ~help ~labels name in
+        { commits = c "leopard_replica_commits_total" "blocks executed";
+          datablocks = c "leopard_replica_datablocks_total" "datablocks created";
+          views = c "leopard_replica_views_entered_total" "views entered via new-view";
+          vc_triggers = c "leopard_replica_vc_triggers_total" "view changes triggered";
+          equivocations =
+            c "leopard_replica_equivocation_witness_total" "equivocations witnessed";
+          checkpoints = c "leopard_replica_checkpoints_total" "checkpoint certs advanced lw" })
+      obs
+  in
   let t =
     { platform;
+      ms;
       cfg;
       id;
       sk;
@@ -1522,8 +1562,8 @@ let replay_record t (r : Store.record) =
     | Msg.Checkpoint_cert_msg cert -> apply_checkpoint_cert t cert
     | _ -> ())
 
-let recover ~platform ~cfg ~id ~sk ~pks ~tsetup ~tkey ?strategy ?hooks ?trace () =
-  let t = create ~platform ~cfg ~id ~sk ~pks ~tsetup ~tkey ?strategy ?hooks ?trace () in
+let recover ~platform ~cfg ~id ~sk ~pks ~tsetup ~tkey ?obs ?strategy ?hooks ?trace () =
+  let t = create ~platform ~cfg ~id ~sk ~pks ~tsetup ~tkey ?obs ?strategy ?hooks ?trace () in
   let sink = platform.Platform.store in
   if sink.Store.enabled then begin
     t.recovering <- true;

@@ -43,6 +43,7 @@ val create :
   pks:Crypto.Signature.public_key array ->
   tsetup:Crypto.Threshold.setup ->
   tkey:Crypto.Threshold.member_key ->
+  ?obs:Obs.Registry.t ->
   ?strategy:Byzantine.t ->
   ?hooks:hooks ->
   ?trace:Sim.Trace.t ->
@@ -80,6 +81,7 @@ val recover :
   pks:Crypto.Signature.public_key array ->
   tsetup:Crypto.Threshold.setup ->
   tkey:Crypto.Threshold.member_key ->
+  ?obs:Obs.Registry.t ->
   ?strategy:Byzantine.t ->
   ?hooks:hooks ->
   ?trace:Sim.Trace.t ->

@@ -15,11 +15,13 @@ type spec = {
   trace : bool;
   verify_domains : int option;
   stores : Store.sink array option;
+  obs : Obs.Registry.t option;
 }
 
 let spec ~cfg ?(link = Net.Network.default_link) ?(seed = 42L) ?(load = 1e5)
     ?(duration = Sim_time.s 20) ?(warmup = Sim_time.s 5) ?load_until ?(byzantine = [])
-    ?stop_leader_at ?client_resend_timeout ?gst ?(trace = false) ?verify_domains ?stores () =
+    ?stop_leader_at ?client_resend_timeout ?gst ?(trace = false) ?verify_domains ?stores
+    ?obs () =
   { cfg;
     link;
     seed;
@@ -33,7 +35,8 @@ let spec ~cfg ?(link = Net.Network.default_link) ?(seed = 42L) ?(load = 1e5)
     gst;
     trace;
     verify_domains;
-    stores }
+    stores;
+    obs }
 
 let silent_f cfg =
   let leader = Config.leader_of_view cfg 1 in
@@ -126,12 +129,16 @@ type t = {
   tsetup : Crypto.Threshold.setup;
   tkeys : Crypto.Threshold.member_key array;
   hooks : Replica.hooks;
+  (* confirm-latency instruments when [spec.obs] is attached; the sim's
+     own [latency] histogram stays authoritative for the report *)
+  obs_confirm : (Obs.Histogram.t * Obs.Counter.t) option;
 }
 
 let engine t = t.engine
 let network t = t.network
 let replicas t = t.replicas
 let generator t = t.gen
+let metrics_report t = Option.map Obs.Registry.expose t.sp.obs
 let trace t = t.trace
 
 let honest_ids t =
@@ -166,6 +173,12 @@ let on_f1_execution t ~sn (block : Bftblock.t) dbs =
             Stats.Meter.add t.confirm_meter ~at:now count;
             Stats.Meter.add t.goodput_meter ~at:now (Workload.Request.payload_bytes b);
             Stats.Histogram.add t.latency Sim_time.(now - b.Workload.Request.born);
+            (match t.obs_confirm with
+             | Some (h, c) ->
+               Obs.Histogram.record h
+                 (Int64.to_int Sim_time.(now - b.Workload.Request.born));
+               Obs.Counter.add c count
+             | None -> ());
             let w = float_of_int count in
             let acc = t.stage_acc in
             let gen_span = Sim_time.to_sec Sim_time.(db.Datablock.created_at - b.Workload.Request.born) in
@@ -319,7 +332,7 @@ let create sp =
   let hooks = make_hooks t_ref in
   let verify_pool =
     match sp.verify_domains with
-    | Some d when d > 0 -> Some (Exec.Pool.create ~domains:d ())
+    | Some d when d > 0 -> Some (Exec.Pool.create ?obs:sp.obs ~domains:d ())
     | _ -> None
   in
   let store_of id = Option.map (fun stores -> stores.(id)) sp.stores in
@@ -330,7 +343,7 @@ let create sp =
             ~cores:cfg.Config.cores ()
         in
         Replica.create ~platform ~cfg ~id ~sk:(snd keys.(id)) ~pks ~tsetup
-          ~tkey:tkeys.(id) ~strategy:strategies.(id) ~hooks ~trace ())
+          ~tkey:tkeys.(id) ?obs:sp.obs ~strategy:strategies.(id) ~hooks ~trace ())
   in
   Array.iter Replica.start replicas;
   let leader = Config.leader_of_view cfg 1 in
@@ -417,7 +430,15 @@ let create sp =
       pks;
       tsetup;
       tkeys;
-      hooks }
+      hooks;
+      obs_confirm =
+        Option.map
+          (fun reg ->
+            ( Obs.Registry.histogram reg ~help:"submit to f+1-confirm latency (ns)"
+                "leopard_confirm_latency_ns",
+              Obs.Registry.counter reg ~help:"client requests confirmed"
+                "leopard_confirmed_requests_total" ))
+          sp.obs }
   in
   t_ref := Some t;
   (* Bandwidth accounting restarts when the warmup window closes. *)
@@ -450,8 +471,8 @@ let restart_replica t id =
   in
   let r =
     Replica.recover ~platform ~cfg:t.sp.cfg ~id ~sk:(snd t.keys.(id)) ~pks:t.pks
-      ~tsetup:t.tsetup ~tkey:t.tkeys.(id) ~strategy:t.strategies.(id) ~hooks:t.hooks
-      ~trace:t.trace ()
+      ~tsetup:t.tsetup ~tkey:t.tkeys.(id) ?obs:t.sp.obs ~strategy:t.strategies.(id)
+      ~hooks:t.hooks ~trace:t.trace ()
   in
   t.replicas.(id) <- r;
   Net.Network.set_down t.network id false;

@@ -31,6 +31,12 @@ type spec = {
           for {!restart_replica}; [None] (the default) attaches
           {!Store.null} everywhere — no persistence, and the report
           bytes are identical to a spec without the field. *)
+  obs : Obs.Registry.t option;
+      (** metrics registry: replicas register [leopard_replica_*]
+          counters, the runner a [leopard_confirm_latency_ns] histogram,
+          and the verify pool (if any) its [leopard_verify_*] family.
+          Observation only — {!report} bytes are identical with and
+          without it (pinned by test). *)
 }
 
 val spec :
@@ -48,6 +54,7 @@ val spec :
   ?trace:bool ->
   ?verify_domains:int ->
   ?stores:Store.sink array ->
+  ?obs:Obs.Registry.t ->
   unit ->
   spec
 (** Defaults: the c5.xlarge-like link, seed 42, 10^5 req/s offered, 20 s
@@ -99,6 +106,10 @@ type t
 
 val create : spec -> t
 val engine : t -> Sim.Engine.t
+
+val metrics_report : t -> string option
+(** {!Obs.Registry.expose} of the spec's registry, if one was attached. *)
+
 val network : t -> Msg.t Net.Network.t
 val replicas : t -> Replica.t array
 val generator : t -> Workload.Generator.t

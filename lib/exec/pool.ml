@@ -34,6 +34,8 @@ type t = {
   mutable idle_waits : int;
   mutable drained : int;
   mutable busy_ns : int;
+  (* set once at create; recorded from worker domains (DLS-sharded) *)
+  mutable task_lat : Obs.Histogram.t option;
 }
 
 type stats = {
@@ -72,6 +74,7 @@ let worker t () =
            outcome (value or exception) is captured in the future. *)
         j ();
         let dt = now_ns () - start in
+        (match t.task_lat with Some h -> Obs.Histogram.record h dt | None -> ());
         Mutex.protect t.m (fun () ->
             t.inflight <- t.inflight - 1;
             t.busy_ns <- t.busy_ns + (if dt > 0 then dt else 0));
@@ -79,7 +82,7 @@ let worker t () =
   in
   loop ()
 
-let create ?domains ?budget () =
+let create ?obs ?domains ?budget () =
   let domains =
     match domains with
     | Some d ->
@@ -117,8 +120,48 @@ let create ?domains ?budget () =
       idle_waits = 0;
       drained = 0;
       busy_ns = 0;
+      task_lat = None;
     }
   in
+  (match obs with
+  | None -> ()
+  | Some reg ->
+      t.task_lat <-
+        Some
+          (Obs.Registry.histogram reg ~help:"verify task wall time (ns)"
+             "leopard_verify_task_latency_ns");
+      let depth =
+        Obs.Registry.gauge reg ~help:"queued verify tasks" "leopard_verify_queue_depth"
+      in
+      let inflight =
+        Obs.Registry.gauge reg ~help:"verify tasks in flight" "leopard_verify_inflight"
+      in
+      let c name help = Obs.Registry.counter reg ~help name in
+      let tasks_c = c "leopard_verify_tasks_total" "tasks submitted (inline included)" in
+      let batches_c = c "leopard_verify_batches_total" "batch submissions" in
+      let inline_c = c "leopard_verify_inline_runs_total" "budget-full inline fallbacks" in
+      let idle_c = c "leopard_verify_idle_waits_total" "worker idle transitions" in
+      let drained_c = c "leopard_verify_drained_total" "completions delivered by drain" in
+      (* Scrape-time mirror of the pool's own counters: the hot path
+         keeps its existing mutex-guarded ints, obs pays nothing. *)
+      Obs.Registry.on_collect reg (fun () ->
+          let depth_v, inflight_v, tasks_v, batches_v, inline_v, idle_v =
+            Mutex.protect t.m (fun () ->
+                ( Queue.length t.work,
+                  t.inflight,
+                  t.tasks,
+                  t.batches,
+                  t.inline_runs,
+                  t.idle_waits ))
+          in
+          let drained_v = Mutex.protect t.dm (fun () -> t.drained) in
+          Obs.Gauge.set depth depth_v;
+          Obs.Gauge.set inflight inflight_v;
+          Obs.Counter.mirror tasks_c tasks_v;
+          Obs.Counter.mirror batches_c batches_v;
+          Obs.Counter.mirror inline_c inline_v;
+          Obs.Counter.mirror idle_c idle_v;
+          Obs.Counter.mirror drained_c drained_v));
   t.domains <- Array.init domains (fun _ -> Domain.spawn (worker t));
   t
 

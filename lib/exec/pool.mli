@@ -39,11 +39,17 @@ type stats = {
           verification genuinely ran in parallel with the event loop. *)
 }
 
-val create : ?domains:int -> ?budget:int -> unit -> t
+val create : ?obs:Obs.Registry.t -> ?domains:int -> ?budget:int -> unit -> t
 (** [create ()] spawns [domains] worker domains (default
     [max 1 (recommended_domain_count () - 1)]: leave one core to the
     owner) with an in-flight budget of [budget] tasks (default
-    [64 * domains]). Requires [domains >= 1] and [budget >= 1]. *)
+    [64 * domains]). Requires [domains >= 1] and [budget >= 1].
+
+    With [?obs], workers record per-task wall time into a
+    [leopard_verify_task_latency_ns] histogram, and a collect hook
+    exposes queue depth, in-flight count and the {!stats} counters as
+    [leopard_verify_*] metrics — the task hot path itself is untouched
+    apart from one histogram record per task. *)
 
 val size : t -> int
 (** Number of worker domains. *)

@@ -8,7 +8,7 @@ let cfg_of (sc : Scenario.t) =
     ~cost:Crypto.Cost_model.free
     ~leader_generates_datablocks:sc.Scenario.leader_generates ()
 
-let run ?(seed = 42L) ?(load = 800.) ?data_root (sc : Scenario.t) =
+let run ?(seed = 42L) ?(load = 800.) ?data_root ?metrics_out (sc : Scenario.t) =
   let t0 = Unix.gettimeofday () in
   let cfg = cfg_of sc in
   let n = sc.Scenario.n in
@@ -32,7 +32,7 @@ let run ?(seed = 42L) ?(load = 800.) ?data_root (sc : Scenario.t) =
   in
   let cl =
     Transport.Cluster.create ~cfg ~load ~trace ~byzantine:sc.Scenario.byzantine
-      ~client_resend:(Sim_time.ms 500) ?data_dir ?store_wrap ()
+      ~client_resend:(Sim_time.ms 500) ?data_dir ?store_wrap ?metrics_out ()
   in
   let outcome =
   Fun.protect

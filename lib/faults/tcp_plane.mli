@@ -13,11 +13,20 @@
     replicas converged), bounded by [Scenario.duration] plus a drain. *)
 
 val run :
-  ?seed:int64 -> ?load:float -> ?data_root:string -> Scenario.t -> Oracle.outcome
+  ?seed:int64 ->
+  ?load:float ->
+  ?data_root:string ->
+  ?metrics_out:string ->
+  Scenario.t ->
+  Oracle.outcome
 (** [load] defaults to 800 req/s. The cluster always runs with client
     re-sends (500 ms) and a 1.5 s view timeout.
 
     [data_root] puts the per-node WAL directories under
     [<data_root>/<scenario-name>/]; a failing run keeps them as
     debugging artifacts, a passing run deletes them. Without it the
-    cluster uses (and always removes) a temp directory. *)
+    cluster uses (and always removes) a temp directory.
+
+    [metrics_out] attaches a metrics registry to the cluster and writes
+    the exposition dump to that file (periodic + final; see
+    {!Transport.Cluster.create}). *)

@@ -1,0 +1,100 @@
+(** Unified metrics layer: a domain-safe, allocation-disciplined registry
+    of monotonic counters, gauges and log-2-bucketed latency histograms,
+    with a Prometheus-style text exposition format.
+
+    Every subsystem (consensus, transport, verify pool, store) registers
+    its instruments against a {!Registry.t} at construction time and
+    keeps the returned handles; the hot paths then touch only those
+    handles. The discipline:
+
+    - a {!Counter.incr} / {!Gauge.set} is one [Atomic] operation — a few
+      nanoseconds, zero minor words (the micro bench gates this);
+    - a {!Histogram.record} updates a {e per-domain} shard reached
+      through [Domain.DLS], so worker domains (the verify pool) record
+      without contending with the event loop; shards are merged only at
+      scrape time;
+    - scraping ({!Registry.expose}) is read-only and idempotent —
+      instruments are cumulative, the scraper never resets them.
+
+    The registry itself is mutex-protected and may be shared across
+    domains; instrument registration is construction-time work and never
+    sits on a hot path. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  (** One atomic increment: the hot-path operation. *)
+
+  val add : t -> int -> unit
+  val value : t -> int
+
+  val mirror : t -> int -> unit
+  (** [mirror c v] sets the counter to [v] — for scrape-time collect
+      hooks ({!Registry.on_collect}) that mirror a subsystem's existing
+      monotonic counter instead of double-counting on the hot path.
+      Never use it on an instrument that is also [incr]'d. *)
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> int -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Histogram : sig
+  type t
+
+  val record : t -> int -> unit
+  (** [record h v] adds one observation (a nanosecond latency, a queue
+      length…) to the calling domain's shard. Negative values clamp to
+      zero. Bucket [b] holds values in [\[2^b, 2^{b+1})]. *)
+
+  val count : t -> int
+  (** Observations across all shards. *)
+
+  val sum : t -> int
+
+  val buckets : t -> int array
+  (** Merged per-bucket (non-cumulative) counts, index = floor(log2 v). *)
+end
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  (** Instrument constructors are idempotent: asking twice for the same
+      name and label set returns the same instrument (so a recovered
+      replica re-attaches to its counters instead of shadowing them).
+      Asking for an existing name+labels under a different metric kind
+      raises [Invalid_argument]. Labels are sorted internally; [help] is
+      kept from the first registration. *)
+
+  val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> Counter.t
+  val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> Gauge.t
+
+  val histogram :
+    t -> ?help:string -> ?labels:(string * string) list -> string -> Histogram.t
+
+  val on_collect : t -> (unit -> unit) -> unit
+  (** Registers a hook run at the start of every {!expose}: the place to
+      refresh gauges (queue depths, live connections) or {!Counter.mirror}
+      a subsystem's pre-existing counters. Hooks run in registration
+      order and must not register new instruments. *)
+
+  val expose : t -> string
+  (** The full registry in Prometheus text exposition format:
+      [# TYPE name kind] per family, then one
+      [name{label="v",...} value] line per instrument, families and
+      label sets in sorted order — deterministic, so two scrapes of an
+      idle registry are byte-identical. Histograms render cumulative
+      [_bucket{le="..."}] lines (one per power-of-two bucket up to the
+      highest occupied, then [le="+Inf"]), plus [_sum] and [_count]. *)
+
+  val dump_file : t -> string -> unit
+  (** Writes {!expose} to a file atomically (temp file + rename), so a
+      reader never observes a half-written dump. *)
+end

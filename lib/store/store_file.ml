@@ -2,10 +2,30 @@
    snapshots as its checkpoint files. One value per replica, one
    directory per replica. *)
 
-type t = { wal : Wal.t }
+type recovery_metrics = {
+  recoveries : Obs.Counter.t;
+  replayed_records : Obs.Counter.t;
+  replayed_snapshots : Obs.Counter.t;
+}
 
-let create ?segment_bytes ?fsync ?now_ns ~dir () =
-  { wal = Wal.create ?segment_bytes ?fsync ?now_ns ~dir () }
+type t = { wal : Wal.t; recov : recovery_metrics option }
+
+let create ?obs ?segment_bytes ?fsync ?now_ns ~dir () =
+  let recov =
+    Option.map
+      (fun reg ->
+        { recoveries =
+            Obs.Registry.counter reg ~help:"recovery scans run"
+              "leopard_store_recoveries_total";
+          replayed_records =
+            Obs.Registry.counter reg ~help:"records replayed by recovery scans"
+              "leopard_store_recovered_records_total";
+          replayed_snapshots =
+            Obs.Registry.counter reg ~help:"snapshots restored by recovery scans"
+              "leopard_store_recovered_snapshots_total" })
+      obs
+  in
+  { wal = Wal.create ?obs ?segment_bytes ?fsync ?now_ns ~dir (); recov }
 
 let dir t = Wal.dir t.wal
 let flush t = Wal.flush t.wal
@@ -22,7 +42,15 @@ let load_dir dir =
 
 let log t r = Wal.append t.wal (Core.Codec.encode_record r)
 let save t s = Wal.save_snapshot t.wal (Core.Codec.encode_snapshot s)
-let load t = load_dir (Wal.dir t.wal)
+let load t =
+  let ((snap, records) as r) = load_dir (Wal.dir t.wal) in
+  (match t.recov with
+  | Some m ->
+    Obs.Counter.incr m.recoveries;
+    Obs.Counter.add m.replayed_records (List.length records);
+    if snap <> None then Obs.Counter.incr m.replayed_snapshots
+  | None -> ());
+  r
 let sync t = Wal.sync t.wal
 
 let sink t =

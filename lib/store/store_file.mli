@@ -11,6 +11,7 @@
 type t
 
 val create :
+  ?obs:Obs.Registry.t ->
   ?segment_bytes:int ->
   ?fsync:Wal.fsync_policy ->
   ?now_ns:(unit -> int) ->
@@ -18,7 +19,10 @@ val create :
   unit ->
   t
 (** Opens (or creates) the replica's data directory. See {!Wal.create}
-    for the parameters; [fsync] defaults to [Never]. *)
+    for the parameters; [fsync] defaults to [Never]. [?obs] threads
+    through to the WAL's [leopard_store_*] instruments and additionally
+    counts recovery scans ([leopard_store_recoveries_total] and the
+    records/snapshots they replayed). *)
 
 val sink : t -> Core.Store.sink
 (** The seam value: log appends Codec-encoded records, save writes

@@ -21,11 +21,19 @@ type corruption = { segment : string; off : int; reason : string }
 let pp_corruption fmt c =
   Format.fprintf fmt "%s at byte %d of %s" c.reason c.off c.segment
 
+type metrics = {
+  append_lat : Obs.Histogram.t;
+  fsync_lat : Obs.Histogram.t;
+  rotations : Obs.Counter.t;
+  snapshots : Obs.Counter.t;
+}
+
 type t = {
   dir : string;
   segment_bytes : int;
   fsync : fsync_policy;
   now_ns : unit -> int;
+  ms : metrics option;
   buf : Buffer.t;
   mutable fd : Unix.file_descr;
   mutable seq : int;
@@ -118,7 +126,23 @@ let open_segment dir seq =
   Unix.openfile (Filename.concat dir (segment_name seq))
     [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
 
-let create ?(segment_bytes = 4 * 1024 * 1024) ?(fsync = Never)
+(* All WALs sharing a registry share these instruments (registration is
+   idempotent): store metrics aggregate across replicas rather than
+   exploding the label space at large n. *)
+let metrics_of reg =
+  { append_lat =
+      Obs.Registry.histogram reg ~help:"wal append call latency (ns)"
+        "leopard_store_append_latency_ns";
+    fsync_lat =
+      Obs.Registry.histogram reg ~help:"fsync syscall latency (ns)"
+        "leopard_store_fsync_latency_ns";
+    rotations =
+      Obs.Registry.counter reg ~help:"segment rotations" "leopard_store_rotations_total";
+    snapshots =
+      Obs.Registry.counter reg ~help:"checkpoint snapshots written"
+        "leopard_store_snapshots_total" }
+
+let create ?obs ?(segment_bytes = 4 * 1024 * 1024) ?(fsync = Never)
     ?(now_ns = fun () -> int_of_float (Unix.gettimeofday () *. 1e9)) ~dir () =
   mkdir_p dir;
   (* Always start a fresh segment: the previous process may have died
@@ -131,6 +155,7 @@ let create ?(segment_bytes = 4 * 1024 * 1024) ?(fsync = Never)
     segment_bytes;
     fsync;
     now_ns;
+    ms = Option.map metrics_of obs;
     buf = Buffer.create 4096;
     fd = open_segment dir seq;
     seq;
@@ -157,7 +182,12 @@ let write_buffer t =
 
 let do_fsync t =
   if t.dirty then begin
-    Unix.fsync t.fd;
+    (match t.ms with
+    | None -> Unix.fsync t.fd
+    | Some m ->
+      let t0 = t.now_ns () in
+      Unix.fsync t.fd;
+      Obs.Histogram.record m.fsync_lat (t.now_ns () - t0));
     t.dirty <- false
   end;
   t.last_sync_ns <- t.now_ns ()
@@ -183,10 +213,12 @@ let rotate t =
   t.seq <- t.seq + 1;
   t.fd <- open_segment t.dir t.seq;
   t.seg_size <- 0;
-  t.dirty <- false
+  t.dirty <- false;
+  match t.ms with Some m -> Obs.Counter.incr m.rotations | None -> ()
 
 let append t payload =
   if not t.closed then begin
+    let t0 = match t.ms with Some _ -> t.now_ns () | None -> 0 in
     let fr = frame ~kind:kind_record payload in
     if t.seg_size > 0 && t.seg_size + String.length fr > t.segment_bytes then rotate t;
     Buffer.add_string t.buf fr;
@@ -195,7 +227,10 @@ let append t payload =
     if t.fsync = Always then begin
       write_buffer t;
       do_fsync t
-    end
+    end;
+    match t.ms with
+    | Some m -> Obs.Histogram.record m.append_lat (t.now_ns () - t0)
+    | None -> ()
   end
 
 let save_snapshot t payload =
@@ -219,6 +254,7 @@ let save_snapshot t payload =
         Unix.fsync fd);
     (* Atomic publication, then truncation of everything it subsumes. *)
     Unix.rename tmp final;
+    (match t.ms with Some m -> Obs.Counter.incr m.snapshots | None -> ());
     List.iter
       (fun seq ->
         if seq < snap_seq then

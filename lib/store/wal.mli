@@ -24,6 +24,7 @@ val pp_corruption : Format.formatter -> corruption -> unit
 type t
 
 val create :
+  ?obs:Obs.Registry.t ->
   ?segment_bytes:int ->
   ?fsync:fsync_policy ->
   ?now_ns:(unit -> int) ->
@@ -34,7 +35,13 @@ val create :
     segment numbered after everything already there — a prior process may
     have died mid-write, and appending past a torn tail would hide it
     from {!load}. [segment_bytes] (default 4 MiB) bounds a segment before
-    rotation; [now_ns] (default: wall clock) drives [Interval] fsyncs. *)
+    rotation; [now_ns] (default: wall clock) drives [Interval] fsyncs.
+
+    With [?obs], appends and fsyncs record [leopard_store_*_latency_ns]
+    histograms (timed via [now_ns]) and rotations/snapshots bump
+    [leopard_store_*_total] counters. Instruments are unlabeled and
+    shared by every WAL on the same registry: store metrics aggregate
+    across replicas. *)
 
 val append : t -> string -> unit
 (** Buffers one record frame (group commit: nothing reaches the file

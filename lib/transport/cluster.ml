@@ -56,6 +56,14 @@ type t = {
   strategies : Core.Byzantine.t array;
   hooks : Core.Replica.hooks;
   mutable closed : bool;
+  (* observability: registry shared by every layer of this cluster, the
+     confirm-latency instruments, and the periodic file dump *)
+  obs : Obs.Registry.t option;
+  obs_confirm : (Obs.Histogram.t * Obs.Counter.t) option;
+  metrics_out : string option;
+  metrics_interval_ns : int;
+  mutable last_dump_ns : int;
+  mutable metrics_tick : Loop.tick_handle option;
 }
 
 let loop t = t.loop
@@ -83,7 +91,12 @@ let on_f1_execution t (dbs : Core.Datablock.t list) =
             Hashtbl.add t.counted_batches id ();
             Hashtbl.remove t.pending id;
             t.confirmed <- t.confirmed + b.Workload.Request.count;
-            Stats.Histogram.add t.latency Sim.Sim_time.(now - b.Workload.Request.born)
+            Stats.Histogram.add t.latency Sim.Sim_time.(now - b.Workload.Request.born);
+            (match t.obs_confirm with
+            | Some (h, c) ->
+              Obs.Histogram.record h (Int64.to_int Sim.Sim_time.(now - b.Workload.Request.born));
+              Obs.Counter.add c b.Workload.Request.count
+            | None -> ())
           end)
         db.Core.Datablock.batches)
     dbs
@@ -243,7 +256,15 @@ let node_dir data_dir id = Filename.concat data_dir (Printf.sprintf "node-%d" id
 
 let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:false ())
     ?(byzantine = []) ?client_resend ?verify_domains ?data_dir
-    ?(fsync = Store.Wal.Never) ?store_wrap () =
+    ?(fsync = Store.Wal.Never) ?store_wrap ?obs ?metrics_out
+    ?(metrics_interval_ns = 1_000_000_000) () =
+  (* A dump target without a registry implies one. *)
+  let obs =
+    match (obs, metrics_out) with
+    | (Some _ as o), _ -> o
+    | None, Some _ -> Some (Obs.Registry.create ())
+    | None, None -> None
+  in
   let n = cfg.Core.Config.n in
   let loop = Loop.create () in
   (* An explicit data dir is the caller's (kept at teardown, e.g. as a
@@ -255,7 +276,7 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
   let now_ns () = Loop.now_ns loop in
   let stores =
     Array.init n (fun id ->
-        ref (Store.Store_file.create ~fsync ~now_ns ~dir:(node_dir data_dir id) ()))
+        ref (Store.Store_file.create ?obs ~fsync ~now_ns ~dir:(node_dir data_dir id) ()))
   in
   let store_sink id =
     let cell = stores.(id) in
@@ -281,10 +302,10 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
   let verify_pool =
     match verify_domains with
     | Some 0 -> None
-    | Some d -> Some (Exec.Pool.create ~domains:d ())
+    | Some d -> Some (Exec.Pool.create ?obs ~domains:d ())
     | None ->
       Some
-        (Exec.Pool.create
+        (Exec.Pool.create ?obs
            ~domains:(max 1 (min 4 (Domain.recommended_domain_count () - 1)))
            ())
   in
@@ -295,7 +316,7 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
   in
   let nodes =
     Array.init n (fun id ->
-        Runtime.node ~loop ~id ~n ?outbuf_hwm ~pool ~verify ~store:(store_sink id) ())
+        Runtime.node ~loop ~id ~n ?obs ?outbuf_hwm ~pool ~verify ~store:(store_sink id) ())
   in
   let ports = Array.map (fun node -> Runtime.listen node ()) nodes in
   Array.iteri
@@ -322,7 +343,7 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
     Array.init n (fun id ->
         Core.Replica.create
           ~platform:(Runtime.platform nodes.(id))
-          ~cfg ~id ~sk:(snd keys.(id)) ~pks ~tsetup ~tkey:tkeys.(id)
+          ~cfg ~id ~sk:(snd keys.(id)) ~pks ~tsetup ~tkey:tkeys.(id) ?obs
           ~strategy:strategies.(id) ~hooks ~trace ())
   in
   let t =
@@ -362,9 +383,64 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
       tkeys;
       strategies;
       hooks;
-      closed = false }
+      closed = false;
+      obs;
+      obs_confirm =
+        Option.map
+          (fun reg ->
+            ( Obs.Registry.histogram reg ~help:"submit to f+1-confirm latency (ns)"
+                "leopard_confirm_latency_ns",
+              Obs.Registry.counter reg ~help:"client requests confirmed"
+                "leopard_confirmed_requests_total" ))
+          obs;
+      metrics_out;
+      metrics_interval_ns;
+      last_dump_ns = 0;
+      metrics_tick = None }
   in
   t_ref := Some t;
+  (* Cluster-level client/consensus aggregates, refreshed at scrape. *)
+  (match obs with
+  | None -> ()
+  | Some reg ->
+    let offered_c =
+      Obs.Registry.counter reg ~help:"client requests offered" "leopard_cluster_offered_total"
+    in
+    let resends_c =
+      Obs.Registry.counter reg ~help:"client re-send copies" "leopard_cluster_resends_total"
+    in
+    let blocks_c =
+      Obs.Registry.counter reg ~help:"blocks f+1-executed" "leopard_cluster_executed_blocks_total"
+    in
+    let max_view_g =
+      Obs.Registry.gauge reg ~help:"highest view of any up replica" "leopard_cluster_max_view"
+    in
+    Obs.Registry.on_collect reg (fun () ->
+        Obs.Counter.mirror offered_c t.offered;
+        Obs.Counter.mirror resends_c t.resends;
+        Obs.Counter.mirror blocks_c t.executed_blocks;
+        let mv = ref 1 in
+        Array.iteri
+          (fun id node ->
+            if not (Conn.is_down (Runtime.conn node)) then
+              mv := max !mv (Core.Replica.view t.replicas.(id)))
+          t.nodes;
+        Obs.Gauge.set max_view_g !mv));
+  (* Periodic exposition dump: checked once per loop iteration, written
+     at most once per [metrics_interval_ns] (atomic tmp+rename, so a
+     tail-ing reader never sees a torn dump). *)
+  (match (obs, metrics_out) with
+  | Some reg, Some path ->
+    t.last_dump_ns <- Loop.now_ns loop;
+    t.metrics_tick <-
+      Some
+        (Loop.on_tick loop (fun () ->
+             let now = Loop.now_ns loop in
+             if now - t.last_dump_ns >= t.metrics_interval_ns then begin
+               t.last_dump_ns <- now;
+               try Obs.Registry.dump_file reg path with Sys_error _ -> ()
+             end))
+  | _ -> ());
   (* Group commit: buffered WAL records hit the files once per loop
      iteration (and fsync per the policy), not once per append. *)
   t.store_tick <-
@@ -402,7 +478,7 @@ let restart_replica t id =
   Core.Replica.halt t.replicas.(id);
   Store.Store_file.crash !(t.stores.(id));
   t.stores.(id) :=
-    Store.Store_file.create ~fsync:t.fsync
+    Store.Store_file.create ?obs:t.obs ~fsync:t.fsync
       ~now_ns:(fun () -> Loop.now_ns t.loop)
       ~dir:(node_dir t.data_dir id) ();
   let pks = Array.map fst t.keys in
@@ -410,7 +486,7 @@ let restart_replica t id =
     Core.Replica.recover
       ~platform:(Runtime.platform t.nodes.(id))
       ~cfg:t.cfg ~id ~sk:(snd t.keys.(id)) ~pks ~tsetup:t.tsetup ~tkey:t.tkeys.(id)
-      ~strategy:t.strategies.(id) ~hooks:t.hooks ~trace:t.trace ()
+      ?obs:t.obs ~strategy:t.strategies.(id) ~hooks:t.hooks ~trace:t.trace ()
   in
   t.replicas.(id) <- r;
   Runtime.set_down t.nodes.(id) false;
@@ -431,7 +507,8 @@ let transport_stats t =
       frames_sent = 0;
       frames_recvd = 0;
       bytes_sent = 0;
-      bytes_recvd = 0 }
+      bytes_recvd = 0;
+      reconnects = 0 }
   in
   Array.iter
     (fun node ->
@@ -441,7 +518,8 @@ let transport_stats t =
       acc.Conn.frames_sent <- acc.Conn.frames_sent + s.Conn.frames_sent;
       acc.Conn.frames_recvd <- acc.Conn.frames_recvd + s.Conn.frames_recvd;
       acc.Conn.bytes_sent <- acc.Conn.bytes_sent + s.Conn.bytes_sent;
-      acc.Conn.bytes_recvd <- acc.Conn.bytes_recvd + s.Conn.bytes_recvd)
+      acc.Conn.bytes_recvd <- acc.Conn.bytes_recvd + s.Conn.bytes_recvd;
+      acc.Conn.reconnects <- acc.Conn.reconnects + s.Conn.reconnects)
     t.nodes;
   acc
 
@@ -491,10 +569,23 @@ let max_view t =
     (fun acc id -> max acc (Core.Replica.view t.replicas.(id)))
     1 (up_ids t)
 
+let metrics_report t = Option.map Obs.Registry.expose t.obs
+
 let close t =
   if not t.closed then begin
     t.closed <- true;
     stop_load t;
+    (* Final dump before teardown: the run's last word, whatever the
+       periodic interval left unwritten. *)
+    (match (t.obs, t.metrics_out) with
+    | Some reg, Some path -> (
+      try Obs.Registry.dump_file reg path with Sys_error _ -> ())
+    | _ -> ());
+    (match t.metrics_tick with
+    | Some h ->
+      Loop.remove_tick t.loop h;
+      t.metrics_tick <- None
+    | None -> ());
     Loop.stop t.loop;
     (* Unhook the pool from the loop before shutdown closes its pipe fds
        (a closed fd in the select read set would fail the loop), then
@@ -599,8 +690,12 @@ let report_of t =
     ledgers_agree = ledgers_agree t }
 
 let run ~cfg ?load ?(duration = Sim.Sim_time.s 5) ?(drain = Sim.Sim_time.s 10)
-    ?min_confirmed ?kill ?trace ?verify_domains ?data_dir ?fsync () =
-  let t = create ~cfg ?load ?trace ?verify_domains ?data_dir ?fsync () in
+    ?min_confirmed ?kill ?trace ?verify_domains ?data_dir ?fsync ?obs ?metrics_out
+    ?metrics_interval_ns () =
+  let t =
+    create ~cfg ?load ?trace ?verify_domains ?data_dir ?fsync ?obs ?metrics_out
+      ?metrics_interval_ns ()
+  in
   (* [close] on every exit path, normal or not: an exception mid-run must
      not leak n listeners plus O(n^2) connection fds into the process
      (repeated in-process runs — the chaos corpus — would exhaust the fd

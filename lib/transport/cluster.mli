@@ -25,6 +25,9 @@ val create :
   ?data_dir:string ->
   ?fsync:Store.Wal.fsync_policy ->
   ?store_wrap:(Net.Node_id.t -> Core.Store.sink -> Core.Store.sink) ->
+  ?obs:Obs.Registry.t ->
+  ?metrics_out:string ->
+  ?metrics_interval_ns:int ->
   unit ->
   t
 (** Builds the cluster: binds [n] ephemeral loopback listeners, wires
@@ -51,7 +54,16 @@ val create :
     inspection). [fsync] is the WAL durability policy (default
     [Never] — group-committed writes, durability left to the page
     cache). [store_wrap] decorates each node's sink (fault injection:
-    [Core.Store.with_torn_tail]). *)
+    [Core.Store.with_torn_tail]).
+
+    [obs] attaches a metrics registry to every layer: per-replica
+    consensus counters, per-node transport mirrors, the shared verify
+    pool and the per-node WAL stores, plus the cluster's own
+    [leopard_confirm_latency_ns] histogram and client aggregates.
+    [metrics_out] writes the exposition text to that file — atomically,
+    at most once per [metrics_interval_ns] (default 1 s) from a loop
+    tick, and a final time in {!close}; when [metrics_out] is given
+    without [obs], a private registry is created. *)
 
 val loop : t -> Loop.t
 val replicas : t -> Core.Replica.t array
@@ -108,6 +120,10 @@ val vc_triggers : t -> int
 val verify_stats : t -> Exec.Pool.stats option
 (** Verification-pool counters ([None] when verification is inline). *)
 
+val metrics_report : t -> string option
+(** {!Obs.Registry.expose} of the cluster's registry, if one is
+    attached — the full four-layer exposition text. *)
+
 val max_view : t -> int
 (** Highest view any up replica is in (1 = no view change yet). *)
 
@@ -154,6 +170,9 @@ val run :
   ?verify_domains:int ->
   ?data_dir:string ->
   ?fsync:Store.Wal.fsync_policy ->
+  ?obs:Obs.Registry.t ->
+  ?metrics_out:string ->
+  ?metrics_interval_ns:int ->
   unit ->
   report
 (** Creates a cluster, offers load for [duration] (default 5 s; stops

@@ -102,6 +102,7 @@ type stats = {
   mutable frames_recvd : int; (* parsed, hellos included *)
   mutable bytes_sent : int;
   mutable bytes_recvd : int;
+  mutable reconnects : int;   (* backoff redials scheduled *)
 }
 
 type t = {
@@ -328,6 +329,7 @@ and fail_out t oc =
   if not t.down then schedule_redial t oc
 
 and schedule_redial t oc =
+  t.stats.reconnects <- t.stats.reconnects + 1;
   let b = oc.backoff_ns in
   let delay_ns = (b / 2) + Random.State.int t.rng (max 1 (b / 2)) in
   oc.backoff_ns <- min backoff_cap_ns (b * 2);
@@ -352,7 +354,7 @@ let flush_pending t =
         try_flush t oc)
       ocs
 
-let create ~loop ~id ?(max_frame = Frame.default_max_frame)
+let create ~loop ~id ?obs ?(max_frame = Frame.default_max_frame)
     ?(outbuf_hwm = default_outbuf_hwm) ?pool ~on_msg () =
   let pool = match pool with Some p -> p | None -> Pool.create () in
   let t =
@@ -381,9 +383,51 @@ let create ~loop ~id ?(max_frame = Frame.default_max_frame)
           frames_sent = 0;
           frames_recvd = 0;
           bytes_sent = 0;
-          bytes_recvd = 0 } }
+          bytes_recvd = 0;
+          reconnects = 0 } }
   in
   t.tick <- Some (Loop.on_tick loop (fun () -> flush_pending t));
+  (match obs with
+  | None -> ()
+  | Some reg ->
+      (* Scrape-time mirror of the per-node plain-int counters: the
+         read/write hot paths keep their existing field bumps, obs costs
+         nothing until someone scrapes. *)
+      let labels = [ ("node", string_of_int id) ] in
+      let c name help = Obs.Registry.counter reg ~help ~labels name in
+      let g name help = Obs.Registry.gauge reg ~help ~labels name in
+      let frames_sent = c "leopard_transport_frames_sent_total" "frames handed to the kernel" in
+      let frames_recvd = c "leopard_transport_frames_recvd_total" "frames parsed" in
+      let bytes_sent = c "leopard_transport_bytes_sent_total" "payload+header bytes written" in
+      let bytes_recvd = c "leopard_transport_bytes_recvd_total" "bytes read" in
+      let writes = c "leopard_transport_write_syscalls_total" "write(2) calls" in
+      let reads = c "leopard_transport_read_syscalls_total" "read(2) calls" in
+      let drops = c "leopard_transport_dropped_total" "frames dropped (backpressure/disconnect)" in
+      let faulted_c = c "leopard_transport_faulted_total" "messages hit by the fault filter" in
+      let reconnects = c "leopard_transport_reconnects_total" "backoff redials scheduled" in
+      let live = g "leopard_transport_live_connections" "established connections, both directions" in
+      let coalesce =
+        g "leopard_transport_coalesce_ratio_x1000" "write syscalls per frame sent, x1000"
+      in
+      Obs.Registry.on_collect reg (fun () ->
+          let s = t.stats in
+          Obs.Counter.mirror frames_sent s.frames_sent;
+          Obs.Counter.mirror frames_recvd s.frames_recvd;
+          Obs.Counter.mirror bytes_sent s.bytes_sent;
+          Obs.Counter.mirror bytes_recvd s.bytes_recvd;
+          Obs.Counter.mirror writes s.write_syscalls;
+          Obs.Counter.mirror reads s.read_syscalls;
+          Obs.Counter.mirror drops t.dropped;
+          Obs.Counter.mirror faulted_c t.faulted;
+          Obs.Counter.mirror reconnects s.reconnects;
+          let outs_live =
+            Hashtbl.fold
+              (fun _ oc acc -> match oc.state with Connected _ -> acc + 1 | _ -> acc)
+              t.outs 0
+          in
+          Obs.Gauge.set live (outs_live + Hashtbl.length t.ins);
+          if s.frames_sent > 0 then
+            Obs.Gauge.set coalesce (s.write_syscalls * 1000 / s.frames_sent)));
   t
 
 let out_conn t dst =

@@ -33,6 +33,7 @@ type t
 val create :
   loop:Loop.t ->
   id:Net.Node_id.t ->
+  ?obs:Obs.Registry.t ->
   ?max_frame:int ->
   ?outbuf_hwm:int ->
   ?pool:Pool.t ->
@@ -42,7 +43,10 @@ val create :
 (** [outbuf_hwm] is the per-peer queued-bytes bound (default 4 MiB).
     [pool] supplies reader/scratch/gather buffers (default: a private
     pool; pass one explicitly to share across nodes or to enable debug
-    poisoning). *)
+    poisoning). [?obs] registers a scrape-time collect hook that mirrors
+    this node's {!stats}, drop/fault counters, live-connection count and
+    write-coalescing ratio as [leopard_transport_*] metrics labeled
+    [node="<id>"] — the send/receive hot paths are untouched. *)
 
 val default_outbuf_hwm : int
 
@@ -110,6 +114,7 @@ type stats = {
   mutable frames_recvd : int; (** frames parsed, hellos included *)
   mutable bytes_sent : int;
   mutable bytes_recvd : int;
+  mutable reconnects : int;   (** backoff redials scheduled *)
 }
 
 val stats : t -> stats

@@ -4,13 +4,13 @@ type node = {
   platform : Core.Platform.t;
 }
 
-let node ~loop ~id ~n ?max_frame ?outbuf_hwm ?pool ?(verify = Core.Verify.inline)
+let node ~loop ~id ~n ?obs ?max_frame ?outbuf_hwm ?pool ?(verify = Core.Verify.inline)
     ?(store = Core.Store.null) () =
   (* The replica installs its handler via the platform after the conn
      exists; route deliveries through a cell to break the cycle. *)
   let handler = ref (fun ~src:_ (_ : Core.Msg.t) -> ()) in
   let conn =
-    Conn.create ~loop ~id ?max_frame ?outbuf_hwm ?pool
+    Conn.create ~loop ~id ?obs ?max_frame ?outbuf_hwm ?pool
       ~on_msg:(fun ~src msg -> !handler ~src msg)
       ()
   in

@@ -16,6 +16,7 @@ val node :
   loop:Loop.t ->
   id:Net.Node_id.t ->
   n:int ->
+  ?obs:Obs.Registry.t ->
   ?max_frame:int ->
   ?outbuf_hwm:int ->
   ?pool:Pool.t ->

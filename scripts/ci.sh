@@ -3,21 +3,37 @@
 # reports everything, then prints a machine-readable PASS/FAIL table
 # (one `ci-step|name|status|seconds` line per step) and exits non-zero
 # if any step failed.
-set -u
+#
+# Each step's output is also captured under _ci_logs/<step>.log; when
+# $GITHUB_STEP_SUMMARY is set (GitHub Actions), the same table is
+# appended there as GitHub-flavored markdown, with each bench step's
+# regression verdict (including the worst offender on failure) pulled
+# from its log into the Note column.
+set -u -o pipefail
 cd "$(dirname "$0")/.."
 
-declare -a STEPS=() STATUSES=() TIMES=()
+mkdir -p _ci_logs
+declare -a STEPS=() STATUSES=() TIMES=() NOTES=()
 
 run_step() {
   local name="$1"
   shift
   local t0=$SECONDS
   echo "==> $name: $*"
-  local status
-  if "$@"; then status=PASS; else status=FAIL; fi
+  local status log="_ci_logs/$name.log"
+  if "$@" 2>&1 | tee "$log"; then status=PASS; else status=FAIL; fi
+  local note=""
+  case "$name" in
+  bench-*)
+    # the bench's own verdict line: "micro: PASS no regressions ..." or
+    # "micro: FAIL ... (worst <id> <factor>x)"
+    note=$(grep -E ': (PASS|FAIL) ' "$log" | tail -1 || true)
+    ;;
+  esac
   STEPS+=("$name")
   STATUSES+=("$status")
   TIMES+=("$((SECONDS - t0))")
+  NOTES+=("$note")
 }
 
 # fmt is enforced wherever ocamlformat exists (CI installs the pinned
@@ -29,6 +45,7 @@ else
   STEPS+=(fmt)
   STATUSES+=(SKIP)
   TIMES+=(0)
+  NOTES+=("")
 fi
 
 run_step build dune build
@@ -39,7 +56,7 @@ run_step bench-net dune exec bench/main.exe -- --only net --fast --check-regress
 run_step bench-verify dune exec bench/main.exe -- --only verify --fast --check-regressions
 run_step bench-store dune exec bench/main.exe -- --only store --fast --check-regressions
 run_step tcp-smoke dune exec bin/leopard_cli.exe -- local-cluster -n 4 --load 2000 \
-  --duration 3 --min-confirmed 1000 --drain 10
+  --duration 3 --min-confirmed 1000 --drain 10 --metrics-out _ci_logs/tcp-smoke.prom
 run_step chaos dune exec bin/leopard_cli.exe -- chaos --fast --trace-dir _chaos
 
 echo
@@ -48,4 +65,25 @@ for i in "${!STEPS[@]}"; do
   printf 'ci-step|%s|%s|%ss\n' "${STEPS[$i]}" "${STATUSES[$i]}" "${TIMES[$i]}"
   [ "${STATUSES[$i]}" = FAIL ] && fail=1
 done
+
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+  {
+    echo "## CI gate"
+    echo
+    echo "| Step | Status | Time | Note |"
+    echo "|------|--------|-----:|------|"
+    for i in "${!STEPS[@]}"; do
+      case "${STATUSES[$i]}" in
+      PASS) icon="✅" ;;
+      FAIL) icon="❌" ;;
+      *) icon="⏭️" ;;
+      esac
+      note=${NOTES[$i]//|/\\|}
+      printf '| %s | %s %s | %ss | %s |\n' \
+        "${STEPS[$i]}" "$icon" "${STATUSES[$i]}" "${TIMES[$i]}" "$note"
+    done
+    echo
+  } >>"$GITHUB_STEP_SUMMARY"
+fi
+
 exit $fail

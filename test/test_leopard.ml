@@ -60,6 +60,29 @@ let test_deterministic_report_bytes () =
   checkb "byte-identical reports" true
     (String.equal (Marshal.to_string a []) (Marshal.to_string b []))
 
+(* Metrics are observation-only: attaching a registry must not perturb
+   the simulation in any way — the report stays byte-for-byte what the
+   unobserved run produces, while the registry still captures the run
+   (per-replica commit counters, the confirm-latency histogram). *)
+let test_metrics_do_not_perturb_report () =
+  let bare = run_spec ~seed:13L ~client_resend_timeout:(Sim_time.s 1) (small_cfg ()) in
+  let reg = Obs.Registry.create () in
+  let observed = { bare with Core.Runner.obs = Some reg } in
+  let a = Core.Runner.run bare in
+  let b = Core.Runner.run observed in
+  checkb "observed run byte-identical to bare run" true
+    (String.equal (Marshal.to_string a []) (Marshal.to_string b []));
+  let text = Obs.Registry.expose reg in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length text && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "registry saw replica commits" true (contains "leopard_replica_commits_total");
+  checkb "registry saw confirmations" true (contains "leopard_confirm_latency_ns_count");
+  checkb "confirm histogram non-empty" true
+    (not (contains "leopard_confirm_latency_ns_count 0\n"))
+
 (* Determinism under parallelism: routing the heavy crypto through an
    Exec.Pool of 1, 2 or 4 worker domains (Verify.blocking dispatch) must
    leave the report byte-for-byte what the inline run produces — the
@@ -514,6 +537,8 @@ let () =
           Alcotest.test_case "larger cluster" `Slow test_honest_larger_cluster;
           Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
           Alcotest.test_case "byte-identical reports" `Quick test_deterministic_report_bytes;
+          Alcotest.test_case "metrics observation-only (byte-identical)" `Quick
+            test_metrics_do_not_perturb_report;
           Alcotest.test_case "pool sizes 1/2/4 byte-identical" `Quick
             test_pool_size_determinism;
           Alcotest.test_case "latency breakdown" `Quick test_latency_breakdown_components;

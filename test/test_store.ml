@@ -126,6 +126,33 @@ let test_snapshot_truncates () =
       in
       checkb "pre-snapshot segments deleted" true (List.length segs <= 2))
 
+(* WAL instrumentation: appends and fsyncs land in the latency
+   histograms, rotations and snapshots bump their counters — and the
+   same registry handed to two WALs shares the (unlabeled) instruments
+   instead of raising on re-registration. *)
+let test_wal_metrics () =
+  with_dir (fun dir ->
+      let reg = Obs.Registry.create () in
+      let wal = Wal.create ~segment_bytes:256 ~fsync:Wal.Always ~obs:reg ~dir () in
+      let rs = records 80 in
+      List.iter (Wal.append wal) rs;
+      Wal.save_snapshot wal "state";
+      Wal.close wal;
+      let append_h = Obs.Registry.histogram reg "leopard_store_append_latency_ns" in
+      let fsync_h = Obs.Registry.histogram reg "leopard_store_fsync_latency_ns" in
+      let rotations = Obs.Registry.counter reg "leopard_store_rotations_total" in
+      let snapshots = Obs.Registry.counter reg "leopard_store_snapshots_total" in
+      checki "every append timed" 80 (Obs.Histogram.count append_h);
+      checkb "fsyncs timed (Always policy)" true (Obs.Histogram.count fsync_h > 0);
+      checkb "rotations counted" true (Obs.Counter.value rotations > 3);
+      checki "snapshot counted" 1 (Obs.Counter.value snapshots);
+      (* a second WAL on the same registry shares the instruments *)
+      with_dir (fun dir2 ->
+          let wal2 = Wal.create ~obs:reg ~dir:dir2 () in
+          Wal.append wal2 (record 9999);
+          Wal.close wal2;
+          checki "shared append histogram" 81 (Obs.Histogram.count append_h)))
+
 let test_reopen_starts_fresh_segment () =
   with_dir (fun dir ->
       let w1 = Wal.create ~dir () in
@@ -317,6 +344,7 @@ let () =
             test_crash_drops_unflushed;
           Alcotest.test_case "segment rotation" `Quick test_segment_rotation;
           Alcotest.test_case "snapshot truncates" `Quick test_snapshot_truncates;
+          Alcotest.test_case "metrics instruments" `Quick test_wal_metrics;
           Alcotest.test_case "reopen starts fresh segment" `Quick
             test_reopen_starts_fresh_segment ] );
       ( "recovery fuzz",

@@ -469,6 +469,60 @@ let test_tcp_cluster_survives_fault_and_reconnects () =
   checkb "ledgers agree after the fault" true (Transport.Cluster.ledgers_agree cluster);
   Transport.Cluster.close cluster
 
+(* The full four-layer metrics surface on the real stack: one short TCP
+   run with a registry attached must leave series from the consensus
+   layer (per-replica counters, a NON-empty confirm-latency histogram),
+   the transport (frames/bytes mirrors), the verify pool and the store —
+   and [--metrics-out]'s periodic dump must land on disk as the same
+   parseable exposition text. *)
+let test_tcp_cluster_metrics_all_layers () =
+  let dir = Filename.temp_file "obs_cluster" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "metrics.prom" in
+  let reg = Obs.Registry.create () in
+  let r =
+    Transport.Cluster.run ~cfg:(tcp_cfg ()) ~load:2000. ~duration:(Sim.Sim_time.s 25)
+      ~drain:(Sim.Sim_time.s 10) ~min_confirmed:1000 ~obs:reg ~metrics_out:path
+      ~metrics_interval_ns:100_000_000 ()
+  in
+  checkb "run confirmed requests" true (r.Transport.Cluster.confirmed >= 1000);
+  let text = Obs.Registry.expose reg in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length text && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun series -> checkb (series ^ " present") true (contains series))
+    [ (* consensus *)
+      "leopard_replica_commits_total";
+      "leopard_replica_datablocks_total";
+      "leopard_confirm_latency_ns_bucket";
+      "leopard_confirmed_requests_total";
+      (* transport *)
+      "leopard_transport_frames_sent_total";
+      "leopard_transport_bytes_recvd_total";
+      "leopard_transport_coalesce_ratio_x1000";
+      (* verify pool *)
+      "leopard_verify_tasks_total";
+      "leopard_verify_task_latency_ns";
+      (* store *)
+      "leopard_store_append_latency_ns";
+      "leopard_store_rotations_total" ];
+  checkb "confirm histogram non-empty" true
+    (not (contains "leopard_confirm_latency_ns_count 0\n"));
+  (* the periodic dump made it to disk and is the same exposition text
+     shape (the final dump in [close] runs after the last scrape) *)
+  checkb "dump file exists" true (Sys.file_exists path);
+  let ic = open_in_bin path in
+  let dumped = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  checkb "dump has HELP/TYPE headers" true
+    (String.length dumped > 0 && String.sub dumped 0 1 = "#");
+  Sys.remove path;
+  Unix.rmdir dir
+
 let () =
   Alcotest.run "transport"
     [ ( "frame",
@@ -499,5 +553,7 @@ let () =
       ( "tcp cluster",
         [ Alcotest.test_case "commits & state-hash agreement" `Quick
             test_tcp_cluster_commits_and_converges;
+          Alcotest.test_case "metrics cover all four layers" `Quick
+            test_tcp_cluster_metrics_all_layers;
           Alcotest.test_case "fault: kill, survive, reconnect" `Quick
             test_tcp_cluster_survives_fault_and_reconnects ] ) ]
