@@ -40,6 +40,21 @@ type row = {
   minor_words_per_frame : float;
 }
 
+(* The overload leg: sustained bursts past the sender's HWM, bulk
+   datablock frames mixed with consensus-critical ones. What it pins is
+   the kind-aware drop policy's contract under saturation — consensus
+   frames keep flowing (their throughput is the trended metric and the
+   regression gate), and the gate additionally fails hard on any
+   consensus-kind backpressure drop, baseline or not. *)
+type overload_row = {
+  o_n : int;
+  o_wall_s : float;
+  consensus_frames : int;     (* consensus frames delivered end-to-end *)
+  consensus_frames_per_s : float;
+  consensus_drops : int;      (* backpressure drops on consensus kinds *)
+  bulk_drop_ratio : float;    (* dropped bulk frames / offered bulk frames *)
+}
+
 let baseline_file = "BENCH_net.json"
 let regression_factor = 2.0
 let chunk = 256 (* multicasts per batch; bounded well below the HWM *)
@@ -134,15 +149,108 @@ let run_one ~fast n =
 let ns = [ 4; 16; 64 ]
 
 (* ------------------------------------------------------------------ *)
+(* The overload leg                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Small on purpose: a 64 KiB HWM makes saturation reachable with modest
+   bursts, so the drop policy (not the kernel) is what's measured. *)
+let overload_hwm = 64 * 1024
+
+let run_overload ~fast n =
+  let loop = Transport.Loop.create () in
+  let pool = Transport.Pool.create () in
+  let consensus_recvd = ref 0 in
+  let on_msg ~src:_ m =
+    match Core.Msg.kind_priority (Core.Msg.kind m) with
+    | Net.Nic.High -> incr consensus_recvd
+    | Net.Nic.Low -> ()
+  in
+  let sender =
+    Transport.Conn.create ~loop ~id:0 ~pool ~outbuf_hwm:overload_hwm ~on_msg ()
+  in
+  let receivers =
+    Array.init (n - 1) (fun i ->
+        Transport.Conn.create ~loop ~id:(i + 1) ~pool ~on_msg ())
+  in
+  Array.iteri
+    (fun i r ->
+      let port = Transport.Conn.listen r () in
+      Transport.Conn.set_peer_addr sender (i + 1)
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, port)))
+    receivers;
+  (* Bulk: fat datablocks (~1.1 KiB framed) whose burst overflows the
+     HWM every round. Consensus: small Fetch frames, bursts well inside
+     the reserved headroom — so by construction the policy must deliver
+     every one of them, and the gate holds it to that. *)
+  let rng = Sim.Rng.create 0xBEADL in
+  let _pk, sk = Crypto.Signature.keygen rng in
+  let bulk_msg =
+    Core.Msg.Datablock_msg
+      (Core.Datablock.create ~sk ~creator:0 ~counter:1 ~now:0L
+         (List.init 50 (fun i ->
+              Workload.Request.make ~id:i ~count:4 ~size_each:64 ~born:0L ())))
+  in
+  let bulk_burst = 100 (* ~115 KiB enqueued per peer: past the HWM *) in
+  let consensus_burst = 256 (* ~12 KiB: inside the headroom *) in
+  let consensus_msgs =
+    Array.init consensus_burst (fun i ->
+        Core.Msg.Fetch { hash = Crypto.Hash.of_string (string_of_int i) })
+  in
+  let bulk_offered = ref 0 in
+  let batch () =
+    for _ = 1 to bulk_burst do
+      Transport.Conn.multicast sender ~n bulk_msg;
+      bulk_offered := !bulk_offered + (n - 1)
+    done;
+    let target = !consensus_recvd + (consensus_burst * (n - 1)) in
+    Array.iter (fun m -> Transport.Conn.multicast sender ~n m) consensus_msgs;
+    let limit = Transport.Loop.now_ns loop + 20_000_000_000 in
+    Transport.Loop.run_while loop (fun () ->
+        !consensus_recvd < target && Transport.Loop.now_ns loop < limit);
+    if !consensus_recvd < target then
+      failwith "net bench overload: consensus delivery stalled"
+  in
+  for _ = 1 to 4 do
+    batch ()
+  done;
+  let window = if fast then 0.3 else 1.0 in
+  let recv0 = !consensus_recvd in
+  let wall0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. wall0 < window do
+    batch ()
+  done;
+  let wall_s = Unix.gettimeofday () -. wall0 in
+  let consensus_frames = !consensus_recvd - recv0 in
+  let bulk_drops = Transport.Conn.dropped_by_kind sender Core.Msg.K_datablock in
+  let consensus_drops =
+    Transport.Conn.dropped_backpressure sender
+    - bulk_drops
+    - Transport.Conn.dropped_by_kind sender Core.Msg.K_fetch_reply
+  in
+  let offered = !bulk_offered in
+  Transport.Conn.close sender;
+  Array.iter Transport.Conn.close receivers;
+  { o_n = n;
+    o_wall_s = wall_s;
+    consensus_frames;
+    consensus_frames_per_s =
+      (if wall_s <= 0. then 0. else float_of_int consensus_frames /. wall_s);
+    consensus_drops;
+    bulk_drop_ratio =
+      (if offered = 0 then 0. else float_of_int bulk_drops /. float_of_int offered) }
+
+let overload_ns = [ 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* JSON baseline (same line-per-entry shape as BENCH_sim.json)          *)
 (* ------------------------------------------------------------------ *)
 
-let write_baseline path rows =
+let write_baseline path rows orows =
   let oc = open_out path in
   output_string oc "{\n";
   output_string oc "  \"generated_by\": \"dune exec bench/main.exe -- --only net\",\n";
   output_string oc "  \"benchmarks\": [\n";
-  let count = List.length rows in
+  let count = List.length rows + List.length orows in
   List.iteri
     (fun i r ->
       Printf.fprintf oc
@@ -153,6 +261,16 @@ let write_baseline path rows =
         r.minor_words_per_frame
         (if i = count - 1 then "" else ","))
     rows;
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"leg\": \"overload\", \"n\": %d, \"wall_s\": %.2f, \
+         \"consensus_frames\": %d, \"consensus_frames_per_s\": %.0f, \
+         \"consensus_drops\": %d, \"bulk_drop_ratio\": %.3f}%s\n"
+        r.o_n r.o_wall_s r.consensus_frames r.consensus_frames_per_s
+        r.consensus_drops r.bulk_drop_ratio
+        (if List.length rows + i = count - 1 then "" else ","))
+    orows;
   output_string oc "  ]\n}\n";
   close_out oc
 
@@ -165,6 +283,7 @@ let read_baseline path =
   else begin
     let ic = open_in path in
     let entries = ref [] in
+    let oentries = ref [] in
     (try
        while true do
          let line = String.trim (input_line ic) in
@@ -184,11 +303,23 @@ let read_baseline path =
                  minor_words_per_frame })
          with
          | Some r -> entries := r :: !entries
-         | None -> ()
+         | None -> (
+           match
+             sscanf_opt line
+               "{\"leg\": \"overload\", \"n\": %d, \"wall_s\": %f, \
+                \"consensus_frames\": %d, \"consensus_frames_per_s\": %f, \
+                \"consensus_drops\": %d, \"bulk_drop_ratio\": %f}"
+               (fun o_n o_wall_s consensus_frames consensus_frames_per_s
+                    consensus_drops bulk_drop_ratio ->
+                 { o_n; o_wall_s; consensus_frames; consensus_frames_per_s;
+                   consensus_drops; bulk_drop_ratio })
+           with
+           | Some r -> oentries := r :: !oentries
+           | None -> ())
        done
      with End_of_file -> ());
     close_in ic;
-    Some (List.rev !entries)
+    Some (List.rev !entries, List.rev !oentries)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -212,6 +343,41 @@ let render rows =
     ~headers:
       [ "n"; "wall s"; "frames"; "frames/s"; "writes/frame"; "reads/frame"; "words/frame" ]
     fmt_rows
+
+(* The overload gate is two-headed: any consensus-kind backpressure drop
+   fails outright (the policy's invariant, not a relative measure), and
+   delivered consensus throughput gates 2x against the baseline like the
+   other legs. *)
+let check_overload ~baseline orows =
+  let failures =
+    List.concat_map
+      (fun r ->
+        let invariant =
+          if r.consensus_drops > 0 then
+            [ Printf.sprintf
+                "overload n=%d: %d consensus-kind frames dropped under backpressure \
+                 (must be 0)"
+                r.o_n r.consensus_drops ]
+          else []
+        in
+        let slower =
+          match List.find_opt (fun b -> b.o_n = r.o_n) baseline with
+          | Some b
+            when r.consensus_frames_per_s > 0.
+                 && b.consensus_frames_per_s
+                    > regression_factor *. r.consensus_frames_per_s ->
+            [ Printf.sprintf
+                "overload n=%d consensus_frames_per_s: %.0f vs baseline %.0f (%.1fx \
+                 slower)"
+                r.o_n r.consensus_frames_per_s b.consensus_frames_per_s
+                (b.consensus_frames_per_s /. r.consensus_frames_per_s) ]
+          | _ -> []
+        in
+        invariant @ slower)
+      orows
+  in
+  List.iter (fun f -> Harness.say "REGRESSION %s" f) failures;
+  failures = []
 
 let check_regressions ~baseline rows =
   let failures =
@@ -267,17 +433,33 @@ let run ~fast ~check =
         r)
       ns
   in
+  let orows =
+    List.map
+      (fun n ->
+        let r = run_overload ~fast n in
+        Harness.say
+          "  overload n=%-3d %7d consensus frames in %.2fs (%.0fk/s, %d consensus \
+           drops, %.0f%% bulk dropped)"
+          n r.consensus_frames r.o_wall_s
+          (r.consensus_frames_per_s /. 1e3)
+          r.consensus_drops (r.bulk_drop_ratio *. 100.);
+        r)
+      overload_ns
+  in
   Harness.say "";
   Harness.say "%s" (render rows);
   Harness.say "";
   if check then begin
     match read_baseline baseline_file with
-    | None | Some [] ->
+    | None | Some ([], _) ->
       Harness.say "no baseline %s found; writing a fresh one" baseline_file;
-      write_baseline baseline_file rows
-    | Some baseline -> if not (check_regressions ~baseline rows) then exit 1
+      write_baseline baseline_file rows orows
+    | Some (baseline, obaseline) ->
+      let ok_rows = check_regressions ~baseline rows in
+      let ok_overload = check_overload ~baseline:obaseline orows in
+      if not (ok_rows && ok_overload) then exit 1
   end
   else begin
-    write_baseline baseline_file rows;
+    write_baseline baseline_file rows orows;
     Harness.say "baseline written to %s" baseline_file
   end

@@ -39,10 +39,10 @@ let pp_bandwidth_view title (v : Core.Runner.bandwidth_view) =
     (fun (cat, bytes) -> Format.printf "    recv %-12s %.2f MB@." cat (float_of_int bytes /. 1e6))
     v.Core.Runner.received_by_category
 
-let leopard_run n load duration warmup alpha bft_size payload silent stop_leader resend gst seed
-    bandwidth_mbps db_timeout prop_timeout trace_out metrics_out verbose =
+let leopard_run n load duration warmup alpha bft_size payload mempool_cap silent stop_leader
+    resend gst seed bandwidth_mbps db_timeout prop_timeout trace_out metrics_out verbose =
   let cfg =
-    Core.Config.make ~n ?alpha ?bft_size ~payload
+    Core.Config.make ~n ?alpha ?bft_size ~payload ~mempool_cap
       ~datablock_timeout:(span_of_sec db_timeout) ~proposal_timeout:(span_of_sec prop_timeout) ()
   in
   let link =
@@ -98,11 +98,12 @@ let leopard_run n load duration warmup alpha bft_size payload silent stop_leader
 
 (* ---------------- local-cluster (real TCP) ---------------- *)
 
-let local_cluster_run n load duration drain alpha bft_size payload db_timeout prop_timeout
-    min_confirmed kill kill_at revive_at verify_domains data_dir fsync trace_out metrics_out
-    metrics_interval_ns =
+let local_cluster_run n load client_rate duration drain alpha bft_size payload mempool_cap
+    db_timeout prop_timeout min_confirmed kill kill_at revive_at verify_domains data_dir fsync
+    trace_out metrics_out metrics_interval_ns =
+  let load = Option.value client_rate ~default:load in
   let cfg =
-    Core.Config.make ~n ~alpha ~bft_size ~payload
+    Core.Config.make ~n ~alpha ~bft_size ~payload ~mempool_cap
       ~datablock_timeout:(span_of_sec db_timeout)
       ~proposal_timeout:(span_of_sec prop_timeout) ()
   in
@@ -314,6 +315,12 @@ let metrics_interval_arg =
   Arg.(value & opt int 1_000_000_000
        & info [ "metrics-interval-ns" ]
            ~doc:"Nanoseconds between periodic metrics dumps (wall-clock runs; default 1s).")
+let mempool_cap_arg =
+  Arg.(value & opt int 0
+       & info [ "mempool-cap" ]
+           ~doc:
+             "Bound each replica's mempool to this many pending requests; submits past the \
+              bound are rejected at admission (0 = unbounded, the default).")
 
 let run_cmd =
   let alpha = Arg.(value & opt (some int) None & info [ "alpha" ] ~doc:"Datablock size, requests.") in
@@ -344,12 +351,21 @@ let run_cmd =
     Term.(
       ret
         (const leopard_run $ n_arg $ load_arg $ duration_arg $ warmup_arg $ alpha $ bft_size
-        $ payload_arg $ silent $ stop_leader $ resend $ gst $ seed_arg $ bw_arg $ db_timeout
-        $ prop_timeout $ trace_out_arg $ metrics_out_arg $ verbose))
+        $ payload_arg $ mempool_cap_arg $ silent $ stop_leader $ resend $ gst $ seed_arg
+        $ bw_arg $ db_timeout $ prop_timeout $ trace_out_arg $ metrics_out_arg $ verbose))
 
 let local_cluster_cmd =
   let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of replicas (3f+1).") in
   let load = Arg.(value & opt float 2000. & info [ "load" ] ~doc:"Offered load, requests/s.") in
+  let client_rate =
+    Arg.(value & opt (some float) None
+         & info [ "client-rate" ]
+             ~doc:
+               "Client request rate, requests/s (overrides $(b,--load)). With \
+                $(b,--mempool-cap) set, the built-in client runs closed/open hybrid: \
+                rejected submits are re-credited and retried after a cooldown instead of \
+                being force-fed.")
+  in
   let duration = Arg.(value & opt float 5. & info [ "duration" ] ~doc:"Load window, wall seconds.") in
   let drain =
     Arg.(value & opt float 10.
@@ -407,10 +423,10 @@ let local_cluster_cmd =
        ~doc:"Run replicas over real loopback TCP sockets (the deployable transport stack)")
     Term.(
       ret
-        (const local_cluster_run $ n $ load $ duration $ drain $ alpha $ bft_size $ payload_arg
-        $ db_timeout $ prop_timeout $ min_confirmed $ kill $ kill_at $ revive_at
-        $ verify_domains $ data_dir $ fsync $ trace_out_arg $ metrics_out_arg
-        $ metrics_interval_arg))
+        (const local_cluster_run $ n $ load $ client_rate $ duration $ drain $ alpha $ bft_size
+        $ payload_arg $ mempool_cap_arg $ db_timeout $ prop_timeout $ min_confirmed $ kill
+        $ kill_at $ revive_at $ verify_domains $ data_dir $ fsync $ trace_out_arg
+        $ metrics_out_arg $ metrics_interval_arg))
 
 let chaos_cmd =
   let list_only =

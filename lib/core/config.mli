@@ -43,6 +43,17 @@ type t = {
       (** §4.3 remark: two different datablocks under one counter are
           publicly verifiable evidence; with this on, replicas "kick
           out" the equivocator — all its future datablocks are ignored *)
+  mempool_cap : int;
+      (** admission bound on pending mempool requests; submissions past
+          it are rejected with an explicit verdict (0 = unbounded, the
+          seed behaviour) *)
+  mempool_max_age : Sim.Sim_time.span;
+      (** evict unconfirmed batches older than this from the mempool —
+          a stalled consumer cannot pin memory forever (0 disables) *)
+  pace_on_pressure : bool;
+      (** leader/packer pacing: defer datablock production while the
+          transport's egress queues sit at or above their high-water
+          mark, instead of batching blindly into a saturated NIC *)
 }
 
 val make :
@@ -63,12 +74,17 @@ val make :
   ?priority_channels:bool ->
   ?leader_generates_datablocks:bool ->
   ?punish_equivocators:bool ->
+  ?mempool_cap:int ->
+  ?mempool_max_age:Sim.Sim_time.span ->
+  ?pace_on_pressure:bool ->
   unit ->
   t
 (** Defaults: batch sizes from {!paper_batch_sizes}, [k = 32], checkpoint
     every [k/2], 128-byte payload, [s = 1], partial-pack and short-timer
     disabled (pure Algorithm 1: datablocks carry exactly ≥ α requests),
-    4 s view timeout, paper cost model, 4 cores.
+    4 s view timeout, paper cost model, 4 cores. All overload controls
+    ([mempool_cap], [mempool_max_age], [pace_on_pressure]) default to
+    off, preserving the unbounded open-loop seed behaviour.
     Requires [n >= 4]. Raises [Invalid_argument] otherwise. *)
 
 val paper_batch_sizes : n:int -> int * int

@@ -44,7 +44,12 @@ let header_encoding h =
   Printf.sprintf "dbhdr:%d:%d:%s" h.creator h.counter (Crypto.Hash.raw h.digest)
 
 let of_wire ~creator ~counter ~digest ~created_at ~signature batches =
-  assert (batches <> []);
+  (* Typed error, not an assert: this constructor sits behind the wire
+     decode path, and a malformed frame must never be able to kill the
+     process. [Codec.r_datablock] rejects empty batch lists before
+     calling here, so over the wire this raise is unreachable; direct
+     callers get a catchable [Invalid_argument]. *)
+  if batches = [] then invalid_arg "Datablock.of_wire: empty batch list";
   let header = { creator; counter; digest } in
   { header;
     batches;
@@ -79,11 +84,11 @@ let make_with_digest ~sk ~creator ~counter ~now ~digest batches =
     batches
 
 let create ~sk ~creator ~counter ~now batches =
-  assert (batches <> []);
+  if batches = [] then invalid_arg "Datablock.create: empty batch list";
   make_with_digest ~sk ~creator ~counter ~now ~digest:(digest_of_batches batches) batches
 
 let forge_with_bad_digest ~sk ~creator ~counter ~now batches =
-  assert (batches <> []);
+  if batches = [] then invalid_arg "Datablock.forge_with_bad_digest: empty batch list";
   make_with_digest ~sk ~creator ~counter ~now
     ~digest:(Crypto.Hash.of_string "bogus digest") batches
 
@@ -94,7 +99,7 @@ let tamper t =
       Workload.Request.make ~id:(b.Workload.Request.id + 0x2000000) ~count:b.count
         ~size_each:b.size_each ~born:b.born ()
       :: rest
-    | [] -> assert false
+    | [] -> invalid_arg "Datablock.tamper: datablock has no batches"
   in
   of_wire ~creator:t.header.creator ~counter:t.header.counter ~digest:t.header.digest
     ~created_at:t.created_at ~signature:t.signature batches

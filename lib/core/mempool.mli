@@ -3,13 +3,47 @@
     Non-leader replicas continually drain their mempool into datablocks
     (Algorithm 1). Packed batches are removed to avoid repetition (line
     12); batches confirmed elsewhere (possible when the client fan-out
-    [s > 1]) are skipped lazily. *)
+    [s > 1]) are skipped lazily.
+
+    The pool can be bounded: with a capacity, {!try_add} renders an
+    explicit admission verdict instead of growing without limit, and
+    with a maximum age, {!evict_expired} sheds batches a stalled
+    consumer will never pack. Both default to off, in which case the
+    pool behaves exactly like the original unbounded queue. *)
+
+type reject_reason =
+  | Mempool_full  (** the admission bound would be exceeded *)
+  | Inactive      (** the replica is crashed or silent *)
+
+val reject_reason_name : reject_reason -> string
+(** Stable lower-snake label for metrics and logs. *)
+
+type admission = Admitted | Rejected of reject_reason
+(** Verdict rendered to the submitting client. *)
 
 type t
 
-val create : unit -> t
+val create : ?cap:int -> ?max_age:Sim.Sim_time.span -> unit -> t
+(** [cap] bounds the pending request count admitted through {!try_add}
+    (0, the default, disables the bound); [max_age] is the eviction age
+    used by {!evict_expired} (0 disables). *)
+
+val cap : t -> int
+(** The admission bound this pool was created with (0 = unbounded). *)
 
 val add : t -> Workload.Request.t -> unit
+(** Unconditional enqueue, bypassing the cap — for internal re-enqueue
+    of batches already admitted once. *)
+
+val try_add : t -> Workload.Request.t -> admission
+(** Admission-checked enqueue: [Rejected Mempool_full] when a capacity
+    is set and admitting the batch would push the pending count past
+    it; otherwise enqueues and returns [Admitted]. *)
+
+val evict_expired : t -> now:Sim.Sim_time.t -> int
+(** Drops unconfirmed batches older than the pool's [max_age] (a FIFO
+    prefix) and returns the number of requests evicted. With no
+    [max_age] configured this is a no-op returning 0. *)
 
 val pending_requests : t -> int
 (** Requests currently poolable (confirmed batches may still be counted
@@ -21,7 +55,8 @@ val take : t -> target:int -> Workload.Request.t list
 (** [take t ~target] removes and returns whole batches totalling at least
     [target] requests when available, fewer (possibly none) otherwise —
     FIFO order, skipping already-confirmed batches. The result may
-    overshoot [target] by at most the last batch's size. *)
+    overshoot [target] by at most the last batch's size. A non-positive
+    [target] takes nothing. *)
 
 val has_at_least : t -> int -> bool
 (** Whether a [take ~target] would reach its target. *)

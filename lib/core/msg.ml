@@ -205,6 +205,35 @@ let all_kinds =
 
 let kind_of_name name = List.find_opt (fun k -> kind_name k = name) all_kinds
 
+let num_kinds = List.length all_kinds
+
+(* Dense index into per-kind counter arrays (transport drop accounting);
+   follows the [all_kinds] order. *)
+let kind_index = function
+  | K_datablock -> 0
+  | K_propose -> 1
+  | K_prepare_vote -> 2
+  | K_notarization -> 3
+  | K_commit_vote -> 4
+  | K_confirmation -> 5
+  | K_checkpoint_vote -> 6
+  | K_checkpoint_cert -> 7
+  | K_timeout -> 8
+  | K_view_change -> 9
+  | K_new_view -> 10
+  | K_fetch -> 11
+  | K_fetch_reply -> 12
+
+(* Channel class by kind alone — must agree with [priority] below, which
+   the byte-identical sim plane keeps using; the transport's kind-aware
+   drop policy classifies already-encoded frames with this. *)
+let kind_priority = function
+  | K_datablock | K_fetch_reply -> Net.Nic.Low
+  | K_propose | K_prepare_vote | K_notarization | K_commit_vote | K_confirmation
+  | K_checkpoint_vote | K_checkpoint_cert | K_timeout | K_view_change | K_new_view
+  | K_fetch ->
+    Net.Nic.High
+
 let category = function
   | Datablock_msg _ | Fetch_reply _ -> "datablock"
   | Propose _ -> "proposal"

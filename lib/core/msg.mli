@@ -119,6 +119,18 @@ val kind_name : kind -> string
 val kind_of_name : string -> kind option
 val all_kinds : kind list
 
+val num_kinds : int
+(** [List.length all_kinds]. *)
+
+val kind_index : kind -> int
+(** Dense index in [0, num_kinds) following the {!all_kinds} order, for
+    per-kind counter arrays. *)
+
+val kind_priority : kind -> Net.Nic.priority
+(** Channel class by kind alone: [Low] for bulk data
+    ([K_datablock], [K_fetch_reply]), [High] for everything
+    consensus-critical. Agrees with {!priority} on every message. *)
+
 (** {2 Network metadata} *)
 
 val wire_size : t -> int

@@ -59,6 +59,8 @@ type metrics = {
   vc_triggers : Obs.Counter.t;
   equivocations : Obs.Counter.t;
   checkpoints : Obs.Counter.t;
+  submit_rejected : Obs.Counter.t;
+  mempool_evicted : Obs.Counter.t;
 }
 
 type t = {
@@ -113,9 +115,13 @@ type t = {
   mutable last_partial_pack : Sim_time.t;
   mutable last_partial_propose : Sim_time.t;
   punished : (Net.Node_id.t, unit) Hashtbl.t;  (* kicked-out equivocators *)
+  (* overload accounting (plain ints: readable without a registry) *)
+  mutable submits_rejected : int;   (* requests refused at admission *)
+  mutable mempool_evictions : int;  (* requests shed by age eviction *)
 }
 
 let bump t sel = match t.ms with Some m -> Obs.Counter.incr (sel m) | None -> ()
+let bump_by t sel k = match t.ms with Some m -> Obs.Counter.add (sel m) k | None -> ()
 
 let id t = t.id
 let view t = t.view
@@ -123,6 +129,8 @@ let low_watermark t = t.lw
 let ledger t = t.ledger
 let state_hash t = t.state_hash
 let mempool_pending t = Mempool.pending_requests t.mempool
+let submits_rejected t = t.submits_rejected
+let mempool_evictions t = t.mempool_evictions
 let pool t = t.pool
 let datablocks_created t = t.db_counter - 1
 let in_view_change t = t.in_view_change
@@ -322,8 +330,17 @@ let equivocate_datablocks t batches_a batches_b =
   done;
   tracef t "datablock.equivocated" "counter=%d" counter
 
+(* Pacing gate: with [pace_on_pressure] on, datablock production defers
+   while the transport's egress queues sit at/above their high-water mark
+   — packing into a saturated NIC only converts mempool backlog into
+   dropped frames. [pack_tick] retries once the pressure clears. The
+   pressure probe is short-circuited away entirely when pacing is off,
+   so default-config runs never consult the platform. *)
+let paced t = t.cfg.pace_on_pressure && t.platform.Platform.pressure () >= 1.0
+
 let maybe_pack t =
-  if active t && ((not (is_leader t)) || t.cfg.leader_generates_datablocks) then
+  if active t && ((not (is_leader t)) || t.cfg.leader_generates_datablocks) && not (paced t)
+  then
     match t.strategy with
     | Byzantine.Censor -> () (* holds requests back; clients must re-send *)
     | Byzantine.Equivocate_datablocks ->
@@ -724,7 +741,12 @@ let try_vote_prepare t (msg : Msg.t) =
         end
       end
     end
-  | _ -> assert false
+  | msg ->
+    (* Only proposals reach this validator from [handle] and
+       [retry_waiting_proposals]; anything else is a dispatch bug or a
+       malformed replay — ignore it rather than kill the replica (an
+       attacker-reachable panic is a one-message crash fault). *)
+    tracef t "vote.unexpected" "%s" (Msg.kind_name (Msg.kind msg))
 
 (* Would [retry_waiting_proposals] act on this entry right now? Must stay
    in lockstep with the retry body below; pulled out so the hot no-op scan
@@ -955,9 +977,18 @@ let enter_view t ~nv_view ~vcs =
   retry_waiting_proposals t;
   if is_leader t then begin
     (* The new leader stops producing datablocks; flush its mempool so
-       pending requests it was responsible for are not stranded. *)
+       pending requests it was responsible for are not stranded. With an
+       admission bound configured, the flush is capped at that bound —
+       an unbounded [max_int] take here would convert an overloaded
+       demoted leader's whole backlog into one giant datablock burst
+       into the brand-new view. The remainder stays queued and drains
+       through the normal packing path (pack_tick keeps running; this
+       replica no longer packs as leader, but its clients re-send and
+       the watchdog covers stranded batches). *)
     if not (Mempool.is_empty t.mempool) then begin
-      let batches = Mempool.take t.mempool ~target:max_int in
+      let cap = Mempool.cap t.mempool in
+      let target = if cap > 0 then cap else max_int in
+      let batches = Mempool.take t.mempool ~target in
       if batches <> [] then sign_and_send_datablock t batches
     end;
     t.next_sn <- max t.next_sn (max_sn + 1);
@@ -1389,15 +1420,33 @@ let handle t ~src (msg : Msg.t) =
 (* Construction                                                       *)
 (* ----------------------------------------------------------------- *)
 
+(* Admission verdicts surfaced to the submitting client (both planes). *)
+type reject_reason = Mempool.reject_reason = Mempool_full | Inactive
+type admission = Mempool.admission = Admitted | Rejected of reject_reason
+
 let submit t batch =
-  if active t then begin
-    Mempool.add t.mempool batch;
-    if batch.Workload.Request.resend then watch_request t batch;
-    maybe_pack t
-  end
+  if not (active t) then Rejected Inactive
+  else
+    match Mempool.try_add t.mempool batch with
+    | Mempool.Admitted ->
+      if batch.Workload.Request.resend then watch_request t batch;
+      maybe_pack t;
+      Admitted
+    | Mempool.Rejected reason ->
+      let count = batch.Workload.Request.count in
+      t.submits_rejected <- t.submits_rejected + count;
+      bump_by t (fun m -> m.submit_rejected) count;
+      Rejected reason
 
 let rec pack_tick t =
   if active t then begin
+    (if Int64.compare t.cfg.mempool_max_age 0L > 0 then
+       let evicted = Mempool.evict_expired t.mempool ~now:(now t) in
+       if evicted > 0 then begin
+         t.mempool_evictions <- t.mempool_evictions + evicted;
+         bump_by t (fun m -> m.mempool_evicted) evicted;
+         tracef t "mempool.evicted" "%d requests past max age" evicted
+       end);
     maybe_pack t;
     watchdog_check t;
     (* The leader's short-timer (partial proposals) also needs a periodic
@@ -1442,7 +1491,13 @@ let create ~platform ~cfg ~id ~sk ~pks ~tsetup ~tkey ?obs ?(strategy = Byzantine
           vc_triggers = c "leopard_replica_vc_triggers_total" "view changes triggered";
           equivocations =
             c "leopard_replica_equivocation_witness_total" "equivocations witnessed";
-          checkpoints = c "leopard_replica_checkpoints_total" "checkpoint certs advanced lw" })
+          checkpoints = c "leopard_replica_checkpoints_total" "checkpoint certs advanced lw";
+          submit_rejected =
+            c "leopard_replica_submit_rejected_total"
+              "client requests refused at mempool admission";
+          mempool_evicted =
+            c "leopard_replica_mempool_evicted_total"
+              "mempool requests shed by age eviction" })
       obs
   in
   let t =
@@ -1457,7 +1512,8 @@ let create ~platform ~cfg ~id ~sk ~pks ~tsetup ~tkey ?obs ?(strategy = Byzantine
       strategy;
       hooks;
       trace;
-      mempool = Mempool.create ();
+      mempool =
+        Mempool.create ~cap:cfg.Config.mempool_cap ~max_age:cfg.Config.mempool_max_age ();
       pool = Datablock_pool.create ();
       instances = Hashtbl.create 64;
       ledger = Ledger.create ();
@@ -1486,7 +1542,9 @@ let create ~platform ~cfg ~id ~sk ~pks ~tsetup ~tkey ?obs ?(strategy = Byzantine
       recovering = false;
       last_partial_pack = Sim_time.zero;
       last_partial_propose = Sim_time.zero;
-      punished = Hashtbl.create 4 }
+      punished = Hashtbl.create 4;
+      submits_rejected = 0;
+      mempool_evictions = 0 }
   in
   platform.Platform.set_handler (fun ~src msg -> handle t ~src msg);
   t

@@ -95,10 +95,19 @@ val recover :
     without ever equivocating. With {!Store.null} attached this is
     exactly [create]. *)
 
-val submit : t -> Workload.Request.t -> unit
-(** A client request batch has arrived (post ingress). Re-send-tagged
-    batches are watched: if unconfirmed after the view timeout, the
-    replica votes to change the view (§4.3, view-change trigger). *)
+type reject_reason = Mempool.reject_reason = Mempool_full | Inactive
+type admission = Mempool.admission = Admitted | Rejected of reject_reason
+
+val submit : t -> Workload.Request.t -> admission
+(** A client request batch has arrived (post ingress). Renders an
+    explicit admission verdict: [Rejected Mempool_full] when the
+    configured mempool capacity would be exceeded (clients should back
+    off and retry), [Rejected Inactive] when the replica is crashed or
+    silent, [Admitted] otherwise. With no capacity configured
+    ([mempool_cap = 0]) an active replica always admits — the seed
+    behaviour. Re-send-tagged admitted batches are watched: if
+    unconfirmed after the view timeout, the replica votes to change the
+    view (§4.3, view-change trigger). *)
 
 (** {2 Introspection (tests, metrics, debugging)} *)
 
@@ -109,6 +118,15 @@ val low_watermark : t -> int
 val ledger : t -> Ledger.t
 val state_hash : t -> Crypto.Hash.t
 val mempool_pending : t -> int
+
+val submits_rejected : t -> int
+(** Requests refused at mempool admission since this replica was built
+    (mirrored to [leopard_replica_submit_rejected_total]). *)
+
+val mempool_evictions : t -> int
+(** Requests shed by age-based mempool eviction (mirrored to
+    [leopard_replica_mempool_evicted_total]). *)
+
 val pool : t -> Datablock_pool.t
 val datablocks_created : t -> int
 val in_view_change : t -> bool

@@ -278,7 +278,8 @@ let resend_batch t (b : Workload.Request.t) =
   List.iter
     (fun dst ->
       Net.Network.inject t.network ~dst ~size:(Workload.Request.wire_bytes copy)
-        ~category:"client-req" (fun () -> Replica.submit t.replicas.(dst) copy))
+        ~category:"client-req" (fun () ->
+          ignore (Replica.submit t.replicas.(dst) copy : Replica.admission)))
     targets
 
 let schedule_resends t timeout =
@@ -387,7 +388,9 @@ let create sp =
        mu-chosen replicas; the shared confirmation ref dedups counting. *)
     let fanned : (int, unit) Hashtbl.t = Hashtbl.create 64 in
     let submit ~target b =
-      Replica.submit replicas.(target) b;
+      (* The sim client stays open-loop: verdicts are rendered but not
+         acted on (an overload scenario's oracle reads the counters). *)
+      ignore (Replica.submit replicas.(target) b : Replica.admission);
       if cfg.Config.s > 1 && (not b.Workload.Request.resend) && not (Hashtbl.mem fanned b.Workload.Request.id)
       then begin
         Hashtbl.add fanned b.Workload.Request.id ();
@@ -396,7 +399,7 @@ let create sp =
         |> List.iter (fun dst ->
                if not (Net.Node_id.equal dst target) then
                  inject ~dst ~size:(Workload.Request.wire_bytes b) (fun () ->
-                     Replica.submit replicas.(dst) b))
+                     ignore (Replica.submit replicas.(dst) b : Replica.admission)))
       end
     in
     Workload.Generator.start engine ~rate:sp.load ~payload:cfg.Config.payload ~targets ~tick

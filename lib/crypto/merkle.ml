@@ -64,7 +64,10 @@ let prove leaves i =
   else begin
     let rec go nodes idx acc =
       match nodes with
-      | [] -> assert false
+      (* Total: [go] starts with >= 1 node (the index range check above
+         guarantees non-empty leaves) and pairing never empties a level,
+         but a defensive total match beats a process-killing assert. *)
+      | [] -> List.rev acc
       | [ _ ] -> List.rev acc
       | _ ->
         let arr = Array.of_list nodes in

@@ -133,6 +133,30 @@ let restart_storm ~n =
       (List.mapi (fun i id -> ev (ms (3000 + (500 * i))) (Restart id)) victims)
     ~settle:(s 12) ~expect:expect_no_double_vote ()
 
+(* No fault events: the sustained overload *is* the fault. Every
+   replica's mempool is admission-bounded well below what the offered
+   rate would accumulate; the oracle's standing safety and liveness
+   checks assert that commits keep flowing while admission sheds the
+   excess (rejections are counted, not fatal). *)
+let overload_burst ~n =
+  make ~name:"overload-burst"
+    ~summary:"~10x sustained load against a small admission cap; mempools stay bounded, commits continue"
+    ~n ~mempool_cap:512 ~load:8000.
+    ~settle:(s 10) ()
+
+(* One slow non-leader consumer: everything sent to it arrives late, so
+   sender-side queues toward it stay hot. The quorum must keep
+   confirming through the laggard window and after the heal — on the
+   TCP plane the kind-aware egress policy keeps consensus frames
+   flowing while bulk datablocks absorb any drops. *)
+let slow_peer ~n =
+  let victim = List.hd (non_leaders n) in
+  make ~name:"slow-peer"
+    ~summary:"all traffic to one non-leader delayed 300 ms; the quorum stays live"
+    ~n
+    ~events:[ ev (s 2) (Delay (rule ~dst:victim (), ms 300)); ev (s 8) Heal ]
+    ~settle:(s 10) ()
+
 let all =
   [ (fun ~n -> leader_crash ~n);
     (fun ~n -> leader_crash_checkpoint ~n);
@@ -146,7 +170,9 @@ let all =
     (fun ~n -> leader_restart ~n);
     (fun ~n -> restart_checkpoint ~n);
     (fun ~n -> restart_torn_tail ~n);
-    (fun ~n -> restart_storm ~n) ]
+    (fun ~n -> restart_storm ~n);
+    (fun ~n -> overload_burst ~n);
+    (fun ~n -> slow_peer ~n) ]
 
 let names = List.map (fun b -> (b ~n:4).name) all
 

@@ -17,7 +17,13 @@
     mid-serial, a replica restarted while checkpoints truncate its log,
     a restart from a torn WAL tail, and a back-to-back restart storm of
     [f] replicas. All but the torn-tail case assert the no-double-vote
-    oracle. *)
+    oracle.
+
+    The overload pair exercises the overload-control plane: a sustained
+    ~10x load burst against a small admission cap (no fault events —
+    the load is the fault) and a slow peer whose inbound link lags by
+    300 ms. Both assert the standing safety and liveness checks: the
+    cluster sheds excess at admission and keeps committing. *)
 
 val leader : Net.Node_id.t
 (** The initial leader (view 1): replica [1]. *)
@@ -44,3 +50,5 @@ val leader_restart : n:int -> Scenario.t
 val restart_checkpoint : n:int -> Scenario.t
 val restart_torn_tail : n:int -> Scenario.t
 val restart_storm : n:int -> Scenario.t
+val overload_burst : n:int -> Scenario.t
+val slow_peer : n:int -> Scenario.t

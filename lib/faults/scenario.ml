@@ -39,6 +39,8 @@ type t = {
   byzantine : (Net.Node_id.t * Core.Byzantine.t) list;
   leader_generates : bool;
   checkpoint_interval : int option;
+  mempool_cap : int option;
+  load : float option;
   torn_tail : (Net.Node_id.t * int) list;
   events : event list;
   settle : Sim.Sim_time.span;
@@ -46,10 +48,10 @@ type t = {
 }
 
 let make ~name ~summary ~n ?(byzantine = []) ?(leader_generates = false)
-    ?checkpoint_interval ?(torn_tail = []) ?(events = [])
+    ?checkpoint_interval ?mempool_cap ?load ?(torn_tail = []) ?(events = [])
     ?(settle = Sim.Sim_time.s 12) ?(expect = no_expect) () =
   { name; summary; n; byzantine; leader_generates; checkpoint_interval;
-    torn_tail; events; settle; expect }
+    mempool_cap; load; torn_tail; events; settle; expect }
 
 let last_event_at t =
   List.fold_left (fun acc e -> Int64.max acc e.at) 0L t.events

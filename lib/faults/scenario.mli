@@ -88,6 +88,12 @@ type t = {
       (** config tweak: let the leader generate datablocks (needed for
           the equivocating-leader scenario) *)
   checkpoint_interval : int option;  (** config tweak *)
+  mempool_cap : int option;
+      (** config tweak: bound every replica's mempool admission (the
+          overload scenarios; [None] = the default unbounded pool) *)
+  load : float option;
+      (** client request rate override in req/s ([None] = the plane's
+          default); how the overload scenarios encode "10x capacity" *)
   torn_tail : (Net.Node_id.t * int) list;
       (** store fault: drop the last [k] appended records of this
           replica's log before any recovery reads it
@@ -106,6 +112,8 @@ val make :
   ?byzantine:(Net.Node_id.t * Core.Byzantine.t) list ->
   ?leader_generates:bool ->
   ?checkpoint_interval:int ->
+  ?mempool_cap:int ->
+  ?load:float ->
   ?torn_tail:(Net.Node_id.t * int) list ->
   ?events:event list ->
   ?settle:Sim.Sim_time.span ->

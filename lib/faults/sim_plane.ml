@@ -8,13 +8,19 @@ let cfg_of (sc : Scenario.t) =
     ~datablock_timeout:(Sim_time.ms 200) ~proposal_timeout:(Sim_time.ms 300)
     ~view_timeout:(Sim_time.s 1) ~fetch_grace:(Sim_time.ms 200)
     ~cost:Crypto.Cost_model.free
-    ~leader_generates_datablocks:sc.Scenario.leader_generates ()
+    ~leader_generates_datablocks:sc.Scenario.leader_generates
+    ?mempool_cap:sc.Scenario.mempool_cap ()
 
 let run ?(seed = 42L) ?load (sc : Scenario.t) =
   let t0 = Unix.gettimeofday () in
   let cfg = cfg_of sc in
   let n = sc.Scenario.n in
-  let load = match load with Some l -> l | None -> default_load n in
+  let load =
+    match (load, sc.Scenario.load) with
+    | Some l, _ -> l
+    | None, Some l -> l
+    | None, None -> default_load n
+  in
   let heal = Scenario.last_event_at sc in
   let duration = Scenario.duration sc in
   let load_until = Sim_time.(heal + Int64.div sc.Scenario.settle 2L) in

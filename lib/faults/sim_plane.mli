@@ -13,5 +13,5 @@ val run : ?seed:int64 -> ?load:float -> Scenario.t -> Oracle.outcome
     events on the engine, drives the simulation for
     [Scenario.duration] and evaluates the oracle. Client re-sends are
     always on (1 s) — they arm the view-change watchdog. [load]
-    defaults by scale: 400 req/s at n < 16, 800 below 64, 1200 from
-    64. *)
+    defaults to the scenario's [load] override when present, otherwise
+    by scale: 400 req/s at n < 16, 800 below 64, 1200 from 64. *)

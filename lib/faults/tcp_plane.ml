@@ -6,12 +6,19 @@ let cfg_of (sc : Scenario.t) =
     ~datablock_timeout:(Sim_time.ms 20) ~proposal_timeout:(Sim_time.ms 30)
     ~view_timeout:(Sim_time.ms 1500) ~fetch_grace:(Sim_time.ms 200)
     ~cost:Crypto.Cost_model.free
-    ~leader_generates_datablocks:sc.Scenario.leader_generates ()
+    ~leader_generates_datablocks:sc.Scenario.leader_generates
+    ?mempool_cap:sc.Scenario.mempool_cap ()
 
-let run ?(seed = 42L) ?(load = 800.) ?data_root ?metrics_out (sc : Scenario.t) =
+let run ?(seed = 42L) ?load ?data_root ?metrics_out (sc : Scenario.t) =
   let t0 = Unix.gettimeofday () in
   let cfg = cfg_of sc in
   let n = sc.Scenario.n in
+  let load =
+    match (load, sc.Scenario.load) with
+    | Some l, _ -> l
+    | None, Some l -> l
+    | None, None -> 800.
+  in
   let trace = Trace.create ~enabled:true () in
   (* With a [data_root], node WAL directories live under
      <root>/<scenario>/ and survive a failing run as artifacts; a

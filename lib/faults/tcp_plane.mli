@@ -19,8 +19,9 @@ val run :
   ?metrics_out:string ->
   Scenario.t ->
   Oracle.outcome
-(** [load] defaults to 800 req/s. The cluster always runs with client
-    re-sends (500 ms) and a 1.5 s view timeout.
+(** [load] defaults to the scenario's [load] override when present, 800
+    req/s otherwise. The cluster always runs with client re-sends
+    (500 ms) and a 1.5 s view timeout.
 
     [data_root] puts the per-node WAL directories under
     [<data_root>/<scenario-name>/]; a failing run keeps them as

@@ -26,6 +26,13 @@ type t = {
   mutable carry : float; (* fractional requests owed from past ticks *)
   mutable last_tick_ns : int;
   mutable rr : int;
+  (* closed-loop arm of the hybrid client (inert while the overload
+     controls are off, i.e. [mempool_cap = 0] and [pace_on_pressure =
+     false]): admission rejections re-credit [carry] and put the target
+     on a retry-after cooldown; saturated targets are skipped. *)
+  mutable rejected : int;  (* requests refused at replica admission *)
+  mutable throttled : int; (* target-ticks skipped for egress pressure *)
+  retry_after : int array; (* per-target: earliest ns to submit again *)
   mutable load_started_ns : int;
   mutable load_stopped_ns : int;
   (* client re-sends (needed to arm the replica watchdog: only
@@ -75,6 +82,8 @@ let trace t = t.trace
 let view_changes t = t.view_changes
 let vc_triggers t = t.vc_triggers
 let resends t = t.resends
+let rejected t = t.rejected
+let throttled t = t.throttled
 let verify_stats t = Option.map Exec.Pool.stats t.verify_pool
 
 let f_plus_1 t = Core.Config.max_faulty t.cfg + 1
@@ -130,6 +139,19 @@ let make_hooks t_ref =
 
 let client_tick_ns = 10_000_000 (* 10 ms *)
 
+(* Hybrid-client tuning: a rejected target sits out [retry_after_ns];
+   re-credited requests bank at most [carry_bucket_sec] seconds of load
+   (token-bucket depth), so a long rejection streak cannot store an
+   unbounded burst to release at once. *)
+let retry_after_ns = 100_000_000 (* 100 ms *)
+let carry_bucket_sec = 0.5
+
+(* The closed-loop behaviours only engage when the replicas are actually
+   configured with overload controls; otherwise the client stays the
+   seed's pure open loop. *)
+let overload_controls_on t =
+  t.cfg.Core.Config.mempool_cap > 0 || t.cfg.Core.Config.pace_on_pressure
+
 let leader t = Core.Config.leader_of_view t.cfg 1
 
 let client_targets t =
@@ -152,11 +174,19 @@ let offer_batch t ~target ~count =
       ~size_each:t.cfg.Core.Config.payload ~born:(Loop.now t.loop) ()
   in
   t.next_batch_id <- t.next_batch_id + 1;
-  t.offered <- t.offered + count;
-  if t.client_resend <> None then
-    Hashtbl.replace t.pending b.Workload.Request.id
-      { batch = b; last_sent_ns = Loop.now_ns t.loop };
-  Core.Replica.submit t.replicas.(target) b
+  match Core.Replica.submit t.replicas.(target) b with
+  | Core.Replica.Admitted ->
+    t.offered <- t.offered + count;
+    if t.client_resend <> None then
+      Hashtbl.replace t.pending b.Workload.Request.id
+        { batch = b; last_sent_ns = Loop.now_ns t.loop }
+  | Core.Replica.Rejected _ ->
+    (* Closed-loop: the requests were never accepted, so they go back
+       into [carry] (bounded to the token-bucket depth) to be re-offered
+       on a later tick, and the target sits out a retry-after window. *)
+    t.rejected <- t.rejected + count;
+    t.carry <- Float.min (t.carry +. float_of_int count) (t.load *. carry_bucket_sec);
+    t.retry_after.(target) <- Loop.now_ns t.loop + retry_after_ns
 
 (* Re-send unconfirmed batches, round-robin over the up replicas. The
    copies carry the resend tag, so receivers watch them and vote to
@@ -187,7 +217,11 @@ let resend_tick t =
           t.resends <- t.resends + 1;
           t.rr <- t.rr + 1;
           let copy = Workload.Request.resend_of batch in
-          Core.Replica.submit t.replicas.(targets.(t.rr mod m)) copy)
+          (* A rejected resend copy is not retried early: the original
+             stays in [pending] and the next period sends a fresh copy. *)
+          ignore
+            (Core.Replica.submit t.replicas.(targets.(t.rr mod m)) copy
+              : Core.Replica.admission))
         !due)
 
 let rec resend_loop t =
@@ -201,15 +235,34 @@ let rec resend_loop t =
           : Loop.handle)
     end
 
+(* Targets the hybrid client will actually submit to this tick: up,
+   non-leader, past any retry-after cooldown, and (when the overload
+   controls are on) under egress-pressure saturation. *)
+let eligible_targets t now_ns =
+  let controls = overload_controls_on t in
+  List.filter
+    (fun id ->
+      if now_ns < t.retry_after.(id) then false
+      else if controls && Conn.pressure (Runtime.conn t.nodes.(id)) >= 1.0 then begin
+        t.throttled <- t.throttled + 1;
+        false
+      end
+      else true)
+    (client_targets t)
+
 let rec client_tick t =
   if t.load_active then begin
     let now_ns = Loop.now_ns t.loop in
     let dt = float_of_int (now_ns - t.last_tick_ns) *. 1e-9 in
     t.last_tick_ns <- now_ns;
     t.carry <- t.carry +. (t.load *. dt);
+    (* With the closed loop engaged the carry is a token bucket, not an
+       unbounded debt: requests owed past the bucket depth are shed. *)
+    if overload_controls_on t then
+      t.carry <- Float.min t.carry (t.load *. carry_bucket_sec);
     let due = int_of_float t.carry in
     t.carry <- t.carry -. float_of_int due;
-    (match client_targets t with
+    (match eligible_targets t now_ns with
     | [] -> () (* everyone down; requests owed stay in [carry]'s past *)
     | targets ->
       let targets = Array.of_list targets in
@@ -364,6 +417,9 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
       carry = 0.;
       last_tick_ns = 0;
       rr = 0;
+      rejected = 0;
+      throttled = 0;
+      retry_after = Array.make n 0;
       load_started_ns = 0;
       load_stopped_ns = 0;
       client_resend;
@@ -409,6 +465,14 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
     let resends_c =
       Obs.Registry.counter reg ~help:"client re-send copies" "leopard_cluster_resends_total"
     in
+    let rejected_c =
+      Obs.Registry.counter reg ~help:"client requests refused at replica admission"
+        "leopard_cluster_rejected_total"
+    in
+    let throttled_c =
+      Obs.Registry.counter reg ~help:"client target-ticks skipped for egress pressure"
+        "leopard_cluster_throttled_total"
+    in
     let blocks_c =
       Obs.Registry.counter reg ~help:"blocks f+1-executed" "leopard_cluster_executed_blocks_total"
     in
@@ -418,6 +482,8 @@ let create ~cfg ?(load = 2000.) ?outbuf_hwm ?(trace = Sim.Trace.create ~enabled:
     Obs.Registry.on_collect reg (fun () ->
         Obs.Counter.mirror offered_c t.offered;
         Obs.Counter.mirror resends_c t.resends;
+        Obs.Counter.mirror rejected_c t.rejected;
+        Obs.Counter.mirror throttled_c t.throttled;
         Obs.Counter.mirror blocks_c t.executed_blocks;
         let mv = ref 1 in
         Array.iteri
@@ -627,6 +693,7 @@ type report = {
   n : int;
   offered : int;
   confirmed : int;
+  rejected : int;
   throughput : float;
   latency : Stats.Histogram.t;
   executed_blocks : int;
@@ -643,6 +710,7 @@ let pp_report fmt r =
     "@[<v>local cluster: n=%d@,\
      offered        %d@,\
      confirmed      %d@,\
+     rejected       %d@,\
      throughput     %.0f req/s@,\
      latency p50    %.1f ms@,\
      latency p99    %.1f ms@,\
@@ -654,7 +722,7 @@ let pp_report fmt r =
      bytes moved    %d out / %d in@,\
      converged      %b@,\
      ledgers agree  %b@]"
-    r.n r.offered r.confirmed r.throughput
+    r.n r.offered r.confirmed r.rejected r.throughput
     (Stats.Histogram.quantile r.latency 0.50 *. 1e3)
     (Stats.Histogram.quantile r.latency 0.99 *. 1e3)
     r.executed_blocks r.wall_sec r.dropped_frames r.transport.Conn.frames_sent
@@ -677,6 +745,7 @@ let report_of t =
   { n = t.cfg.Core.Config.n;
     offered = t.offered;
     confirmed = t.confirmed;
+    rejected = t.rejected;
     throughput = float_of_int t.confirmed /. wall_sec;
     latency = t.latency;
     executed_blocks = t.executed_blocks;

@@ -4,9 +4,19 @@
     {!Core.Platform}, share one {!Loop} in one process; every message
     between them is framed, written to a socket, read back and decoded —
     the full deployable stack, minus process isolation. A built-in
-    open-loop client submits request batches round-robin to the
-    non-leader replicas and measures confirmation (the (f+1)-th
-    execution of a serial) exactly as the simulator's runner does.
+    client submits request batches round-robin to the non-leader
+    replicas and measures confirmation (the (f+1)-th execution of a
+    serial) exactly as the simulator's runner does.
+
+    The client is a closed/open hybrid. With the overload controls off
+    ([mempool_cap = 0] and [pace_on_pressure = false], the defaults) it
+    is the seed's pure open loop. With them on, admission rejections
+    re-credit the refused requests to the rate carry (bounded to a
+    half-second token bucket) and put the rejecting target on a 100 ms
+    retry-after cooldown, and targets whose egress queues are saturated
+    ({!Conn.pressure} at or above 1) are skipped for the tick — so a
+    sustained 10x overload degrades into bounded queues and counted
+    rejections instead of unbounded memory growth.
 
     Wall-clock time replaces simulated time, so reports are measurements
     of this machine, not of the paper's testbed — the point is to
@@ -111,6 +121,15 @@ val transport_stats : t -> Conn.stats
 val resends : t -> int
 (** Client re-send copies submitted so far. *)
 
+val rejected : t -> int
+(** Requests the replicas refused at mempool admission ([Rejected]
+    verdicts seen by the client, in requests). Zero with the overload
+    controls off. *)
+
+val throttled : t -> int
+(** Target-ticks the client skipped because the target node's egress
+    pressure was at or above 1. Zero with the overload controls off. *)
+
 val view_changes : t -> int
 (** Replica view entries beyond view 1, summed over replicas. *)
 
@@ -146,6 +165,7 @@ type report = {
   n : int;
   offered : int;
   confirmed : int;
+  rejected : int;            (** admission rejections seen by the client *)
   throughput : float;        (** confirmed req/s over the load window *)
   latency : Stats.Histogram.t;   (** client-perceived confirmation latency *)
   executed_blocks : int;

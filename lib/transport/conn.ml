@@ -116,7 +116,16 @@ type t = {
   addrs : (Net.Node_id.t, Unix.sockaddr) Hashtbl.t;
   mutable listener : Unix.file_descr option;
   mutable down : bool;
-  mutable dropped : int;
+  (* Drop accounting, split by cause so overload (backpressure) is never
+     conflated with a dead peer window (disconnected) or a missing
+     address. [dropped] below reports the sum. *)
+  mutable dropped_backpressure : int;
+  mutable dropped_no_addr : int;
+  mutable dropped_disconnected : int;
+  (* Backpressure drops by message kind ([Core.Msg.kind_index]-indexed):
+     the kind-aware policy's audit trail — consensus-critical kinds must
+     stay at zero while datablock frames absorb the overload. *)
+  dropped_kinds : int array;
   mutable fault : (dst:Net.Node_id.t -> Core.Msg.t -> fault_verdict) option;
   mutable faulted : int;
   mutable max_write : int; (* debug clamp on bytes per write(2) *)
@@ -129,7 +138,29 @@ type t = {
 }
 
 let is_down t = t.down
-let dropped t = t.dropped
+let dropped t = t.dropped_backpressure + t.dropped_no_addr + t.dropped_disconnected
+let dropped_backpressure t = t.dropped_backpressure
+let dropped_no_addr t = t.dropped_no_addr
+let dropped_disconnected t = t.dropped_disconnected
+let dropped_by_kind t kind = t.dropped_kinds.(Core.Msg.kind_index kind)
+
+(* Egress queue pressure: the fullest peer queue relative to the HWM.
+   0 = idle; >= 1 = at or beyond the bulk-frame drop threshold (the
+   consensus headroom above the HWM pushes it past 1). *)
+let pressure t =
+  if t.hwm <= 0 then 0.
+  else
+    Hashtbl.fold
+      (fun _ oc acc -> Float.max acc (float_of_int oc.q_bytes /. float_of_int t.hwm))
+      t.outs 0.
+
+let peer_pressure t dst =
+  if t.hwm <= 0 then 0.
+  else
+    match Hashtbl.find_opt t.outs dst with
+    | None -> 0.
+    | Some oc -> float_of_int oc.q_bytes /. float_of_int t.hwm
+
 let set_fault t f = t.fault <- f
 let faulted t = t.faulted
 let stats t = t.stats
@@ -151,7 +182,13 @@ let close_in t (ic : in_conn) =
     close_fd t ic.in_fd
   end
 
-let drop_queue oc =
+(* Throw away everything queued toward one peer. Frames lost this way
+   were queued while the node (or the link) was alive and die with the
+   dead window — a distinct loss class from backpressure, counted under
+   [dropped_disconnected] so overload diagnostics are not polluted by
+   ordinary crash/reconnect churn. *)
+let drop_queue t oc =
+  t.dropped_disconnected <- t.dropped_disconnected + Ring.length oc.q;
   Ring.clear oc.q;
   oc.q_bytes <- 0;
   oc.head_off <- 0;
@@ -315,14 +352,15 @@ and fail_out t oc =
   | Idle | Waiting _ -> ());
   oc.state <- Idle;
   (* A frame cut mid-write is unrecoverable: the peer's stream ended
-     inside it, and a fresh connection must start on a frame boundary. *)
+     inside it, and a fresh connection must start on a frame boundary.
+     The connection died under it, so it counts as a disconnect loss. *)
   if oc.head_off > 0 then begin
     if Ring.length oc.q > 0 then begin
       let head = Ring.pop oc.q in
       oc.q_bytes <- oc.q_bytes - String.length head
     end;
     oc.head_off <- 0;
-    t.dropped <- t.dropped + 1
+    t.dropped_disconnected <- t.dropped_disconnected + 1
   end;
   oc.pre <- "";
   oc.pre_off <- 0;
@@ -368,7 +406,10 @@ let create ~loop ~id ?obs ?(max_frame = Frame.default_max_frame)
       addrs = Hashtbl.create 16;
       listener = None;
       down = false;
-      dropped = 0;
+      dropped_backpressure = 0;
+      dropped_no_addr = 0;
+      dropped_disconnected = 0;
+      dropped_kinds = Array.make Core.Msg.num_kinds 0;
       fault = None;
       faulted = 0;
       max_write = max_int;
@@ -402,7 +443,23 @@ let create ~loop ~id ?obs ?(max_frame = Frame.default_max_frame)
       let bytes_recvd = c "leopard_transport_bytes_recvd_total" "bytes read" in
       let writes = c "leopard_transport_write_syscalls_total" "write(2) calls" in
       let reads = c "leopard_transport_read_syscalls_total" "read(2) calls" in
-      let drops = c "leopard_transport_dropped_total" "frames dropped (backpressure/disconnect)" in
+      let drop_reason reason =
+        Obs.Registry.counter reg ~help:"frames dropped, by cause"
+          ~labels:(("reason", reason) :: labels)
+          "leopard_transport_dropped_total"
+      in
+      let drops_bp = drop_reason "backpressure" in
+      let drops_na = drop_reason "no_addr" in
+      let drops_dc = drop_reason "disconnected" in
+      let drops_kind =
+        List.map
+          (fun k ->
+            ( Core.Msg.kind_index k,
+              Obs.Registry.counter reg ~help:"backpressure drops, by frame kind"
+                ~labels:(("kind", Core.Msg.kind_name k) :: labels)
+                "leopard_transport_dropped_kind_total" ))
+          Core.Msg.all_kinds
+      in
       let faulted_c = c "leopard_transport_faulted_total" "messages hit by the fault filter" in
       let reconnects = c "leopard_transport_reconnects_total" "backoff redials scheduled" in
       let live = g "leopard_transport_live_connections" "established connections, both directions" in
@@ -417,7 +474,10 @@ let create ~loop ~id ?obs ?(max_frame = Frame.default_max_frame)
           Obs.Counter.mirror bytes_recvd s.bytes_recvd;
           Obs.Counter.mirror writes s.write_syscalls;
           Obs.Counter.mirror reads s.read_syscalls;
-          Obs.Counter.mirror drops t.dropped;
+          Obs.Counter.mirror drops_bp t.dropped_backpressure;
+          Obs.Counter.mirror drops_na t.dropped_no_addr;
+          Obs.Counter.mirror drops_dc t.dropped_disconnected;
+          List.iter (fun (i, ctr) -> Obs.Counter.mirror ctr t.dropped_kinds.(i)) drops_kind;
           Obs.Counter.mirror faulted_c t.faulted;
           Obs.Counter.mirror reconnects s.reconnects;
           let outs_live =
@@ -449,23 +509,44 @@ let out_conn t dst =
     Hashtbl.add t.outs dst oc;
     oc
 
+(* Kind-aware drop policy: bulk frames (datablocks, fetch replies —
+   [Net.Nic.Low]) stop being admitted at the HWM, while
+   consensus-critical frames (votes, proofs, view-change traffic —
+   [Net.Nic.High]) keep a reserved headroom above it. Under overload the
+   queue saturates with at most [hwm] bytes of bulk data and the
+   remaining headroom is exclusively theirs, so agreement progress is
+   never starved by datablock congestion — the transport-level analogue
+   of §6.1's two-channel priority. *)
+let consensus_headroom_factor = 2
+
 (* Queue an already-encoded frame to one peer. The frame string may be
    shared with other peers' queues (multicast); nothing here writes into
    it. The actual write happens at the next loop tick, so frames batch. *)
-let enqueue_frame t ~dst frame =
+let enqueue_frame t ~dst ~kind frame =
   if not t.down then begin
     let oc = out_conn t dst in
-    if not (Hashtbl.mem t.addrs dst) then t.dropped <- t.dropped + 1
-    else if oc.q_bytes + String.length frame > t.hwm then t.dropped <- t.dropped + 1
+    if not (Hashtbl.mem t.addrs dst) then t.dropped_no_addr <- t.dropped_no_addr + 1
     else begin
-      Ring.push oc.q frame;
-      oc.q_bytes <- oc.q_bytes + String.length frame;
-      (match oc.state with
-      | Idle -> connect_out t oc
-      | Connected _ | Waiting _ | Connecting _ -> ());
-      if not oc.flush_queued then begin
-        oc.flush_queued <- true;
-        t.flushq <- oc :: t.flushq
+      let limit =
+        match Core.Msg.kind_priority kind with
+        | Net.Nic.High -> consensus_headroom_factor * t.hwm
+        | Net.Nic.Low -> t.hwm
+      in
+      if oc.q_bytes + String.length frame > limit then begin
+        t.dropped_backpressure <- t.dropped_backpressure + 1;
+        let i = Core.Msg.kind_index kind in
+        t.dropped_kinds.(i) <- t.dropped_kinds.(i) + 1
+      end
+      else begin
+        Ring.push oc.q frame;
+        oc.q_bytes <- oc.q_bytes + String.length frame;
+        (match oc.state with
+        | Idle -> connect_out t oc
+        | Connected _ | Waiting _ | Connecting _ -> ());
+        if not oc.flush_queued then begin
+          oc.flush_queued <- true;
+          t.flushq <- oc :: t.flushq
+        end
       end
     end
   end
@@ -478,7 +559,7 @@ let enqueue t ~dst msg =
       ignore
         (Loop.schedule t.loop ~delay:0L (fun () ->
              if not t.down then t.on_msg ~src:t.id msg))
-    else enqueue_frame t ~dst (Frame.encode_msg msg)
+    else enqueue_frame t ~dst ~kind:(Core.Msg.kind msg) (Frame.encode_msg msg)
 
 let send t ~dst msg =
   if not t.down then
@@ -507,23 +588,24 @@ let multicast t ~n msg =
        Per-peer fault verdicts still apply — a delayed or duplicated copy
        reuses the shared frame rather than re-encoding. *)
     let frame = Frame.encode_shared msg in
+    let kind = Core.Msg.kind msg in
     for dst = 0 to n - 1 do
       if not (Net.Node_id.equal dst t.id) then begin
         match t.fault with
-        | None -> enqueue_frame t ~dst frame
+        | None -> enqueue_frame t ~dst ~kind frame
         | Some f -> (
           match f ~dst msg with
-          | Pass -> enqueue_frame t ~dst frame
+          | Pass -> enqueue_frame t ~dst ~kind frame
           | Fault_drop -> t.faulted <- t.faulted + 1
           | Fault_delay d ->
             t.faulted <- t.faulted + 1;
             ignore
-              (Loop.schedule t.loop ~delay:d (fun () -> enqueue_frame t ~dst frame)
+              (Loop.schedule t.loop ~delay:d (fun () -> enqueue_frame t ~dst ~kind frame)
                 : Loop.handle)
           | Fault_duplicate ->
             t.faulted <- t.faulted + 1;
-            enqueue_frame t ~dst frame;
-            enqueue_frame t ~dst frame)
+            enqueue_frame t ~dst ~kind frame;
+            enqueue_frame t ~dst ~kind frame)
       end
     done
   end
@@ -608,7 +690,7 @@ let set_down t down =
       Hashtbl.iter
         (fun _ oc ->
           reset_out t oc;
-          drop_queue oc;
+          drop_queue t oc;
           oc.backoff_ns <- backoff_base_ns)
         t.outs
     end

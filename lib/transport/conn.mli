@@ -11,7 +11,11 @@
     kernel buffer wait in a per-peer queue; once the queue passes the
     high-water mark, further frames to that peer are {e dropped whole}
     and counted ({!dropped}) — BFT protocols tolerate message loss, a
-    stalled peer must not wedge or balloon the sender. A frame cut mid-
+    stalled peer must not wedge or balloon the sender. The drop policy is
+    kind-aware: bulk frames (datablocks, fetch replies) stop being
+    admitted at the HWM, while consensus-critical frames (votes, proofs,
+    view-change traffic) keep a reserved headroom above it, so agreement
+    progress is never starved by datablock congestion. A frame cut mid-
     write by a broken connection is likewise dropped, never resumed on
     the next connection (resuming would corrupt the peer's framing).
 
@@ -46,7 +50,11 @@ val create :
     poisoning). [?obs] registers a scrape-time collect hook that mirrors
     this node's {!stats}, drop/fault counters, live-connection count and
     write-coalescing ratio as [leopard_transport_*] metrics labeled
-    [node="<id>"] — the send/receive hot paths are untouched. *)
+    [node="<id>"] — the send/receive hot paths are untouched. Drops are
+    split by cause ([leopard_transport_dropped_total{reason=...}] with
+    [backpressure]/[no_addr]/[disconnected]) and backpressure drops
+    additionally by frame kind
+    ([leopard_transport_dropped_kind_total{kind=...}]). *)
 
 val default_outbuf_hwm : int
 
@@ -99,8 +107,35 @@ val set_down : t -> bool -> unit
 val is_down : t -> bool
 
 val dropped : t -> int
-(** Frames dropped so far: backpressure overflow, unknown peer address,
-    or mid-frame disconnect. *)
+(** Frames dropped so far, all causes: the sum of the three split
+    counters below. *)
+
+val dropped_backpressure : t -> int
+(** Frames refused because the peer's queue was over its admission
+    limit (the HWM for bulk frames, the consensus headroom above it for
+    consensus-critical frames). *)
+
+val dropped_no_addr : t -> int
+(** Frames refused because no address is known for the peer. *)
+
+val dropped_disconnected : t -> int
+(** Frames lost to a dead window: queued toward a peer and discarded by
+    {!set_down}, or cut mid-write by a broken connection. Split from
+    backpressure so crash/reconnect churn never reads as overload. *)
+
+val dropped_by_kind : t -> Core.Msg.kind -> int
+(** Backpressure drops by frame kind — the kind-aware policy's audit
+    trail. Under pure overload, consensus-critical kinds stay at zero
+    while [K_datablock]/[K_fetch_reply] absorb the loss. *)
+
+val pressure : t -> float
+(** Egress queue pressure: the fullest peer queue's bytes relative to
+    the HWM. [0.] = idle; [>= 1.] = at or beyond the bulk-frame drop
+    threshold. Drives the replica's pacing and the cluster client's
+    throttling. *)
+
+val peer_pressure : t -> Net.Node_id.t -> float
+(** Per-peer variant of {!pressure} ([0.] for a peer never sent to). *)
 
 val live_connections : t -> int
 (** Established connections, both directions (diagnostics / tests). *)

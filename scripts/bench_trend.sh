@@ -77,6 +77,7 @@ trend() {
 trend BENCH_micro.json "name" ns_per_op
 trend BENCH_sim.json "n" events_per_s
 trend BENCH_net.json "n" frames_per_s
+trend BENCH_net.json "leg n" consensus_frames_per_s
 trend BENCH_verify.json "leg" blocks_per_s
 trend BENCH_verify.json "tcp_n pool" throughput
 trend BENCH_store.json "policy" records_per_s

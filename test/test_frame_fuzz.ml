@@ -32,10 +32,29 @@ let u32le v = String.init 4 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))
 let frame_of payload =
   Frame.magic ^ u16le Frame.version ^ "\x01" ^ u32le (String.length payload) ^ payload
 
+(* A datablock frame built live from deterministic keys: the bulk-plane
+   frame whose batch list is attacker-controlled (its decoder once sat
+   one [assert false] away from a remote panic on an empty list). *)
+let datablock_batches = 3
+let batch_bytes = 21 (* id u32 + count u32 + size_each u32 + born i64 + resend u8 *)
+
+let datablock_frame =
+  let rng = Sim.Rng.create 2026L in
+  let _pk, sk = Crypto.Signature.keygen rng in
+  let batch i =
+    Workload.Request.make ~id:(100 + i) ~count:4 ~size_each:64
+      ~born:Sim.Sim_time.zero ()
+  in
+  Frame.encode_msg
+    (Core.Msg.Datablock_msg
+       (Core.Datablock.create ~sk ~creator:0 ~counter:1 ~now:Sim.Sim_time.zero
+          (List.init datablock_batches batch)))
+
 let vectors =
   [ ("timeout", frame_of (of_hex golden_timeout_hex));
     ("view-change", frame_of (of_hex golden_view_change_hex));
-    ("new-view", frame_of (of_hex golden_new_view_hex)) ]
+    ("new-view", frame_of (of_hex golden_new_view_hex));
+    ("datablock", datablock_frame) ]
 
 (* Feed a whole buffer into a fresh reader. Any exception is a bug — that
    is the property under test, so surface it as a test failure with the
@@ -165,6 +184,33 @@ let test_header_errors_are_typed () =
     (feed_str (frame_of (String.map (fun _ -> '\xff') payload))
      = Error Frame.Decode_failed)
 
+(* Targeted malformations of the datablock's batch list — the exact
+   shapes the decoder guards turn into typed errors instead of panics. *)
+let test_datablock_batch_list_malformed () =
+  let frame = datablock_frame in
+  (* The list's u32 count immediately precedes its fixed-width items at
+     the end of the frame. *)
+  let count_off = String.length frame - (datablock_batches * batch_bytes) - 4 in
+  let _, res, frames = feed_fresh ~label:"datablock" (Bytes.of_string frame) in
+  checkb "unpatched datablock decodes" true (res = Ok () && frames = 1);
+  let with_count v =
+    let buf = Bytes.of_string frame in
+    Bytes.blit_string (u32le v) 0 buf count_off 4;
+    buf
+  in
+  let _, res, _ = feed_fresh ~label:"datablock empty list" (with_count 0) in
+  checkb "empty batch list is a typed error" true
+    (res = Error Frame.Decode_failed);
+  let _, res, _ = feed_fresh ~label:"datablock huge count" (with_count 0xFFFFFF) in
+  checkb "absurd batch count is a typed error" true
+    (res = Error Frame.Decode_failed);
+  (* A zero-request batch inside an otherwise well-formed list. *)
+  let buf = Bytes.of_string frame in
+  Bytes.blit_string (u32le 0) 0 buf (count_off + 4 + 4) 4;
+  let _, res, _ = feed_fresh ~label:"datablock zero-count batch" buf in
+  checkb "zero-request batch is a typed error" true
+    (res = Error Frame.Decode_failed)
+
 let () =
   Alcotest.run "frame-fuzz"
     [ ( "fuzz",
@@ -173,5 +219,7 @@ let () =
           Alcotest.test_case "random mutations" `Quick test_random_mutations;
           Alcotest.test_case "truncations" `Quick test_truncations;
           Alcotest.test_case "byte-at-a-time" `Quick test_byte_at_a_time;
-          Alcotest.test_case "typed header errors" `Quick test_header_errors_are_typed ] )
+          Alcotest.test_case "typed header errors" `Quick test_header_errors_are_typed;
+          Alcotest.test_case "malformed datablock batch lists" `Quick
+            test_datablock_batch_list_malformed ] )
     ]
